@@ -1,0 +1,137 @@
+// Empirical companion to Theorem 1 (identifiability): on data generated
+// from a known causal graph, score-based discovery with the NOTEARS
+// acyclicity constraint recovers the true Markov equivalence class as the
+// sample size grows. Reported per sample size: structural Hamming
+// distance, MEC-recovery rate, and runtime (averaged over random DAGs).
+// Also sweeps graph size to document the scalability motivation for
+// Causer's cluster-level (rather than item-level) graph.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "causal/ges.h"
+#include "causal/markov_equivalence.h"
+#include "causal/notears.h"
+#include "causal/pc.h"
+
+int main() {
+  using causer::Table;
+  using namespace causer;
+  bench::PrintHeader(
+      "Identifiability: NOTEARS recovery vs sample size / graph size",
+      "paper Theorem 1 (MEC identifiability) + Section III scalability "
+      "discussion");
+
+  {
+    Table t({"#Samples", "avg SHD", "MEC recovered", "avg seconds"});
+    const int kTrials = 8;
+    for (int n : {10, 30, 100, 300, 1000}) {
+      double shd = 0.0;
+      int mec = 0;
+      Stopwatch sw;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Rng rng(1000 + trial);
+        causal::Graph truth = causal::RandomDag(6, 0.35, rng);
+        causal::Dense x = causal::SimulateLinearSem(truth, n, 1.0, 2.0, rng);
+        auto result = causal::NotearsLinear(x);
+        shd += causal::StructuralHammingDistance(result.graph, truth);
+        mec += causal::SameMarkovEquivalenceClass(result.graph, truth);
+      }
+      t.AddRow({std::to_string(n), Table::Fmt(shd / kTrials, 2),
+                std::to_string(mec) + "/" + std::to_string(kTrials),
+                Table::Fmt(sw.ElapsedSeconds() / kTrials, 2)});
+    }
+    std::printf("%s", t.ToString().c_str());
+    std::printf(
+        "Shape check: SHD decreases and MEC recovery increases with sample\n"
+        "size, the empirical face of Theorem 1's identifiability claim.\n\n");
+  }
+
+  {
+    // Method comparison on identical data: the continuous score-based
+    // approach the paper builds on (NOTEARS) vs the constraint-based (PC)
+    // and greedy score-based (GES) families cited in its related work.
+    Table t({"Method", "avg SHD", "MEC recovered", "avg seconds"});
+    const int kTrials = 5;
+    double shd_nt = 0, shd_pc = 0, shd_ges = 0;
+    int mec_nt = 0, mec_ges = 0;
+    double sec_nt = 0, sec_pc = 0, sec_ges = 0;
+    int pc_cpdag_errors = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(3000 + trial);
+      causal::Graph truth = causal::RandomDag(6, 0.35, rng);
+      causal::Dense x = causal::SimulateLinearSem(truth, 800, 1.0, 2.0, rng);
+      Stopwatch sw;
+      auto nt = causal::NotearsLinear(x);
+      sec_nt += sw.ElapsedSeconds();
+      shd_nt += causal::StructuralHammingDistance(nt.graph, truth);
+      mec_nt += causal::SameMarkovEquivalenceClass(nt.graph, truth);
+
+      sw.Restart();
+      auto pc = causal::PcAlgorithm(x);
+      sec_pc += sw.ElapsedSeconds();
+      // PC outputs a CPDAG; compare against the truth's CPDAG entrywise.
+      auto expected = causal::Cpdag(truth);
+      int mismatch = 0;
+      for (int i = 0; i < truth.n(); ++i) {
+        for (int j = i + 1; j < truth.n(); ++j) {
+          bool adj_got = pc.cpdag.Adjacent(i, j);
+          bool adj_want = expected.Adjacent(i, j);
+          if (adj_got != adj_want ||
+              pc.cpdag.HasDirected(i, j) != expected.HasDirected(i, j) ||
+              pc.cpdag.HasDirected(j, i) != expected.HasDirected(j, i)) {
+            ++mismatch;
+          }
+        }
+      }
+      shd_pc += mismatch;
+      pc_cpdag_errors += mismatch == 0 ? 0 : 1;
+
+      sw.Restart();
+      auto ges = causal::GreedyEquivalenceSearch(x);
+      sec_ges += sw.ElapsedSeconds();
+      shd_ges += causal::StructuralHammingDistance(ges.graph, truth);
+      mec_ges += causal::SameMarkovEquivalenceClass(ges.graph, truth);
+    }
+    t.AddRow({"NOTEARS", Table::Fmt(shd_nt / kTrials, 2),
+              std::to_string(mec_nt) + "/" + std::to_string(kTrials),
+              Table::Fmt(sec_nt / kTrials, 3)});
+    t.AddRow({"PC (CPDAG diff)", Table::Fmt(shd_pc / kTrials, 2),
+              std::to_string(kTrials - pc_cpdag_errors) + "/" +
+                  std::to_string(kTrials),
+              Table::Fmt(sec_pc / kTrials, 3)});
+    t.AddRow({"GES (hill climb)", Table::Fmt(shd_ges / kTrials, 2),
+              std::to_string(mec_ges) + "/" + std::to_string(kTrials),
+              Table::Fmt(sec_ges / kTrials, 3)});
+    std::printf("%s", t.ToString().c_str());
+    std::printf(
+        "All three discovery families recover most of the structure; the\n"
+        "differentiable NOTEARS constraint is the one Causer can train\n"
+        "jointly with the recommender (the paper's motivation).\n\n");
+  }
+
+  {
+    Table t({"Graph size d", "avg SHD", "avg seconds"});
+    for (int d : {5, 10, 20, 40}) {
+      const int kTrials = 3;
+      double shd = 0.0;
+      Stopwatch sw;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Rng rng(2000 + trial);
+        causal::Graph truth = causal::RandomDag(d, 2.0 / d, rng);
+        causal::Dense x = causal::SimulateLinearSem(truth, 600, 1.0, 2.0, rng);
+        auto result = causal::NotearsLinear(x);
+        shd += causal::StructuralHammingDistance(result.graph, truth);
+      }
+      t.AddRow({std::to_string(d), Table::Fmt(shd / kTrials, 2),
+                Table::Fmt(sw.ElapsedSeconds() / kTrials, 2)});
+    }
+    std::printf("%s", t.ToString().c_str());
+    std::printf(
+        "Shape check: runtime grows super-linearly with graph size, and\n"
+        "recovery quality degrades at fixed sample size — both halves of\n"
+        "the paper's motivation for a K-cluster graph instead of an\n"
+        "item-level |V| x |V| graph (Section III-A).\n");
+  }
+  return 0;
+}

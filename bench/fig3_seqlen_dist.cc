@@ -1,0 +1,50 @@
+// Reproduces Fig. 3: distribution of per-user sequence lengths for each
+// dataset, printed as histogram tables plus an ASCII bar chart.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/stats.h"
+
+int main() {
+  using causer::Table;
+  causer::bench::PrintHeader("Fig. 3: sequence length distributions",
+                             "paper Fig. 3");
+
+  for (const auto& spec : causer::data::AllPaperSpecs()) {
+    auto dataset = causer::data::MakeDataset(spec);
+    // Bucket edges adapted to the dataset's scale (Foursquare-like
+    // sequences are much longer).
+    std::vector<int> edges;
+    if (dataset.AvgSequenceLength() > 12.0) {
+      edges = {0, 10, 15, 20, 25, 30, 40, 50};
+    } else {
+      edges = {0, 3, 4, 5, 6, 8, 10, 14};
+    }
+    auto counts = causer::data::SequenceLengthHistogram(dataset, edges);
+    int max_count = *std::max_element(counts.begin(), counts.end());
+
+    std::printf("\n%s (avg %.2f interactions/user)\n", dataset.name.c_str(),
+                dataset.AvgSequenceLength());
+    Table t({"Length bucket", "#Users", "Share", "Bar"});
+    for (size_t b = 0; b < counts.size(); ++b) {
+      std::string bucket =
+          b + 1 < edges.size()
+              ? "[" + std::to_string(edges[b]) + ", " +
+                    std::to_string(edges[b + 1]) + ")"
+              : ">= " + std::to_string(edges.back());
+      int bar_len =
+          max_count > 0 ? (counts[b] * 40 + max_count - 1) / max_count : 0;
+      t.AddRow({bucket, std::to_string(counts[b]),
+                Table::Fmt(100.0 * counts[b] / dataset.num_users, 1) + "%",
+                std::string(bar_len, '#')});
+    }
+    std::printf("%s", t.ToString().c_str());
+  }
+  std::printf(
+      "\nShape check: short-sequence mass dominates the Amazon-like and\n"
+      "Epinions datasets (heavy head), while Foursquare's distribution is\n"
+      "shifted right with a long tail, as in the paper's Fig. 3.\n");
+  return 0;
+}

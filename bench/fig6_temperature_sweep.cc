@@ -1,0 +1,43 @@
+// Reproduces Fig. 6: influence of the assignment softmax temperature eta on
+// NDCG@5 for Baby and Epinions, GRU and LSTM backbones. Paper finding:
+// performance rises with eta to an optimum then falls; the optimum is
+// dataset-dependent but backbone-robust.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using causer::Table;
+  using namespace causer;
+  bench::PrintHeader("Fig. 6: influence of the temperature eta (NDCG@5, %)",
+                     "paper Fig. 6");
+
+  const std::vector<float> etas = {0.01f, 0.05f, 0.1f, 0.25f, 0.5f,
+                                   1.0f,  2.0f,  5.0f, 20.0f};
+  for (auto which : {data::PaperDataset::kBaby, data::PaperDataset::kEpinions}) {
+    auto dataset = data::MakeDataset(data::SpecFor(which));
+    auto split = data::LeaveLastOut(dataset);
+    std::printf("\n%s\n", dataset.name.c_str());
+    Table t({"eta", "Causer (GRU)", "Causer (LSTM)"});
+    for (float eta : etas) {
+      std::vector<std::string> row = {Table::Fmt(eta, 2)};
+      for (auto backbone : {core::Backbone::kGru, core::Backbone::kLstm}) {
+        auto cfg = bench::TunedCauserConfig(dataset, backbone);
+        cfg.eta = eta;
+        core::CauserModel model(cfg);
+        auto run = bench::RunCauser(model, split, bench::CauserTrainConfig());
+        row.push_back(Table::Fmt(run.ndcg, 2));
+        std::fprintf(stderr, "[fig6] %s eta=%.2f %s NDCG %.2f\n",
+                     dataset.name.c_str(), eta, run.name.c_str(), run.ndcg);
+      }
+      t.AddRow(row);
+    }
+    std::printf("%s", t.ToString().c_str());
+  }
+  std::printf(
+      "Shape check: rise-then-fall in eta; near-hard assignments (tiny eta)\n"
+      "lose mixture information, near-uniform ones (large eta) blur the\n"
+      "item-level causal relations (paper Fig. 6).\n");
+  return 0;
+}

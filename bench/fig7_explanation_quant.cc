@@ -1,0 +1,74 @@
+// Reproduces Fig. 7: quantitative evaluation of recommendation
+// explanations on the Baby dataset. The paper hand-labels causal items in
+// 793 test samples (~1.8 causes each); our stand-in labels come from the
+// generator's ground-truth causes (see DESIGN.md). Compared systems:
+// Causer (alpha * What), Causer(-att) (What only), Causer(-causal)
+// (attention only), each trained as its own model, explaining with top-3
+// history items under F1 and NDCG — exactly the paper's protocol.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/explainer.h"
+#include "eval/explanation_eval.h"
+
+int main() {
+  using causer::Table;
+  using namespace causer;
+  bench::PrintHeader(
+      "Fig. 7: quantitative explanation evaluation (Baby, top-3, %)",
+      "paper Fig. 7. Expected shape: Causer > Causer(-att) > Causer(-causal)");
+
+  auto dataset = data::MakeDataset(data::SpecFor(data::PaperDataset::kBaby));
+  auto split = data::LeaveLastOut(dataset);
+
+  Rng rng(97);
+  auto examples = eval::BuildExplanationSet(split.test, dataset,
+                                            /*max_examples=*/800, rng);
+  std::printf("Explanation dataset: %zu samples\n", examples.size());
+
+  Table t({"System", "Backbone", "F1@3", "NDCG@3"});
+  for (auto backbone : {core::Backbone::kGru, core::Backbone::kLstm}) {
+    const char* bb = backbone == core::Backbone::kGru ? "GRU" : "LSTM";
+
+    // Full model explains with alpha * What.
+    auto full_cfg = bench::TunedCauserConfig(dataset, backbone);
+    core::CauserModel full(full_cfg);
+    core::TrainCauser(full, split, bench::CauserTrainConfig());
+    auto r_full = eval::EvaluateExplanations(
+        core::MakeCauserExplainer(full, core::ExplainMode::kFull), examples, 3);
+
+    // -att variant explains with What only.
+    auto na_cfg = bench::TunedCauserConfig(dataset, backbone);
+    na_cfg.use_attention = false;
+    core::CauserModel no_att(na_cfg);
+    core::TrainCauser(no_att, split, bench::CauserTrainConfig());
+    auto r_causal = eval::EvaluateExplanations(
+        core::MakeCauserExplainer(no_att, core::ExplainMode::kCausal),
+        examples, 3);
+
+    // -causal variant explains with attention weights only.
+    auto nc_cfg = bench::TunedCauserConfig(dataset, backbone);
+    nc_cfg.use_causal = false;
+    core::CauserModel no_causal(nc_cfg);
+    core::TrainCauser(no_causal, split, bench::CauserTrainConfig());
+    auto r_att = eval::EvaluateExplanations(
+        core::MakeCauserExplainer(no_causal, core::ExplainMode::kAttention),
+        examples, 3);
+
+    t.AddRow({"Causer", bb, Table::Fmt(100 * r_full.f1, 2),
+              Table::Fmt(100 * r_full.ndcg, 2)});
+    t.AddRow({"Causer (-att)", bb, Table::Fmt(100 * r_causal.f1, 2),
+              Table::Fmt(100 * r_causal.ndcg, 2)});
+    t.AddRow({"Causer (-causal)", bb, Table::Fmt(100 * r_att.f1, 2),
+              Table::Fmt(100 * r_att.ndcg, 2)});
+    std::printf("avg true causes per sample: %.2f (paper: 1.8)\n",
+                r_full.avg_causes_per_example);
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "Shape check: the causal signal (What) matters more than local\n"
+      "attention for explanation quality, and combining both is best\n"
+      "(paper Fig. 7).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Reproduces Fig. 8: qualitative case studies of recommendation
+// explanations. For several test interactions with a known true cause, the
+// bench prints the history with each system's top-1 explanation: Causer,
+// Causer(-att), Causer(-causal), and NARM's attention — mirroring the
+// paper's four case studies (toilet seat <- baby toilet etc.; here item
+// identities are synthetic, annotated by their latent cluster).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/explainer.h"
+#include "eval/explanation_eval.h"
+
+namespace {
+
+int ArgMax(const std::vector<double>& v) {
+  int best = 0;
+  for (size_t i = 1; i < v.size(); ++i)
+    if (v[i] > v[best]) best = static_cast<int>(i);
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace causer;
+  bench::PrintHeader("Fig. 8: qualitative explanation case studies (Baby)",
+                     "paper Fig. 8");
+
+  auto dataset = data::MakeDataset(data::SpecFor(data::PaperDataset::kBaby));
+  auto split = data::LeaveLastOut(dataset);
+  auto tc = bench::CauserTrainConfig();
+
+  auto full_cfg = bench::TunedCauserConfig(dataset, core::Backbone::kGru);
+  core::CauserModel full(full_cfg);
+  core::TrainCauser(full, split, tc);
+
+  auto na_cfg = full_cfg;
+  na_cfg.use_attention = false;
+  core::CauserModel no_att(na_cfg);
+  core::TrainCauser(no_att, split, tc);
+
+  auto nc_cfg = full_cfg;
+  nc_cfg.use_causal = false;
+  core::CauserModel no_causal(nc_cfg);
+  core::TrainCauser(no_causal, split, tc);
+
+  models::Narm narm(bench::BaseConfig(dataset));
+  models::Fit(narm, split, bench::BaselineTrainConfig());
+
+  Rng rng(41);
+  auto examples = eval::BuildExplanationSet(split.test, dataset, 400, rng);
+
+  auto item_label = [&](int item) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "item %d (cluster %d)", item,
+                  dataset.item_true_cluster[item]);
+    return std::string(buf);
+  };
+
+  int printed = 0;
+  int full_hits = 0, no_att_hits = 0, no_causal_hits = 0, narm_hits = 0;
+  int cases = 0;
+  auto narm_explainer = core::MakeNarmExplainer(narm);
+  for (const auto& ex : examples) {
+    const auto& inst = *ex.instance;
+    if (inst.history.size() < 3) continue;
+    ++cases;
+    auto pick = [&](core::CauserModel& m, core::ExplainMode mode) {
+      return ArgMax(m.ExplainScores(inst, ex.target_item, mode));
+    };
+    int c_full = pick(full, core::ExplainMode::kFull);
+    int c_noatt = pick(no_att, core::ExplainMode::kCausal);
+    int c_nocausal = pick(no_causal, core::ExplainMode::kAttention);
+    int c_narm = ArgMax(narm_explainer(inst, ex.target_item));
+    auto is_hit = [&](int pos) {
+      for (int p : ex.true_cause_positions)
+        if (p == pos) return true;
+      return false;
+    };
+    full_hits += is_hit(c_full);
+    no_att_hits += is_hit(c_noatt);
+    no_causal_hits += is_hit(c_nocausal);
+    narm_hits += is_hit(c_narm);
+
+    if (printed < 4) {
+      ++printed;
+      std::printf("\nCase %d: user %d, target %s\n", printed, inst.user,
+                  item_label(ex.target_item).c_str());
+      std::printf("  history:\n");
+      for (size_t t = 0; t < inst.history.size(); ++t) {
+        bool truth = is_hit(static_cast<int>(t));
+        std::printf("    [%zu]%s", t, truth ? " <- TRUE CAUSE: " : " ");
+        for (int item : inst.history[t].items)
+          std::printf("%s  ", item_label(item).c_str());
+        std::printf("\n");
+      }
+      auto verdict = [&](int pos) { return is_hit(pos) ? "correct" : "wrong"; };
+      std::printf("  Causer          explains with step %d (%s)\n", c_full,
+                  verdict(c_full));
+      std::printf("  Causer (-att)   explains with step %d (%s)\n", c_noatt,
+                  verdict(c_noatt));
+      std::printf("  Causer (-causal) explains with step %d (%s)\n",
+                  c_nocausal, verdict(c_nocausal));
+      std::printf("  NARM attention  explains with step %d (%s)\n", c_narm,
+                  verdict(c_narm));
+    }
+  }
+  if (cases > 0) {
+    std::printf("\nTop-1 explanation hit rate over %d cases:\n", cases);
+    std::printf("  Causer           %5.1f%%\n", 100.0 * full_hits / cases);
+    std::printf("  Causer (-att)    %5.1f%%\n", 100.0 * no_att_hits / cases);
+    std::printf("  Causer (-causal) %5.1f%%\n", 100.0 * no_causal_hits / cases);
+    std::printf("  NARM             %5.1f%%\n", 100.0 * narm_hits / cases);
+  }
+  std::printf(
+      "\nShape check: the causal systems point at the true cause more often\n"
+      "than the attention-only systems (paper Fig. 8's case studies).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Table II: statistics of the five (synthetic stand-in)
+// datasets: #users, #items, #interactions, average sequence length and
+// sparsity. Paper values are printed alongside for shape comparison (our
+// datasets are scaled down ~4-20x for single-core CPU training; relative
+// characteristics are preserved).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/stats.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  int users, items, interactions;
+  double seqlen;
+  double sparsity;  // percent
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"Epinions", 1530, 683, 4600, 3.01, 99.56},
+    {"Foursquare", 2292, 5494, 120736, 52.68, 99.04},
+    {"Patio", 7153, 2952, 29625, 4.14, 99.86},
+    {"Baby", 16898, 6178, 77046, 4.56, 99.93},
+    {"Video", 19939, 9275, 142658, 7.15, 99.92},
+};
+
+}  // namespace
+
+int main() {
+  using causer::Table;
+  causer::bench::PrintHeader(
+      "Table II: dataset statistics",
+      "paper Table II (real datasets; ours are scaled synthetic stand-ins)");
+
+  Table t({"Dataset", "#User", "#Item", "#Inter", "SeqLen", "Sparsity",
+           "(paper #U/#I/#Int/SeqLen/Spars)"});
+  auto specs = causer::data::AllPaperSpecs();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto dataset = causer::data::MakeDataset(specs[i]);
+    auto s = causer::data::ComputeStats(dataset);
+    char paper[96];
+    std::snprintf(paper, sizeof(paper), "%d / %d / %d / %.2f / %.2f%%",
+                  kPaperRows[i].users, kPaperRows[i].items,
+                  kPaperRows[i].interactions, kPaperRows[i].seqlen,
+                  kPaperRows[i].sparsity);
+    t.AddRow({s.name, std::to_string(s.num_users), std::to_string(s.num_items),
+              std::to_string(s.num_interactions), Table::Fmt(s.avg_seq_len, 2),
+              Table::Fmt(100.0 * s.sparsity, 2) + "%", paper});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "Shape checks: Foursquare has by far the longest sequences; all\n"
+      "datasets are >90%% sparse; Epinions is the smallest catalog.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Standalone causal discovery with the NOTEARS substrate: simulate a
+// linear SEM from a random ground-truth DAG, learn the graph from the
+// observational data alone, and compare against the truth (edges, SHD,
+// Markov equivalence). This exercises the causal/ library independently of
+// the recommender.
+//
+//   ./build/examples/example_causal_discovery
+
+#include <cstdio>
+
+#include "causal/d_separation.h"
+#include "causal/markov_equivalence.h"
+#include "causal/notears.h"
+#include "common/rng.h"
+
+int main() {
+  using namespace causer;
+
+  Rng rng(7);
+  const int num_vars = 7;
+  causal::Graph truth = causal::RandomDag(num_vars, 0.35, rng);
+  std::printf("ground-truth DAG over %d variables (%d edges):\n", num_vars,
+              truth.NumEdges());
+  for (int i = 0; i < num_vars; ++i)
+    for (int j = 0; j < num_vars; ++j)
+      if (truth.Edge(i, j)) std::printf("  X%d -> X%d\n", i, j);
+
+  causal::Dense weights;
+  causal::Dense data =
+      causal::SimulateLinearSem(truth, /*n=*/800, 1.0, 2.0, rng, &weights);
+  std::printf("\nsimulated %d samples from the linear SEM\n", data.rows());
+
+  causal::NotearsResult result = causal::NotearsLinear(data);
+  std::printf("\nNOTEARS finished: %d outer iterations, h(W) = %.2e, %s\n",
+              result.outer_iterations, result.final_h,
+              result.converged ? "converged" : "hit rho_max");
+  std::printf("learned graph (%d edges):\n", result.graph.NumEdges());
+  for (int i = 0; i < num_vars; ++i) {
+    for (int j = 0; j < num_vars; ++j) {
+      if (result.graph.Edge(i, j)) {
+        std::printf("  X%d -> X%d   (w = %+0.2f, true w = %+0.2f)\n", i, j,
+                    result.weights(i, j), weights(i, j));
+      }
+    }
+  }
+
+  int shd = causal::StructuralHammingDistance(result.graph, truth);
+  bool same_mec = causal::SameMarkovEquivalenceClass(result.graph, truth);
+  std::printf("\nstructural Hamming distance to truth: %d\n", shd);
+  std::printf("same Markov equivalence class: %s\n", same_mec ? "yes" : "no");
+
+  // Bonus: query d-separation in the learned graph.
+  std::printf("\nd-separation queries on the learned graph:\n");
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 3; b < 5; ++b) {
+      bool sep = causal::DSeparated(result.graph, {a}, {b}, {});
+      std::printf("  X%d _||_ X%d (unconditional): %s\n", a, b,
+                  sep ? "d-separated" : "d-connected");
+    }
+  }
+  return 0;
+}

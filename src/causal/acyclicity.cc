@@ -1,0 +1,42 @@
+#include "causal/acyclicity.h"
+
+#include "causal/matrix_exp.h"
+
+namespace causer::causal {
+
+double AcyclicityValue(const Dense& w) {
+  CAUSER_CHECK(w.rows() == w.cols());
+  Dense squared = w.Hadamard(w);
+  return MatrixExponential(squared).Trace() - w.rows();
+}
+
+Dense AcyclicityGradient(const Dense& w) {
+  CAUSER_CHECK(w.rows() == w.cols());
+  Dense squared = w.Hadamard(w);
+  Dense e = MatrixExponential(squared).Transposed();
+  Dense grad(w.rows(), w.cols());
+  for (int i = 0; i < w.rows(); ++i)
+    for (int j = 0; j < w.cols(); ++j) grad(i, j) = e(i, j) * 2.0 * w(i, j);
+  return grad;
+}
+
+double AcyclicityValueAndAccumulateGrad(const std::vector<float>& w, int d,
+                                        double scale,
+                                        std::vector<float>* grad) {
+  CAUSER_CHECK(static_cast<int>(w.size()) == d * d);
+  Dense wd(d, d);
+  for (int i = 0; i < d; ++i)
+    for (int j = 0; j < d; ++j) wd(i, j) = w[static_cast<size_t>(i) * d + j];
+  double h = AcyclicityValue(wd);
+  if (grad != nullptr) {
+    CAUSER_CHECK(static_cast<int>(grad->size()) == d * d);
+    Dense g = AcyclicityGradient(wd);
+    for (int i = 0; i < d; ++i)
+      for (int j = 0; j < d; ++j)
+        (*grad)[static_cast<size_t>(i) * d + j] +=
+            static_cast<float>(scale * g(i, j));
+  }
+  return h;
+}
+
+}  // namespace causer::causal

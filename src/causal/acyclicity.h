@@ -1,0 +1,26 @@
+#ifndef CAUSER_CAUSAL_ACYCLICITY_H_
+#define CAUSER_CAUSAL_ACYCLICITY_H_
+
+#include <vector>
+
+#include "causal/dense.h"
+
+namespace causer::causal {
+
+/// NOTEARS acyclicity function h(W) = trace(e^{W∘W}) - d (Zheng et al.,
+/// 2018). h(W) == 0 iff the weighted graph W is acyclic; h is smooth and
+/// non-negative.
+double AcyclicityValue(const Dense& w);
+
+/// Gradient of h: ∇h(W) = (e^{W∘W})^T ∘ 2W.
+Dense AcyclicityGradient(const Dense& w);
+
+/// Convenience for float parameter buffers (the cluster graph W^c lives in
+/// the autograd world as a float tensor): computes h(W) and, if `grad` is
+/// non-null, *adds* `scale * ∇h` into it. `w` is a row-major d*d buffer.
+double AcyclicityValueAndAccumulateGrad(const std::vector<float>& w, int d,
+                                        double scale, std::vector<float>* grad);
+
+}  // namespace causer::causal
+
+#endif  // CAUSER_CAUSAL_ACYCLICITY_H_

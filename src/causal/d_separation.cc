@@ -1,0 +1,85 @@
+#include "causal/d_separation.h"
+
+#include <deque>
+
+namespace causer::causal {
+
+std::vector<int> ReachableViaActiveTrail(const Graph& g,
+                                         const std::vector<int>& sources,
+                                         const std::vector<int>& observed) {
+  const int n = g.n();
+  std::vector<uint8_t> is_observed(n, 0);
+  for (int z : observed) is_observed[z] = 1;
+
+  // Phase I: observed nodes and their ancestors.
+  std::vector<uint8_t> anc_of_observed(n, 0);
+  {
+    std::deque<int> queue;
+    for (int z : observed) {
+      if (!anc_of_observed[z]) {
+        anc_of_observed[z] = 1;
+        queue.push_back(z);
+      }
+    }
+    while (!queue.empty()) {
+      int v = queue.front();
+      queue.pop_front();
+      for (int u = 0; u < n; ++u) {
+        if (g.Edge(u, v) && !anc_of_observed[u]) {
+          anc_of_observed[u] = 1;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+
+  // Phase II: BFS over (node, direction) states. Direction kUp means the
+  // trail enters the node from one of its children; kDown from a parent.
+  enum Dir { kUp = 0, kDown = 1 };
+  std::vector<uint8_t> visited(static_cast<size_t>(n) * 2, 0);
+  std::vector<uint8_t> reachable(n, 0);
+  std::deque<std::pair<int, int>> frontier;
+  for (int s : sources) frontier.emplace_back(s, kUp);
+
+  while (!frontier.empty()) {
+    auto [y, d] = frontier.front();
+    frontier.pop_front();
+    size_t key = static_cast<size_t>(y) * 2 + d;
+    if (visited[key]) continue;
+    visited[key] = 1;
+    if (!is_observed[y]) reachable[y] = 1;
+
+    if (d == kUp && !is_observed[y]) {
+      for (int p = 0; p < n; ++p)
+        if (g.Edge(p, y)) frontier.emplace_back(p, kUp);
+      for (int c = 0; c < n; ++c)
+        if (g.Edge(y, c)) frontier.emplace_back(c, kDown);
+    } else if (d == kDown) {
+      if (!is_observed[y]) {
+        for (int c = 0; c < n; ++c)
+          if (g.Edge(y, c)) frontier.emplace_back(c, kDown);
+      }
+      if (anc_of_observed[y]) {
+        for (int p = 0; p < n; ++p)
+          if (g.Edge(p, y)) frontier.emplace_back(p, kUp);
+      }
+    }
+  }
+
+  std::vector<int> out;
+  for (int v = 0; v < n; ++v)
+    if (reachable[v]) out.push_back(v);
+  return out;
+}
+
+bool DSeparated(const Graph& g, const std::vector<int>& a,
+                const std::vector<int>& b, const std::vector<int>& c) {
+  std::vector<uint8_t> in_b(g.n(), 0);
+  for (int v : b) in_b[v] = 1;
+  for (int v : ReachableViaActiveTrail(g, a, c)) {
+    if (in_b[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace causer::causal

@@ -1,0 +1,25 @@
+#ifndef CAUSER_CAUSAL_D_SEPARATION_H_
+#define CAUSER_CAUSAL_D_SEPARATION_H_
+
+#include <vector>
+
+#include "causal/graph.h"
+
+namespace causer::causal {
+
+/// True when every trail between a node in `a` and a node in `b` is blocked
+/// given conditioning set `c` (d-separation). Implemented with the
+/// Koller-Friedman reachable-via-active-trail algorithm (linear in edges).
+/// Sets must be disjoint node-index lists.
+bool DSeparated(const Graph& g, const std::vector<int>& a,
+                const std::vector<int>& b, const std::vector<int>& c);
+
+/// Nodes reachable from `sources` via an active trail given observed set
+/// `observed` (includes the sources themselves when not observed).
+std::vector<int> ReachableViaActiveTrail(const Graph& g,
+                                         const std::vector<int>& sources,
+                                         const std::vector<int>& observed);
+
+}  // namespace causer::causal
+
+#endif  // CAUSER_CAUSAL_D_SEPARATION_H_

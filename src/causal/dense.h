@@ -1,0 +1,108 @@
+#ifndef CAUSER_CAUSAL_DENSE_H_
+#define CAUSER_CAUSAL_DENSE_H_
+
+#include <cmath>
+#include <vector>
+
+#include "common/log.h"
+
+namespace causer::causal {
+
+/// Small dense double-precision matrix used by the causal-discovery
+/// numerics (matrix exponential, NOTEARS). Distinct from tensor::Tensor on
+/// purpose: graph numerics want double precision and no autograd overhead.
+class Dense {
+ public:
+  Dense() : rows_(0), cols_(0) {}
+  Dense(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0) {
+    CAUSER_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  static Dense Identity(int n) {
+    Dense m(n, n);
+    for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// this * other.
+  Dense Multiply(const Dense& other) const {
+    CAUSER_CHECK(cols_ == other.rows_);
+    Dense out(rows_, other.cols_);
+    for (int i = 0; i < rows_; ++i) {
+      for (int k = 0; k < cols_; ++k) {
+        double a = (*this)(i, k);
+        if (a == 0.0) continue;
+        for (int j = 0; j < other.cols_; ++j) out(i, j) += a * other(k, j);
+      }
+    }
+    return out;
+  }
+
+  Dense Transposed() const {
+    Dense out(cols_, rows_);
+    for (int i = 0; i < rows_; ++i)
+      for (int j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    return out;
+  }
+
+  void AddInPlace(const Dense& other, double scale = 1.0) {
+    CAUSER_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+    for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+  }
+
+  void Scale(double s) {
+    for (auto& v : data_) v *= s;
+  }
+
+  double Trace() const {
+    CAUSER_CHECK(rows_ == cols_);
+    double t = 0.0;
+    for (int i = 0; i < rows_; ++i) t += (*this)(i, i);
+    return t;
+  }
+
+  double MaxAbs() const {
+    double m = 0.0;
+    for (double v : data_) m = std::max(m, std::fabs(v));
+    return m;
+  }
+
+  double FrobeniusNorm() const {
+    double s = 0.0;
+    for (double v : data_) s += v * v;
+    return std::sqrt(s);
+  }
+
+  /// Elementwise product this ∘ other.
+  Dense Hadamard(const Dense& other) const {
+    CAUSER_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+    Dense out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+      out.data_[i] = data_[i] * other.data_[i];
+    return out;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace causer::causal
+
+#endif  // CAUSER_CAUSAL_DENSE_H_

@@ -1,0 +1,43 @@
+#include "causal/matrix_exp.h"
+
+#include <cmath>
+
+namespace causer::causal {
+
+Dense MatrixExponential(const Dense& a) {
+  CAUSER_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  if (n == 0) return a;
+
+  // Scale A by 2^-s so its infinity norm is below 0.5.
+  double norm = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < n; ++j) row += std::fabs(a(i, j));
+    norm = std::max(norm, row);
+  }
+  int s = 0;
+  while (norm > 0.5) {
+    norm /= 2.0;
+    ++s;
+  }
+
+  Dense scaled = a;
+  scaled.Scale(std::pow(0.5, s));
+
+  // Taylor series: I + B + B^2/2! + ... until terms vanish.
+  Dense result = Dense::Identity(n);
+  Dense term = Dense::Identity(n);
+  for (int k = 1; k <= 30; ++k) {
+    term = term.Multiply(scaled);
+    term.Scale(1.0 / k);
+    result.AddInPlace(term);
+    if (term.MaxAbs() < 1e-18) break;
+  }
+
+  // Square back: e^A = (e^{A/2^s})^{2^s}.
+  for (int i = 0; i < s; ++i) result = result.Multiply(result);
+  return result;
+}
+
+}  // namespace causer::causal

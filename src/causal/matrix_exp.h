@@ -1,0 +1,16 @@
+#ifndef CAUSER_CAUSAL_MATRIX_EXP_H_
+#define CAUSER_CAUSAL_MATRIX_EXP_H_
+
+#include "causal/dense.h"
+
+namespace causer::causal {
+
+/// Matrix exponential e^A via scaling-and-squaring with a truncated Taylor
+/// series. A must be square. Accurate to near machine precision for the
+/// moderate-norm matrices that arise from the NOTEARS constraint
+/// (entries of W∘W are bounded by the squared weights).
+Dense MatrixExponential(const Dense& a);
+
+}  // namespace causer::causal
+
+#endif  // CAUSER_CAUSAL_MATRIX_EXP_H_

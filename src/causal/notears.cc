@@ -1,0 +1,168 @@
+#include "causal/notears.h"
+
+#include <cmath>
+#include <limits>
+
+#include "causal/acyclicity.h"
+
+namespace causer::causal {
+namespace {
+
+/// Smooth part of the objective for fixed multipliers:
+///   f(W) = (1/2n)||X - XW||^2 + alpha h(W) + (rho/2) h(W)^2.
+/// Returns f and writes its gradient (lambda1 L1 handled by the caller via
+/// subgradient). `xtx` is X^T X precomputed.
+double SmoothValueAndGrad(const Dense& xtx, int n_samples, const Dense& w,
+                          double alpha, double rho, Dense* grad) {
+  const int d = w.rows();
+  // Residual gradient: (1/n) (XtX W - XtX).
+  Dense xtxw = xtx.Multiply(w);
+  Dense g(d, d);
+  for (int i = 0; i < d; ++i)
+    for (int j = 0; j < d; ++j)
+      g(i, j) = (xtxw(i, j) - xtx(i, j)) / n_samples;
+
+  // Loss value: (1/2n) tr((I-W)^T XtX (I-W)).
+  double loss = 0.0;
+  {
+    Dense iw = Dense::Identity(d);
+    iw.AddInPlace(w, -1.0);
+    Dense tmp = xtx.Multiply(iw);
+    Dense full = iw.Transposed().Multiply(tmp);
+    loss = full.Trace() / (2.0 * n_samples);
+  }
+
+  double h = AcyclicityValue(w);
+  Dense hg = AcyclicityGradient(w);
+  double coeff = alpha + rho * h;
+  for (int i = 0; i < d; ++i)
+    for (int j = 0; j < d; ++j) g(i, j) += coeff * hg(i, j);
+
+  *grad = std::move(g);
+  return loss + alpha * h + 0.5 * rho * h * h;
+}
+
+}  // namespace
+
+NotearsResult NotearsLinear(const Dense& x, const NotearsOptions& options) {
+  const int n = x.rows();
+  const int d = x.cols();
+  CAUSER_CHECK(n > 0 && d > 0);
+
+  Dense xtx = x.Transposed().Multiply(x);
+
+  Dense w(d, d);
+  double alpha = 0.0;
+  double rho = 1.0;
+  // Residual of the "previous" outer iteration; starts at infinity so the
+  // penalty coefficient is not grown before the first subproblem is solved
+  // (W = 0 trivially has h = 0, which must not count as progress).
+  double h = std::numeric_limits<double>::infinity();
+
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+
+  NotearsResult result;
+  int outer = 0;
+  for (; outer < options.max_outer_iterations; ++outer) {
+    double h_new = h;
+    // Inner subproblem: minimize smooth + lambda1 * ||W||_1 at fixed
+    // (alpha, rho), growing rho until the residual shrinks enough.
+    while (true) {
+      // Fresh Adam state per subproblem: second-moment estimates from a
+      // previous (differently scaled) penalty would cripple the step sizes.
+      Dense m(d, d), v(d, d);
+      int adam_t = 0;
+      for (int it = 0; it < options.inner_iterations; ++it) {
+        Dense grad;
+        SmoothValueAndGrad(xtx, n, w, alpha, rho, &grad);
+        ++adam_t;
+        double bc1 = 1.0 - std::pow(beta1, adam_t);
+        double bc2 = 1.0 - std::pow(beta2, adam_t);
+        const double shrink = options.learning_rate * options.lambda1;
+        for (int i = 0; i < d; ++i) {
+          for (int j = 0; j < d; ++j) {
+            if (i == j) continue;  // diagonal stays zero
+            double g = grad(i, j);
+            m(i, j) = beta1 * m(i, j) + (1.0 - beta1) * g;
+            v(i, j) = beta2 * v(i, j) + (1.0 - beta2) * g * g;
+            double next = w(i, j) - options.learning_rate * (m(i, j) / bc1) /
+                                        (std::sqrt(v(i, j) / bc2) + eps);
+            // Proximal L1 (soft-thresholding): keeps inactive entries at
+            // exactly zero, which also stabilizes the DAG penalty — jitter
+            // on a reverse edge would otherwise leak large alpha-scaled
+            // gradients onto the true edge.
+            if (next > shrink) {
+              next -= shrink;
+            } else if (next < -shrink) {
+              next += shrink;
+            } else {
+              next = 0.0;
+            }
+            w(i, j) = next;
+          }
+        }
+      }
+      h_new = AcyclicityValue(w);
+      if (h_new > options.residual_shrink * h && rho < options.rho_max) {
+        rho *= options.rho_growth;
+      } else {
+        break;
+      }
+    }
+    alpha += rho * h_new;
+    h = h_new;
+    if (h <= options.h_tolerance || rho >= options.rho_max) break;
+  }
+
+  result.weights = w;
+  result.final_h = h;
+  result.outer_iterations = outer + 1;
+  result.converged = h <= options.h_tolerance;
+  result.graph = Threshold(w, options.weight_threshold);
+  // Guarantee an acyclic output: if thresholding left a cycle (possible when
+  // rho_max was hit), greedily drop the weakest edge on a cycle.
+  while (!result.graph.IsDag()) {
+    int bi = -1, bj = -1;
+    double best = 1e300;
+    for (int i = 0; i < d; ++i) {
+      for (int j = 0; j < d; ++j) {
+        if (result.graph.Edge(i, j) && std::fabs(w(i, j)) < best) {
+          best = std::fabs(w(i, j));
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    result.graph.SetEdge(bi, bj, false);
+  }
+  return result;
+}
+
+Dense SimulateLinearSem(const Graph& dag, int n, double w_low, double w_high,
+                        Rng& rng, Dense* w_true) {
+  CAUSER_CHECK(dag.IsDag());
+  const int d = dag.n();
+  Dense w(d, d);
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < d; ++j) {
+      if (dag.Edge(i, j)) {
+        double mag = rng.Uniform(w_low, w_high);
+        w(i, j) = rng.Bernoulli(0.5) ? mag : -mag;
+      }
+    }
+  }
+  if (w_true != nullptr) *w_true = w;
+
+  std::vector<int> order = dag.TopologicalOrder();
+  Dense x(n, d);
+  for (int s = 0; s < n; ++s) {
+    for (int v : order) {
+      double value = rng.Normal();
+      for (int p : dag.Parents(v)) value += x(s, p) * w(p, v);
+      x(s, v) = value;
+    }
+  }
+  return x;
+}
+
+}  // namespace causer::causal

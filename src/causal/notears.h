@@ -1,0 +1,57 @@
+#ifndef CAUSER_CAUSAL_NOTEARS_H_
+#define CAUSER_CAUSAL_NOTEARS_H_
+
+#include "causal/dense.h"
+#include "causal/graph.h"
+
+namespace causer::causal {
+
+/// Options for the standalone linear-SEM NOTEARS solver (Zheng et al. 2018,
+/// Eq. 3 of the paper). Defaults are tuned for graphs up to ~50 nodes.
+struct NotearsOptions {
+  /// L1 sparsity coefficient (the paper's lambda).
+  double lambda1 = 0.02;
+  /// Maximum augmented-Lagrangian outer iterations.
+  int max_outer_iterations = 40;
+  /// Stop when h(W) drops below this value.
+  double h_tolerance = 1e-8;
+  /// Abort when the penalty coefficient rho exceeds this.
+  double rho_max = 1e16;
+  /// Adam steps per inner subproblem.
+  int inner_iterations = 300;
+  /// Adam learning rate for the inner subproblem.
+  double learning_rate = 0.01;
+  /// |w| threshold for the final binarized graph.
+  double weight_threshold = 0.3;
+  /// Penalty growth factor (the paper's kappa_1).
+  double rho_growth = 10.0;
+  /// Required residual shrink factor per outer step (the paper's kappa_2).
+  double residual_shrink = 0.25;
+};
+
+/// Result of a NOTEARS run.
+struct NotearsResult {
+  Dense weights;         ///< learned weighted adjacency (diagonal zero)
+  Graph graph;           ///< weights thresholded at `weight_threshold`
+  double final_h = 0.0;  ///< acyclicity residual at termination
+  int outer_iterations = 0;
+  bool converged = false;  ///< h below tolerance before hitting rho_max
+};
+
+/// Learns a weighted DAG from observational data `x` (n samples x d
+/// variables) by minimizing
+///   (1/2n) ||X - XW||_F^2 + lambda1 ||W||_1
+///   s.t. trace(e^{W o W}) = d
+/// via the augmented Lagrangian with Adam inner optimization.
+NotearsResult NotearsLinear(const Dense& x, const NotearsOptions& options = {});
+
+/// Generates n samples from the linear SEM X = X W + E with standard normal
+/// noise, following the topological order of `dag`; edge weights are drawn
+/// uniformly from ±[w_low, w_high]. Returns the (n x d) data matrix and
+/// writes the ground-truth weighted matrix to `w_true` if non-null.
+Dense SimulateLinearSem(const Graph& dag, int n, double w_low, double w_high,
+                        Rng& rng, Dense* w_true = nullptr);
+
+}  // namespace causer::causal
+
+#endif  // CAUSER_CAUSAL_NOTEARS_H_

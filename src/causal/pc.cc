@@ -1,0 +1,249 @@
+#include "causal/pc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+namespace causer::causal {
+namespace {
+
+/// Inverse of a small SPD matrix via Gauss-Jordan (sizes here are at most
+/// max_condition_size + 2).
+Dense Invert(const Dense& m) {
+  const int n = m.rows();
+  Dense a = m;
+  Dense inv = Dense::Identity(n);
+  for (int col = 0; col < n; ++col) {
+    // Partial pivoting.
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a(pivot, col)) < 1e-12) {
+      // Singular (perfectly collinear variables); nudge the diagonal.
+      a(col, col) += 1e-8;
+      pivot = col;
+    }
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(a(col, c), a(pivot, c));
+        std::swap(inv(col, c), inv(pivot, c));
+      }
+    }
+    double d = a(col, col);
+    for (int c = 0; c < n; ++c) {
+      a(col, c) /= d;
+      inv(col, c) /= d;
+    }
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      double factor = a(r, col);
+      if (factor == 0.0) continue;
+      for (int c = 0; c < n; ++c) {
+        a(r, c) -= factor * a(col, c);
+        inv(r, c) -= factor * inv(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+/// Standard normal CDF.
+double Phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+/// Enumerates all size-k subsets of `pool` via index odometer; calls
+/// `visit` with each subset; stops early when visit returns true.
+bool ForEachSubset(const std::vector<int>& pool, int k,
+                   const std::function<bool(const std::vector<int>&)>& visit) {
+  const int n = static_cast<int>(pool.size());
+  if (k > n) return false;
+  std::vector<int> idx(k);
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  std::vector<int> subset(k);
+  while (true) {
+    for (int i = 0; i < k; ++i) subset[i] = pool[idx[i]];
+    if (visit(subset)) return true;
+    // Advance odometer.
+    int i = k - 1;
+    while (i >= 0 && idx[i] == n - k + i) --i;
+    if (i < 0) return false;
+    ++idx[i];
+    for (int j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+Dense CorrelationMatrix(const Dense& data) {
+  const int n = data.rows();
+  const int d = data.cols();
+  CAUSER_CHECK(n > 1);
+  std::vector<double> mean(d, 0.0), stddev(d, 0.0);
+  for (int j = 0; j < d; ++j) {
+    for (int i = 0; i < n; ++i) mean[j] += data(i, j);
+    mean[j] /= n;
+    for (int i = 0; i < n; ++i) {
+      double c = data(i, j) - mean[j];
+      stddev[j] += c * c;
+    }
+    stddev[j] = std::sqrt(stddev[j] / n);
+    if (stddev[j] < 1e-12) stddev[j] = 1e-12;
+  }
+  Dense corr(d, d);
+  for (int a = 0; a < d; ++a) {
+    corr(a, a) = 1.0;
+    for (int b = a + 1; b < d; ++b) {
+      double cov = 0.0;
+      for (int i = 0; i < n; ++i)
+        cov += (data(i, a) - mean[a]) * (data(i, b) - mean[b]);
+      cov /= n;
+      double r = cov / (stddev[a] * stddev[b]);
+      corr(a, b) = r;
+      corr(b, a) = r;
+    }
+  }
+  return corr;
+}
+
+bool GaussianCiTest(const Dense& correlation, int n, int x, int y,
+                    const std::vector<int>& conditioning, double alpha) {
+  double r;
+  if (conditioning.empty()) {
+    r = correlation(x, y);
+  } else {
+    // Partial correlation from the inverse of the submatrix over
+    // {x, y} ∪ conditioning: rho = -P_xy / sqrt(P_xx P_yy).
+    std::vector<int> vars = {x, y};
+    vars.insert(vars.end(), conditioning.begin(), conditioning.end());
+    const int k = static_cast<int>(vars.size());
+    Dense sub(k, k);
+    for (int a = 0; a < k; ++a)
+      for (int b = 0; b < k; ++b) sub(a, b) = correlation(vars[a], vars[b]);
+    Dense prec = Invert(sub);
+    r = -prec(0, 1) / std::sqrt(prec(0, 0) * prec(1, 1));
+  }
+  r = std::clamp(r, -0.999999, 0.999999);
+  // Fisher z-transform.
+  double z = 0.5 * std::log((1.0 + r) / (1.0 - r));
+  double dof = n - static_cast<double>(conditioning.size()) - 3.0;
+  if (dof <= 0) return true;  // too few samples to reject independence
+  double statistic = std::sqrt(dof) * std::fabs(z);
+  double p_value = 2.0 * (1.0 - Phi(statistic));
+  return p_value > alpha;
+}
+
+void ApplyMeekRules(Pdag& p) {
+  const int n = p.n();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        if (!p.HasUndirected(a, b)) continue;
+        // R1: c -> a, a - b, c and b non-adjacent => a -> b.
+        for (int c = 0; c < n; ++c) {
+          if (p.HasDirected(c, a) && !p.Adjacent(c, b)) {
+            p.SetDirected(a, b);
+            changed = true;
+            break;
+          }
+        }
+        if (!p.HasUndirected(a, b)) continue;
+        // R2: a -> c -> b and a - b => a -> b.
+        for (int c = 0; c < n; ++c) {
+          if (p.HasDirected(a, c) && p.HasDirected(c, b)) {
+            p.SetDirected(a, b);
+            changed = true;
+            break;
+          }
+        }
+        if (!p.HasUndirected(a, b)) continue;
+        // R3: a - c, a - d, c -> b, d -> b, c/d non-adjacent => a -> b.
+        bool oriented = false;
+        for (int c = 0; c < n && !oriented; ++c) {
+          if (!p.HasUndirected(a, c) || !p.HasDirected(c, b)) continue;
+          for (int d = c + 1; d < n; ++d) {
+            if (p.HasUndirected(a, d) && p.HasDirected(d, b) &&
+                !p.Adjacent(c, d)) {
+              p.SetDirected(a, b);
+              changed = true;
+              oriented = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+PcResult PcAlgorithm(const Dense& data, const PcOptions& options) {
+  const int d = data.cols();
+  const int n = data.rows();
+  Dense corr = CorrelationMatrix(data);
+  PcResult result{Pdag(d), 0};
+
+  // Adjacency bookkeeping for the skeleton phase.
+  std::vector<std::vector<uint8_t>> adjacent(d, std::vector<uint8_t>(d, 1));
+  for (int i = 0; i < d; ++i) adjacent[i][i] = 0;
+  // Separating sets, used to orient v-structures later.
+  std::vector<std::vector<std::vector<int>>> sepset(
+      d, std::vector<std::vector<int>>(d));
+  std::vector<std::vector<uint8_t>> separated(d, std::vector<uint8_t>(d, 0));
+
+  for (int level = 0; level <= options.max_condition_size; ++level) {
+    // PC-stable: neighbor sets are frozen within a level.
+    auto frozen = adjacent;
+    for (int x = 0; x < d; ++x) {
+      for (int y = x + 1; y < d; ++y) {
+        if (!adjacent[x][y]) continue;
+        std::vector<int> neighbors;
+        for (int z = 0; z < d; ++z) {
+          if (z != y && frozen[x][z]) neighbors.push_back(z);
+        }
+        bool removed = ForEachSubset(
+            neighbors, level, [&](const std::vector<int>& cond) {
+              ++result.num_tests;
+              if (GaussianCiTest(corr, n, x, y, cond, options.alpha)) {
+                sepset[x][y] = cond;
+                sepset[y][x] = cond;
+                separated[x][y] = separated[y][x] = 1;
+                return true;
+              }
+              return false;
+            });
+        if (removed) {
+          adjacent[x][y] = adjacent[y][x] = 0;
+        }
+      }
+    }
+  }
+
+  // Build the undirected skeleton.
+  for (int x = 0; x < d; ++x)
+    for (int y = x + 1; y < d; ++y)
+      if (adjacent[x][y]) result.cpdag.SetUndirected(x, y);
+
+  // Orient v-structures: x - z - y with x, y non-adjacent and z not in
+  // sepset(x, y)  =>  x -> z <- y.
+  for (int z = 0; z < d; ++z) {
+    for (int x = 0; x < d; ++x) {
+      if (x == z || !adjacent[x][z]) continue;
+      for (int y = x + 1; y < d; ++y) {
+        if (y == z || !adjacent[y][z] || adjacent[x][y]) continue;
+        if (!separated[x][y]) continue;
+        const auto& sep = sepset[x][y];
+        if (std::find(sep.begin(), sep.end(), z) == sep.end()) {
+          result.cpdag.SetDirected(x, z);
+          result.cpdag.SetDirected(y, z);
+        }
+      }
+    }
+  }
+
+  ApplyMeekRules(result.cpdag);
+  return result;
+}
+
+}  // namespace causer::causal

@@ -1,0 +1,46 @@
+#ifndef CAUSER_CAUSAL_PC_H_
+#define CAUSER_CAUSAL_PC_H_
+
+#include "causal/dense.h"
+#include "causal/markov_equivalence.h"
+
+namespace causer::causal {
+
+/// Options for the PC algorithm.
+struct PcOptions {
+  /// Significance level of the Fisher-z partial-correlation test.
+  double alpha = 0.01;
+  /// Largest conditioning-set size explored.
+  int max_condition_size = 3;
+};
+
+/// Result of a PC run.
+struct PcResult {
+  Pdag cpdag;           ///< estimated essential graph
+  int num_tests = 0;    ///< CI tests performed
+};
+
+/// The PC algorithm (Spirtes & Glymour) for linear-Gaussian data: learns
+/// the CPDAG by conditional-independence testing (partial correlation +
+/// Fisher z), v-structure orientation, and Meek rules. The paper cites
+/// constraint-based discovery as the main alternative family to the
+/// score-based NOTEARS approach it builds on; this implementation lets the
+/// identifiability bench compare the two on the same data.
+PcResult PcAlgorithm(const Dense& data, const PcOptions& options = {});
+
+/// Gaussian conditional-independence test: returns true when x and y are
+/// judged independent given the variables in `conditioning`, at
+/// significance alpha, based on the partial correlation computed from
+/// `correlation` (the full correlation matrix) with `n` samples.
+bool GaussianCiTest(const Dense& correlation, int n, int x, int y,
+                    const std::vector<int>& conditioning, double alpha);
+
+/// Pearson correlation matrix of the columns of `data`.
+Dense CorrelationMatrix(const Dense& data);
+
+/// Applies Meek orientation rules R1-R3 to `pdag` until fixpoint.
+void ApplyMeekRules(Pdag& pdag);
+
+}  // namespace causer::causal
+
+#endif  // CAUSER_CAUSAL_PC_H_

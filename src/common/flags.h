@@ -1,0 +1,47 @@
+#ifndef CAUSER_COMMON_FLAGS_H_
+#define CAUSER_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace causer {
+
+/// Minimal command-line flag parser for the CLI tools:
+///   --key=value  or  --key value  or  --bool_flag
+/// Positional arguments are collected in order.
+class Flags {
+ public:
+  /// Parses argv (argv[0] is skipped). Unknown flags are kept; validity is
+  /// the caller's concern. A later occurrence of a flag overrides an
+  /// earlier one.
+  static Flags Parse(int argc, const char* const* argv);
+
+  /// True when --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value of --name, or `fallback` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+
+  /// Integer value of --name, or `fallback` when absent or unparsable.
+  int GetInt(const std::string& name, int fallback) const;
+
+  /// Double value of --name, or `fallback` when absent or unparsable.
+  double GetDouble(const std::string& name, double fallback) const;
+
+  /// Boolean: true for presence without value or value in
+  /// {1, true, yes, on}; false for {0, false, no, off}.
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace causer
+
+#endif  // CAUSER_COMMON_FLAGS_H_

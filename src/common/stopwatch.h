@@ -1,0 +1,29 @@
+#ifndef CAUSER_COMMON_STOPWATCH_H_
+#define CAUSER_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace causer {
+
+/// Wall-clock stopwatch for coarse timing of training loops and benches.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  Stopwatch();
+
+  /// Resets the start time to now.
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace causer
+
+#endif  // CAUSER_COMMON_STOPWATCH_H_

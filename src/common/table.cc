@@ -1,0 +1,66 @@
+#include "common/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace causer {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddSeparator() { rows_.emplace_back(); }
+
+int Table::num_rows() const {
+  int n = 0;
+  for (const auto& r : rows_) {
+    if (!r.empty()) ++n;
+  }
+  return n;
+}
+
+std::string Table::Fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  auto hline = [&]() {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      os << " " << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::string out = hline() + line(header_) + hline();
+  for (const auto& row : rows_) {
+    out += row.empty() ? hline() : line(row);
+  }
+  out += hline();
+  return out;
+}
+
+}  // namespace causer

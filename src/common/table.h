@@ -1,0 +1,42 @@
+#ifndef CAUSER_COMMON_TABLE_H_
+#define CAUSER_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace causer {
+
+/// ASCII table builder used by the bench harness to print paper-style tables.
+///
+/// Usage:
+///   Table t({"Model", "F1@5", "NDCG@5"});
+///   t.AddRow({"BPR", "0.63", "1.28"});
+///   std::cout << t.ToString();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table with aligned columns and +---+ borders.
+  std::string ToString() const;
+
+  /// Number of data rows (separators excluded).
+  int num_rows() const;
+
+  /// Formats a double with `precision` decimals (fixed notation).
+  static std::string Fmt(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace causer
+
+#endif  // CAUSER_COMMON_TABLE_H_

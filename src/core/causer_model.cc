@@ -1,0 +1,590 @@
+#include "core/causer_model.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "causal/acyclicity.h"
+#include "common/log.h"
+#include "data/sampler.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace causer::core {
+
+using nn::Tensor;
+
+CauserModel::CauserModel(const CauserConfig& config)
+    : models::SequentialRecommender(config.base),
+      causer_config_(config),
+      lagrangian_(config.beta1_init, config.beta2_init, config.kappa1,
+                  config.kappa2, config.beta2_max) {
+  CAUSER_CHECK(config.base.item_features != nullptr &&
+               !config.base.item_features->empty());
+  CAUSER_CHECK(config.num_clusters >= 2);
+
+  clusterer_ = std::make_unique<ItemClusterer>(
+      *config.base.item_features, config.num_clusters, config.encoder_hidden,
+      config.cluster_dim, config.eta, rng_);
+  graph_ = std::make_unique<ClusterCausalGraph>(config.num_clusters, rng_);
+  if (config.backbone == Backbone::kGru) {
+    gru_ = std::make_unique<nn::GruCell>(config.cluster_dim,
+                                         config.base.hidden_dim, rng_);
+  } else {
+    lstm_ = std::make_unique<nn::LstmCell>(config.cluster_dim,
+                                           config.base.hidden_dim, rng_);
+  }
+  attention_ =
+      std::make_unique<nn::BilinearAttention>(config.base.hidden_dim, rng_);
+  adapt_ = std::make_unique<nn::Linear>(config.base.hidden_dim,
+                                        config.base.embedding_dim, rng_,
+                                        /*with_bias=*/false);
+  out_items_ = std::make_unique<nn::Embedding>(config.base.num_items,
+                                               config.base.embedding_dim,
+                                               rng_);
+  // Zero-initialized so the untrained model matches the session-only
+  // formulation; the affinity term grows only where the data supports it.
+  users_ = std::make_unique<nn::Embedding>(config.base.num_users,
+                                           config.base.embedding_dim, rng_,
+                                           /*scale=*/0.0f);
+  // Zero scale when disabled keeps both the behaviour and the random
+  // stream identical to the feature-only formulation.
+  input_items_ = std::make_unique<nn::Embedding>(
+      config.base.num_items, config.cluster_dim, rng_,
+      config.use_free_input_embedding ? 0.1f : 0.0f);
+
+  RegisterModule(clusterer_.get());
+  RegisterModule(graph_.get());
+  if (gru_) RegisterModule(gru_.get());
+  if (lstm_) RegisterModule(lstm_.get());
+  RegisterModule(attention_.get());
+  RegisterModule(adapt_.get());
+  RegisterModule(out_items_.get());
+  RegisterModule(users_.get());
+  RegisterModule(input_items_.get());
+
+  // Three parameter groups with independent optimizers (Algorithm 1's
+  // alternating updates + the Section III-C slow-update efficiency mode):
+  // main = Theta_g, Theta_e, V, A; graph = W^c; aux = Theta_a.
+  std::vector<Tensor> main_params;
+  auto append = [&main_params](const nn::Module& m) {
+    auto p = m.Parameters();
+    main_params.insert(main_params.end(), p.begin(), p.end());
+  };
+  if (gru_) append(*gru_);
+  if (lstm_) append(*lstm_);
+  append(*attention_);
+  append(*adapt_);
+  append(*out_items_);
+  append(*users_);
+  if (config.use_free_input_embedding) append(*input_items_);
+  opt_main_ =
+      std::make_unique<nn::Adam>(main_params, config.base.learning_rate);
+  opt_graph_ = std::make_unique<nn::Adam>(graph_->Parameters(),
+                                          config.graph_learning_rate);
+  opt_aux_ = std::make_unique<nn::Adam>(clusterer_->Parameters(),
+                                        config.base.learning_rate);
+}
+
+std::string CauserModel::name() const {
+  std::string n = causer_config_.backbone == Backbone::kGru ? "Causer (GRU)"
+                                                            : "Causer (LSTM)";
+  std::string ablations;
+  if (!causer_config_.use_clustering_loss) ablations += "-clus,";
+  if (!causer_config_.use_reconstruction_loss) ablations += "-rec,";
+  if (!causer_config_.use_attention) ablations += "-att,";
+  if (!causer_config_.use_causal) ablations += "-causal,";
+  if (!ablations.empty()) {
+    ablations.pop_back();
+    n += " [" + ablations + "]";
+  }
+  return n;
+}
+
+void CauserModel::OnParametersRestored() { caches_stale_ = true; }
+
+void CauserModel::RefreshCaches() {
+  tensor::NoGradGuard guard;
+  Tensor assignments = clusterer_->AssignmentsAll();
+  w_cache_ = graph_->ItemLevelMatrix(assignments);
+  assign_cache_ = assignments.data();
+  caches_stale_ = false;
+}
+
+void CauserModel::RecordTransition(const std::vector<data::Step>& history,
+                                   int positive_item) {
+  const int k = causer_config_.num_clusters;
+  std::vector<float> s(k, 0.0f);
+  float total = 0.0f;
+  for (const auto& step : history) {
+    for (int item : step.items) {
+      const float* row = assign_cache_.data() + static_cast<size_t>(item) * k;
+      for (int i = 0; i < k; ++i) {
+        s[i] += row[i];
+        total += row[i];
+      }
+    }
+  }
+  if (total <= 0.0f) return;
+  for (auto& v : s) v /= total;
+  const float* target =
+      assign_cache_.data() + static_cast<size_t>(positive_item) * k;
+  epoch_sources_.insert(epoch_sources_.end(), s.begin(), s.end());
+  epoch_targets_.insert(epoch_targets_.end(), target, target + k);
+}
+
+void CauserModel::FitClusterGraph() {
+  const int k = causer_config_.num_clusters;
+  const int n = static_cast<int>(epoch_sources_.size()) / k;
+  if (n == 0) return;
+  auto& node = *graph_->mutable_weights().node();
+  const double lr = causer_config_.graph_learning_rate;
+  const double shrink = lr * causer_config_.lambda;
+
+  for (int step = 0; step < causer_config_.graph_inner_steps; ++step) {
+    // Cross-entropy gradient of predicting the next cluster from the
+    // history's cluster activations through W^c, averaged over the epoch's
+    // transitions (the sequence analog of NOTEARS' regression term).
+    std::vector<double> grad(static_cast<size_t>(k) * k, 0.0);
+    std::vector<double> score(k), p(k);
+    for (int t = 0; t < n; ++t) {
+      const float* s = epoch_sources_.data() + static_cast<size_t>(t) * k;
+      const float* target = epoch_targets_.data() + static_cast<size_t>(t) * k;
+      std::fill(score.begin(), score.end(), 0.0);
+      for (int i = 0; i < k; ++i) {
+        if (s[i] == 0.0f) continue;
+        const float* row = node.value.data() + static_cast<size_t>(i) * k;
+        for (int j = 0; j < k; ++j) score[j] += s[i] * row[j];
+      }
+      double mx = score[0];
+      for (int j = 1; j < k; ++j) mx = std::max(mx, score[j]);
+      double z = 0.0;
+      for (int j = 0; j < k; ++j) {
+        p[j] = std::exp(score[j] - mx);
+        z += p[j];
+      }
+      for (int j = 0; j < k; ++j) {
+        double coef = p[j] / z - target[j];
+        if (coef == 0.0) continue;
+        for (int i = 0; i < k; ++i) {
+          if (s[i] != 0.0f) grad[static_cast<size_t>(i) * k + j] += s[i] * coef;
+        }
+      }
+    }
+    const double data_scale = causer_config_.graph_data_weight / n;
+
+    // Augmented-Lagrangian DAG penalty at the current multipliers.
+    causal::Dense w = graph_->AsDense();
+    double h = causal::AcyclicityValue(w);
+    causal::Dense hg = causal::AcyclicityGradient(w);
+    const double coeff = lagrangian_.beta1() + lagrangian_.beta2() * h;
+
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < k; ++j) {
+        float& v = node.value[static_cast<size_t>(i) * k + j];
+        v -= static_cast<float>(
+            lr * (data_scale * grad[static_cast<size_t>(i) * k + j] +
+                  coeff * hg(i, j)));
+        // Proximal L1 keeps inactive entries at exactly zero.
+        if (v > shrink) {
+          v -= static_cast<float>(shrink);
+        } else if (v < -shrink) {
+          v += static_cast<float>(shrink);
+        } else {
+          v = 0.0f;
+        }
+      }
+    }
+    graph_->ClampNonNegative();
+  }
+  lagrangian_.Update(graph_->AcyclicityResidual());
+  epoch_sources_.clear();
+  epoch_targets_.clear();
+}
+
+void CauserModel::EnsureCaches() {
+  if (caches_stale_ || w_cache_.empty()) RefreshCaches();
+}
+
+float CauserModel::ItemCausalWeight(int a, int b) {
+  EnsureCaches();
+  return w_cache_[static_cast<size_t>(a) * config_.num_items + b];
+}
+
+Tensor CauserModel::RunBackbone(
+    const std::vector<std::vector<int>>& step_items) {
+  CAUSER_CHECK(!step_items.empty());
+  std::vector<Tensor> states;
+  states.reserve(step_items.size());
+  auto step_input = [this](const std::vector<int>& items) {
+    Tensor rows = clusterer_->EncodeItems(items);  // [k, d2]
+    if (causer_config_.use_free_input_embedding) {
+      rows = tensor::Add(rows, input_items_->Forward(items));
+    }
+    return rows.rows() == 1 ? rows
+                            : tensor::ScalarMul(tensor::SumCols(rows),
+                                                1.0f / rows.rows());
+  };
+  if (gru_) {
+    Tensor h = gru_->InitialState();
+    for (const auto& items : step_items) {
+      h = gru_->Forward(step_input(items), h);
+      states.push_back(h);
+    }
+  } else {
+    nn::LstmState s = lstm_->InitialState();
+    for (const auto& items : step_items) {
+      s = lstm_->Forward(step_input(items), s);
+      states.push_back(s.h);
+    }
+  }
+  return tensor::ConcatRows(states);
+}
+
+CauserModel::Encoded CauserModel::EncodeFiltered(
+    const std::vector<data::Step>& history, int candidate) {
+  EnsureCaches();
+  const int v = config_.num_items;
+  Encoded enc;
+  std::vector<std::vector<int>> steps;
+  for (size_t t = 0; t < history.size(); ++t) {
+    if (history[t].items.empty()) continue;
+    std::vector<int> kept;
+    if (causer_config_.use_causal) {
+      for (int item : history[t].items) {
+        if (w_cache_[static_cast<size_t>(item) * v + candidate] >
+            causer_config_.epsilon) {
+          kept.push_back(item);
+        }
+      }
+    } else {
+      kept = history[t].items;
+    }
+    if (kept.empty()) continue;  // Eq. 10: skip cause-free steps
+    steps.push_back(std::move(kept));
+    enc.step_index.push_back(static_cast<int>(t));
+  }
+  if (steps.empty()) {
+    // Everything was filtered out; fall back to the unfiltered history so
+    // the model still produces (and learns from) a representation.
+    enc.fallback = true;
+    for (size_t t = 0; t < history.size(); ++t) {
+      if (history[t].items.empty()) continue;
+      steps.push_back(history[t].items);
+      enc.step_index.push_back(static_cast<int>(t));
+    }
+  }
+  if (steps.empty()) return enc;  // degenerate: empty history
+  enc.kept_items = steps;
+  enc.states = RunBackbone(steps);
+  return enc;
+}
+
+Tensor CauserModel::StepWeights(const Tensor& states) {
+  const int t = states.rows();
+  if (!causer_config_.use_attention) {
+    return Tensor::Full(t, 1, 1.0f / static_cast<float>(t));
+  }
+  Tensor query = tensor::SliceRows(states, t - 1, 1);
+  return attention_->Weights(states, query);
+}
+
+Tensor CauserModel::CausalEffects(const Encoded& encoded, int candidate,
+                                  bool differentiable) {
+  const int t = encoded.states.rows();
+  if (!causer_config_.use_causal) {
+    return Tensor::Full(t, 1, 1.0f);
+  }
+  if (encoded.fallback && !differentiable) {
+    // Inference with a fully filtered history: treat all steps equally.
+    return Tensor::Full(t, 1, 1.0f);
+  }
+  // In the differentiable fallback case What is computed over the full
+  // (unfiltered) history, so entries of W^c that dropped below epsilon
+  // still receive gradients and can recover — otherwise the filter is a
+  // one-way trap that collapses the graph.
+  if (!differentiable) {
+    std::vector<float> vals(t, 0.0f);
+    const int v = config_.num_items;
+    for (int r = 0; r < t; ++r) {
+      for (int item : encoded.kept_items[r]) {
+        vals[r] += w_cache_[static_cast<size_t>(item) * v + candidate];
+      }
+    }
+    return Tensor::FromData(t, 1, std::move(vals));
+  }
+  Tensor ab =
+      tensor::Transpose(clusterer_->Assignments({candidate}));  // [K, 1]
+  std::vector<Tensor> rows;
+  rows.reserve(t);
+  for (int r = 0; r < t; ++r) {
+    Tensor s = tensor::SumCols(
+        clusterer_->Assignments(encoded.kept_items[r]));  // [1, K]
+    rows.push_back(tensor::MatMul(tensor::MatMul(s, graph_->weights()), ab));
+  }
+  return tensor::ConcatRows(rows);  // [T, 1]
+}
+
+Tensor CauserModel::CandidateLogit(const Encoded& encoded, int user,
+                                   int candidate,
+                                   bool differentiable_graph) {
+  if (!encoded.states.defined()) return Tensor::Scalar(0.0f);
+  Tensor alpha = StepWeights(encoded.states);                        // [T,1]
+  Tensor what = CausalEffects(encoded, candidate, differentiable_graph);
+  Tensor coeff = tensor::Mul(alpha, what);                           // [T,1]
+  Tensor pooled =
+      tensor::MatMul(tensor::Transpose(coeff), encoded.states);      // [1,h]
+  Tensor rep = adapt_->Forward(pooled);
+  if (causer_config_.use_user_embedding) {
+    rep = tensor::Add(rep, users_->Row(user));
+  }
+  return tensor::SumRows(tensor::Mul(rep, out_items_->Row(candidate)));
+}
+
+std::vector<float> CauserModel::ScoreAll(
+    int user, const std::vector<data::Step>& history) {
+  tensor::NoGradGuard guard;
+  EnsureCaches();
+  const int v = config_.num_items;
+  std::vector<float> out(v, 0.0f);
+  std::vector<data::Step> truncated = Truncate(history);
+  if (truncated.empty()) return out;
+  // User-affinity bias u_k . e_b, added to every candidate's score when
+  // the u_k conditioning is enabled (zero rows otherwise).
+  Tensor user_bias =
+      causer_config_.use_user_embedding
+          ? tensor::MatMul(out_items_->weight(),
+                           tensor::Transpose(users_->Row(user)))
+          : Tensor::Zeros(v, 1);  // [V, 1]
+
+  // Group candidates sharing the same filtered history; the backbone runs
+  // once per group (with near-hard assignments there are at most ~K
+  // distinct filters, which is what makes cluster-level causality scale).
+  struct Group {
+    Encoded encoded;
+    Tensor alpha;
+    std::vector<int> members;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<std::string, int> group_of;
+  for (int b = 0; b < v; ++b) {
+    std::ostringstream key;
+    if (causer_config_.use_causal) {
+      for (size_t t = 0; t < truncated.size(); ++t) {
+        for (int item : truncated[t].items) {
+          if (w_cache_[static_cast<size_t>(item) * v + b] >
+              causer_config_.epsilon) {
+            key << t << ":" << item << ",";
+          }
+        }
+      }
+    } else {
+      key << "all";
+    }
+    auto [it, inserted] = group_of.try_emplace(key.str(), -1);
+    if (inserted) {
+      Group g;
+      g.encoded = EncodeFiltered(truncated, b);
+      if (g.encoded.states.defined()) g.alpha = StepWeights(g.encoded.states);
+      it->second = static_cast<int>(groups.size());
+      groups.push_back(std::move(g));
+    }
+    groups[it->second].members.push_back(b);
+  }
+
+  for (const auto& group : groups) {
+    if (!group.encoded.states.defined()) continue;
+    const int t = group.encoded.states.rows();
+    const int g_size = static_cast<int>(group.members.size());
+    // Coefficient matrix C[t][g] = alpha_t * What_{t, b_g}.
+    std::vector<float> coeff(static_cast<size_t>(t) * g_size, 0.0f);
+    for (int g = 0; g < g_size; ++g) {
+      int b = group.members[g];
+      for (int r = 0; r < t; ++r) {
+        float what = 1.0f;
+        if (causer_config_.use_causal && !group.encoded.fallback) {
+          what = 0.0f;
+          for (int item : group.encoded.kept_items[r]) {
+            what += w_cache_[static_cast<size_t>(item) * v + b];
+          }
+        }
+        coeff[static_cast<size_t>(r) * g_size + g] =
+            group.alpha.At(r, 0) * what;
+      }
+    }
+    Tensor c = Tensor::FromData(t, g_size, std::move(coeff));
+    Tensor pooled = tensor::MatMul(tensor::Transpose(c),
+                                   group.encoded.states);  // [G, h]
+    Tensor reps = adapt_->Forward(pooled);                 // [G, de]
+    Tensor emb = out_items_->Forward(group.members);       // [G, de]
+    Tensor logits = tensor::SumRows(tensor::Mul(reps, emb));  // [G, 1]
+    for (int g = 0; g < g_size; ++g) {
+      int b = group.members[g];
+      out[b] = logits.At(g, 0) + user_bias.At(b, 0);
+    }
+  }
+  return out;
+}
+
+void CauserModel::PretrainAndFreezeGraph(
+    const std::vector<data::Sequence>& train, int rounds) {
+  CAUSER_CHECK(rounds > 0);
+  auto examples = data::EnumerateExamples(train);
+  for (int round = 0; round < rounds; ++round) {
+    // Clustering phase (Eqs. 7-8) so the assignments stabilize first.
+    for (int s = 0; s < causer_config_.aux_steps_per_epoch; ++s) {
+      Tensor loss = tensor::Add(clusterer_->ClusteringLoss(),
+                                clusterer_->ReconstructionLoss());
+      opt_aux_->ZeroGrad();
+      tensor::Backward(loss);
+      opt_aux_->ClipGradNorm(config_.grad_clip);
+      opt_aux_->Step();
+    }
+    RefreshCaches();
+    // Graph phase: fit W^c to the observed cluster transitions.
+    for (const auto& ex : examples) {
+      std::vector<data::Step> history(
+          ex.sequence->steps.begin(),
+          ex.sequence->steps.begin() + ex.target_step);
+      history = Truncate(history);
+      for (int pos : ex.sequence->steps[ex.target_step].items) {
+        RecordTransition(history, pos);
+      }
+    }
+    FitClusterGraph();
+  }
+  RefreshCaches();
+  graph_frozen_ = true;
+}
+
+double CauserModel::TrainEpoch(const std::vector<data::Sequence>& train) {
+  const bool update_slow =
+      !graph_frozen_ &&
+      (epoch_ % std::max(1, causer_config_.w_update_every)) == 0;
+  const bool update_graph = update_slow && causer_config_.use_causal &&
+                            epoch_ >= causer_config_.graph_warmup_epochs;
+
+  RefreshCaches();  // Algorithm 1 line 7-8
+
+  // Auxiliary phase: clustering + reconstruction objectives (Eqs. 7-8).
+  if (update_slow && (causer_config_.use_clustering_loss ||
+                      causer_config_.use_reconstruction_loss)) {
+    for (int s = 0; s < causer_config_.aux_steps_per_epoch; ++s) {
+      Tensor loss;
+      if (causer_config_.use_clustering_loss) {
+        loss = clusterer_->ClusteringLoss();
+      }
+      if (causer_config_.use_reconstruction_loss) {
+        Tensor rec = clusterer_->ReconstructionLoss();
+        loss = loss.defined() ? tensor::Add(loss, rec) : rec;
+      }
+      opt_aux_->ZeroGrad();
+      tensor::Backward(loss);
+      opt_aux_->ClipGradNorm(config_.grad_clip);
+      opt_aux_->Step();
+    }
+    RefreshCaches();  // assignments moved
+  }
+
+  auto examples = data::EnumerateExamples(train);
+  rng_.Shuffle(examples);
+
+  double total = 0.0;
+  int count = 0;
+  for (const auto& ex : examples) {
+    const auto& steps = ex.sequence->steps;
+    std::vector<data::Step> history(steps.begin(),
+                                    steps.begin() + ex.target_step);
+    history = Truncate(history);
+    bool any = false;
+    for (const auto& s : history) any = any || !s.items.empty();
+    if (!any) continue;
+
+    const auto& positives = steps[ex.target_step].items;
+    int available = config_.num_items - static_cast<int>(positives.size());
+    int num_neg = std::min(config_.num_negatives, std::max(0, available));
+    std::vector<int> ids = positives;
+    auto negatives =
+        data::SampleNegatives(config_.num_items, positives, num_neg, rng_);
+    ids.insert(ids.end(), negatives.begin(), negatives.end());
+    std::vector<float> labels(ids.size(), 0.0f);
+    for (size_t i = 0; i < positives.size(); ++i) labels[i] = 1.0f;
+
+    std::vector<Tensor> logit_rows;
+    logit_rows.reserve(ids.size());
+    for (int b : ids) {
+      Encoded enc = EncodeFiltered(history, b);
+      logit_rows.push_back(CandidateLogit(enc, ex.sequence->user, b,
+                                          /*differentiable_graph=*/false));
+    }
+    if (update_graph) {
+      for (int pos : positives) RecordTransition(history, pos);
+    }
+    Tensor logits = tensor::ConcatRows(logit_rows);
+    Tensor targets =
+        Tensor::FromData(static_cast<int>(ids.size()), 1, labels);
+    Tensor loss = tensor::BceWithLogits(logits, targets);
+
+    opt_main_->ZeroGrad();
+    opt_aux_->ZeroGrad();
+    tensor::Backward(loss);
+    opt_main_->ClipGradNorm(config_.grad_clip);
+    opt_main_->Step();
+    if (update_slow) {
+      // Theta_a also receives recommendation-loss gradients on slow-update
+      // epochs (Algorithm 1 line 11 updates the full parameter set).
+      opt_aux_->ClipGradNorm(config_.grad_clip);
+      opt_aux_->Step();
+    }
+    total += loss.Item();
+    ++count;
+  }
+  // Per-epoch W^c subproblem (Algorithm 1 lines 10-15): fit the epoch's
+  // cluster transitions under the augmented-Lagrangian DAG constraint.
+  if (update_graph) FitClusterGraph();
+  ++epoch_;
+  caches_stale_ = true;
+  return count > 0 ? total / count : 0.0;
+}
+
+std::vector<double> CauserModel::ExplainScores(
+    const data::EvalInstance& instance, int item, ExplainMode mode) {
+  tensor::NoGradGuard guard;
+  EnsureCaches();
+  std::vector<double> out(instance.history.size(), 0.0);
+  std::vector<data::Step> truncated = Truncate(instance.history);
+  const size_t offset = instance.history.size() - truncated.size();
+  Encoded enc = EncodeFiltered(truncated, item);
+  if (!enc.states.defined()) return out;
+
+  Tensor alpha = StepWeights(enc.states);
+  Tensor what = CausalEffects(enc, item, /*differentiable=*/false);
+  for (int r = 0; r < enc.states.rows(); ++r) {
+    double a = alpha.At(r, 0);
+    double w = what.At(r, 0);
+    double score = 0.0;
+    switch (mode) {
+      case ExplainMode::kFull:
+        score = a * w;
+        break;
+      case ExplainMode::kCausal:
+        score = w;
+        break;
+      case ExplainMode::kAttention:
+        score = a;
+        break;
+    }
+    out[offset + enc.step_index[r]] = score;
+  }
+  return out;
+}
+
+causal::Graph CauserModel::LearnedClusterGraph() const {
+  return graph_->ThresholdedGraph(causer_config_.epsilon);
+}
+
+double CauserModel::AcyclicityResidual() const {
+  return graph_->AcyclicityResidual();
+}
+
+}  // namespace causer::core

@@ -1,0 +1,214 @@
+#ifndef CAUSER_CORE_CAUSER_MODEL_H_
+#define CAUSER_CORE_CAUSER_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster_graph.h"
+#include "core/clustering.h"
+#include "models/recommender.h"
+#include "nn/attention.h"
+#include "nn/linear.h"
+#include "nn/rnn_cells.h"
+
+namespace causer::core {
+
+/// Recurrent backbone choice for g in Eq. 10.
+enum class Backbone { kGru, kLstm };
+
+/// Which relevance signal an explanation uses (Section V-E):
+///   kFull    — alpha_t * What_t (the complete Causer explanation)
+///   kCausal  — What_t only (the -att variant's explanation)
+///   kAttention — alpha_t only (the -causal variant's explanation)
+enum class ExplainMode { kFull, kCausal, kAttention };
+
+/// All Causer hyper-parameters (Table III ranges; defaults tuned for the
+/// scaled-down synthetic datasets).
+struct CauserConfig {
+  models::ModelConfig base;
+
+  /// Number of latent clusters K.
+  int num_clusters = 8;
+  /// Assignment softmax temperature eta.
+  float eta = 0.5f;
+  /// Causal filter threshold epsilon in Eq. 10.
+  float epsilon = 0.25f;
+  /// L1 sparsity coefficient lambda on W^c.
+  float lambda = 0.002f;
+  /// Encoder hidden width d1 (Eq. 6).
+  int encoder_hidden = 16;
+  /// Cluster/embedding dimension d2 (encoder output; also the RNN input).
+  int cluster_dim = 16;
+
+  Backbone backbone = Backbone::kGru;
+
+  /// Adds a learned per-user affinity term u_k . e_b to every score (the
+  /// explicit u_k conditioning of Eq. 10). Off by default: on the scaled
+  /// datasets the memorized affinity shortcut starves the sequential path
+  /// of gradient and hurts generalization (see DESIGN.md).
+  bool use_user_embedding = false;
+
+  /// Adds a free per-item input embedding to the encoder output of Eq. 6,
+  /// giving the backbone collaborative capacity beyond the raw features
+  /// (part of the paper's Theta_e item-embedding parameters). Off by
+  /// default; see DESIGN.md "Known improvement directions".
+  bool use_free_input_embedding = false;
+
+  // Ablation switches (Table V variants).
+  bool use_clustering_loss = true;     ///< false = Causer(-clus)
+  bool use_reconstruction_loss = true; ///< false = Causer(-rec)
+  bool use_attention = true;           ///< false = Causer(-att)
+  bool use_causal = true;              ///< false = Causer(-causal)
+
+  // Augmented Lagrangian schedule (Algorithm 1).
+  float beta1_init = 0.0f;
+  float beta2_init = 0.25f;
+  float kappa1 = 1.5f;   ///< penalty growth (> 1)
+  float beta2_max = 4.0f;  ///< cap on the quadratic penalty coefficient
+  float kappa2 = 0.9f;   ///< required residual shrink (< 1)
+
+  /// Epochs to train the backbone before W^c starts updating. Until the
+  /// representations align (positive items score positively), the BCE
+  /// gradient on the multiplicative What factor is biased downward and
+  /// would collapse the graph to the trivial empty DAG.
+  int graph_warmup_epochs = 1;
+  /// Auxiliary (clustering + reconstruction) optimization steps per epoch.
+  int aux_steps_per_epoch = 15;
+  /// Graph/cluster parameters are updated only every `w_update_every`
+  /// epochs (Section III-C efficiency mode; 1 = always).
+  int w_update_every = 1;
+  /// Direct gradient steps of the per-epoch W^c subproblem.
+  int graph_inner_steps = 60;
+  /// Learning rate for W^c (higher than the main rate: the graph receives
+  /// few, heavily averaged updates per epoch).
+  float graph_learning_rate = 0.05f;
+  /// Weight of the cluster-level next-step likelihood that anchors W^c to
+  /// the data (the sequence analog of NOTEARS' regression term): predict
+  /// the observed item's cluster from the history's cluster activations
+  /// through W^c. The DAG and L1 penalties then orient and prune it.
+  float graph_data_weight = 1.0f;
+};
+
+/// Causer: causality-enhanced sequential recommendation (the paper's core
+/// contribution). For each candidate item b, causally irrelevant history
+/// items (item-level W[v][b] <= epsilon, W = A W^c A^T) are filtered out
+/// before the recurrent encoder; surviving hidden states are combined with
+/// weights alpha_t (local bilinear attention) * What_tb (global total
+/// causal effect), adapted by V and scored against the independent item
+/// embedding e_b (Eq. 10). W^c is learned jointly under the NOTEARS
+/// acyclicity constraint via the augmented Lagrangian (Eq. 11/Algorithm 1).
+class CauserModel : public models::SequentialRecommender {
+ public:
+  explicit CauserModel(const CauserConfig& config);
+
+  std::string name() const override;
+
+  std::vector<float> ScoreAll(int user,
+                              const std::vector<data::Step>& history) override;
+  double TrainEpoch(const std::vector<data::Sequence>& train) override;
+  void OnParametersRestored() override;
+
+  /// Per-history-step explanation scores for recommending `item` after
+  /// `instance.history` (higher = more causal). Length = history size.
+  std::vector<double> ExplainScores(const data::EvalInstance& instance,
+                                    int item, ExplainMode mode);
+
+  /// Section III-C "prior knowledge" mode: pre-fits the clustering (from
+  /// the item features) and the cluster graph (from the training
+  /// sequences' cluster transitions under the DAG constraint), then
+  /// freezes both so TrainEpoch only updates the sequential parameters.
+  /// `rounds` controls how many clustering/graph alternations run.
+  void PretrainAndFreezeGraph(const std::vector<data::Sequence>& train,
+                              int rounds = 8);
+
+  /// True after PretrainAndFreezeGraph.
+  bool graph_frozen() const { return graph_frozen_; }
+
+  /// The learned cluster graph, binarized at the filter threshold.
+  causal::Graph LearnedClusterGraph() const;
+
+  /// Current acyclicity residual of W^c.
+  double AcyclicityResidual() const;
+
+  /// Item-level causal weight W[a][b] under the current parameters.
+  float ItemCausalWeight(int a, int b);
+
+  const ItemClusterer& clusterer() const { return *clusterer_; }
+  const ClusterCausalGraph& cluster_graph() const { return *graph_; }
+  const CauserConfig& causer_config() const { return causer_config_; }
+
+ private:
+  struct Encoded {
+    nn::Tensor states;            // [T, hidden]; undefined when empty
+    std::vector<int> step_index;  // original history index per state row
+    std::vector<std::vector<int>> kept_items;  // per state row
+    bool fallback = false;  // true when filtering removed everything
+  };
+
+  /// Recomputes the per-epoch caches (assignments + item-level W).
+  void RefreshCaches();
+  void EnsureCaches();
+
+  /// Filters `history` for candidate b and runs the backbone.
+  Encoded EncodeFiltered(const std::vector<data::Step>& history,
+                         int candidate);
+
+  /// Runs the backbone over explicit per-step item lists.
+  nn::Tensor RunBackbone(const std::vector<std::vector<int>>& step_items);
+
+  /// Attention weights over the encoded states: [T, 1].
+  nn::Tensor StepWeights(const nn::Tensor& states);
+
+  /// Total causal effects What_tb as an autograd column [T, 1]
+  /// (differentiable w.r.t. W^c and the assignment logits when
+  /// `differentiable` is true; numeric constants otherwise).
+  nn::Tensor CausalEffects(const Encoded& encoded, int candidate,
+                           bool differentiable);
+
+  /// Candidate logit (Eq. 10) given the encoded history; the user
+  /// embedding (the u_k conditioning of Eq. 10) is added to the adapted
+  /// representation before scoring.
+  nn::Tensor CandidateLogit(const Encoded& encoded, int user, int candidate,
+                            bool differentiable_graph);
+
+  CauserConfig causer_config_;
+  std::unique_ptr<ItemClusterer> clusterer_;
+  std::unique_ptr<ClusterCausalGraph> graph_;
+  std::unique_ptr<nn::GruCell> gru_;
+  std::unique_ptr<nn::LstmCell> lstm_;
+  std::unique_ptr<nn::BilinearAttention> attention_;
+  std::unique_ptr<nn::Linear> adapt_;  // the paper's V matrix
+  std::unique_ptr<nn::Embedding> out_items_;  // e_b
+  std::unique_ptr<nn::Embedding> users_;      // u_k conditioning (Eq. 10)
+  std::unique_ptr<nn::Embedding> input_items_;  // optional free inputs
+
+  std::unique_ptr<nn::Adam> opt_main_;
+  std::unique_ptr<nn::Adam> opt_graph_;
+  std::unique_ptr<nn::Adam> opt_aux_;
+
+  AugmentedLagrangian lagrangian_;
+  int epoch_ = 0;
+
+  /// Records one (history cluster-activation, next-item cluster) pair for
+  /// this epoch's W^c subproblem.
+  void RecordTransition(const std::vector<data::Step>& history,
+                        int positive_item);
+
+  /// Solves the per-epoch W^c subproblem: cluster-level next-step
+  /// cross-entropy (the sequence analog of NOTEARS' regression term) plus
+  /// L1 and the augmented-Lagrangian DAG penalty, by direct projected
+  /// gradient steps with proximal L1. Updates the multipliers afterwards.
+  void FitClusterGraph();
+
+  bool graph_frozen_ = false;
+  bool caches_stale_ = true;
+  std::vector<float> w_cache_;       // item-level W, row-major [V * V]
+  std::vector<float> assign_cache_;  // soft assignments, row-major [V * K]
+  std::vector<float> epoch_sources_;  // per-transition history activations
+  std::vector<float> epoch_targets_;  // per-transition target assignments
+};
+
+}  // namespace causer::core
+
+#endif  // CAUSER_CORE_CAUSER_MODEL_H_

@@ -1,0 +1,128 @@
+#include "core/cluster_graph.h"
+
+#include <cmath>
+#include <limits>
+
+#include "causal/acyclicity.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace causer::core {
+
+ClusterCausalGraph::ClusterCausalGraph(int num_clusters, causer::Rng& rng) {
+  // Positive-leaning initialization so some edges pass the filter threshold
+  // before the graph has been learned (the DAG + L1 penalties prune from
+  // there). The diagonal starts at zero and is never favored by h(W).
+  wc_ = RegisterParameter(
+      Tensor::RandomUniform(num_clusters, num_clusters, 0.2f, 0.6f, rng,
+                            /*requires_grad=*/true));
+  for (int i = 0; i < num_clusters; ++i) wc_.At(i, i) = 0.0f;
+}
+
+double ClusterCausalGraph::AcyclicityResidual() const {
+  return causal::AcyclicityValue(AsDense());
+}
+
+double ClusterCausalGraph::AccumulatePenaltyGradient(double beta1,
+                                                     double beta2,
+                                                     double lambda) {
+  const int k = wc_.rows();
+  auto& node = *wc_.node();
+  node.EnsureGrad();
+  double h = causal::AcyclicityValueAndAccumulateGrad(
+      node.value, k, /*scale=*/0.0, nullptr);
+  causal::AcyclicityValueAndAccumulateGrad(node.value, k, beta1 + beta2 * h,
+                                           &node.grad);
+  for (size_t i = 0; i < node.value.size(); ++i) {
+    float w = node.value[i];
+    node.grad[i] += static_cast<float>(
+        lambda * (w > 0.0f ? 1.0 : (w < 0.0f ? -1.0 : 0.0)));
+  }
+  return h;
+}
+
+std::vector<float> ClusterCausalGraph::ItemLevelMatrix(
+    const Tensor& assignments) const {
+  tensor::NoGradGuard guard;
+  // W = A Wc A^T computed as (A Wc) A^T.
+  Tensor awc = tensor::MatMul(assignments, wc_);                 // [V, K]
+  Tensor w = tensor::MatMul(awc, tensor::Transpose(assignments));  // [V, V]
+  return w.data();
+}
+
+causal::Dense ClusterCausalGraph::AsDense() const {
+  const int k = wc_.rows();
+  causal::Dense d(k, k);
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < k; ++j) d(i, j) = wc_.At(i, j);
+  return d;
+}
+
+causal::Graph ClusterCausalGraph::ThresholdedGraph(double threshold) const {
+  const int k = wc_.rows();
+  causal::Graph g(k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      // Paper filter semantics: W > epsilon (signed, not |W|).
+      if (i != j && wc_.At(i, j) > threshold) g.SetEdge(i, j);
+    }
+  }
+  return g;
+}
+
+double ClusterCausalGraph::ApplyPenaltySteps(double lr, double beta1,
+                                             double beta2, double lambda) {
+  causal::Dense w = AsDense();
+  double h = causal::AcyclicityValue(w);
+  causal::Dense grad = causal::AcyclicityGradient(w);
+  const double coeff = lr * (beta1 + beta2 * h);
+  const double shrink = lr * lambda;
+  auto& node = *wc_.node();
+  const int k = wc_.rows();
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      float& v = node.value[static_cast<size_t>(i) * k + j];
+      v -= static_cast<float>(coeff * grad(i, j));
+      if (v > shrink) {
+        v -= static_cast<float>(shrink);
+      } else if (v < -shrink) {
+        v += static_cast<float>(shrink);
+      } else {
+        v = 0.0f;
+      }
+    }
+  }
+  ClampNonNegative();
+  return h;
+}
+
+void ClusterCausalGraph::ClampNonNegative() {
+  auto& node = *wc_.node();
+  const int k = wc_.rows();
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      float& w = node.value[static_cast<size_t>(i) * k + j];
+      if (i == j || w < 0.0f) w = 0.0f;
+    }
+  }
+}
+
+AugmentedLagrangian::AugmentedLagrangian(double beta1_init, double beta2_init,
+                                         double kappa1, double kappa2,
+                                         double beta2_max)
+    : beta1_(beta1_init),
+      beta2_(beta2_init),
+      kappa1_(kappa1),
+      kappa2_(kappa2),
+      beta2_max_(beta2_max),
+      h_prev_(std::numeric_limits<double>::infinity()) {}
+
+void AugmentedLagrangian::Update(double h) {
+  beta1_ += beta2_ * h;
+  if (std::isfinite(h_prev_) && std::fabs(h) >= kappa2_ * std::fabs(h_prev_)) {
+    beta2_ = std::min(beta2_ * kappa1_, beta2_max_);
+  }
+  h_prev_ = h;
+}
+
+}  // namespace causer::core

@@ -1,0 +1,18 @@
+#include "core/explainer.h"
+
+namespace causer::core {
+
+eval::Explainer MakeCauserExplainer(CauserModel& model, ExplainMode mode) {
+  return [&model, mode](const data::EvalInstance& instance, int item) {
+    return model.ExplainScores(instance, item, mode);
+  };
+}
+
+eval::Explainer MakeNarmExplainer(models::Narm& model) {
+  return [&model](const data::EvalInstance& instance, int item) {
+    (void)item;
+    return model.AttentionWeights(instance);
+  };
+}
+
+}  // namespace causer::core

@@ -1,0 +1,22 @@
+#ifndef CAUSER_CORE_EXPLAINER_H_
+#define CAUSER_CORE_EXPLAINER_H_
+
+#include "core/causer_model.h"
+#include "eval/explanation_eval.h"
+#include "models/narm.h"
+
+namespace causer::core {
+
+/// Adapts a trained CauserModel to the explanation evaluator. `mode`
+/// selects the relevance signal: kFull for Causer, kCausal for
+/// Causer(-att), kAttention for Causer(-causal) — the three systems
+/// compared in the paper's Fig. 7.
+eval::Explainer MakeCauserExplainer(CauserModel& model, ExplainMode mode);
+
+/// NARM's attention weights as an explanation baseline (Fig. 8). The
+/// weights do not depend on the target item.
+eval::Explainer MakeNarmExplainer(models::Narm& model);
+
+}  // namespace causer::core
+
+#endif  // CAUSER_CORE_EXPLAINER_H_

@@ -1,0 +1,37 @@
+#include "core/trainer.h"
+
+namespace causer::core {
+
+CauserConfig DefaultCauserConfig(const data::Dataset& dataset,
+                                 Backbone backbone, uint64_t seed) {
+  CauserConfig config;
+  config.base.num_users = dataset.num_users;
+  config.base.num_items = dataset.num_items;
+  config.base.item_features = &dataset.item_features;
+  config.base.seed = seed;
+  config.backbone = backbone;
+  // Default K: the generator's truth when known, else 8. (The K sweep bench
+  // varies this explicitly, mirroring the paper's Fig. 4.)
+  if (dataset.true_cluster_graph.n() > 0) {
+    config.num_clusters = dataset.true_cluster_graph.n();
+  }
+  return config;
+}
+
+CauserTrainResult TrainCauser(CauserModel& model, const data::Split& split,
+                              const models::TrainConfig& config) {
+  CauserTrainResult result;
+  models::TrainConfig effective = config;
+  if (effective.min_epochs == 0) {
+    // Do not let early stopping latch onto a warm-up snapshot whose causal
+    // graph has not started learning yet.
+    effective.min_epochs =
+        model.causer_config().graph_warmup_epochs + 2;
+  }
+  result.fit = models::Fit(model, split, effective);
+  result.final_acyclicity = model.AcyclicityResidual();
+  result.learned_cluster_graph = model.LearnedClusterGraph();
+  return result;
+}
+
+}  // namespace causer::core

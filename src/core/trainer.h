@@ -1,0 +1,31 @@
+#ifndef CAUSER_CORE_TRAINER_H_
+#define CAUSER_CORE_TRAINER_H_
+
+#include "core/causer_model.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "models/recommender.h"
+
+namespace causer::core {
+
+/// Builds a CauserConfig wired to `dataset` (item counts, features) with
+/// the library defaults; callers tweak fields afterwards (K, eta, epsilon,
+/// ablations) before constructing the model.
+CauserConfig DefaultCauserConfig(const data::Dataset& dataset,
+                                 Backbone backbone, uint64_t seed = 7);
+
+/// Result of a full Causer training run.
+struct CauserTrainResult {
+  models::FitResult fit;
+  double final_acyclicity = 0.0;  ///< h(W^c) after training
+  causal::Graph learned_cluster_graph;
+};
+
+/// Trains `model` with models::Fit (early stopping on validation NDCG) and
+/// reports the causal-graph diagnostics alongside.
+CauserTrainResult TrainCauser(CauserModel& model, const data::Split& split,
+                              const models::TrainConfig& config = {});
+
+}  // namespace causer::core
+
+#endif  // CAUSER_CORE_TRAINER_H_

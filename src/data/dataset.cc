@@ -1,0 +1,30 @@
+#include "data/dataset.h"
+
+namespace causer::data {
+
+int Sequence::NumInteractions() const {
+  int n = 0;
+  for (const auto& s : steps) n += static_cast<int>(s.items.size());
+  return n;
+}
+
+int Dataset::NumInteractions() const {
+  int n = 0;
+  for (const auto& s : sequences) n += s.NumInteractions();
+  return n;
+}
+
+double Dataset::AvgSequenceLength() const {
+  if (sequences.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : sequences) total += s.NumInteractions();
+  return total / sequences.size();
+}
+
+double Dataset::Sparsity() const {
+  if (num_users == 0 || num_items == 0) return 0.0;
+  return 1.0 - static_cast<double>(NumInteractions()) /
+                   (static_cast<double>(num_users) * num_items);
+}
+
+}  // namespace causer::data

@@ -1,0 +1,71 @@
+#ifndef CAUSER_DATA_DATASET_H_
+#define CAUSER_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "causal/graph.h"
+
+namespace causer::data {
+
+/// One time step of a user sequence: an item set (the paper's multi-hot
+/// vector v_j). For next-item datasets every step holds exactly one item.
+///
+/// `cause_step[k]` / `cause_item[k]` record the generator's ground truth:
+/// the history step index and concrete item that causally triggered
+/// `items[k]`, or -1 when the interaction was exploration noise. These
+/// labels substitute for the paper's human-annotated explanation dataset.
+struct Step {
+  std::vector<int> items;
+  std::vector<int> cause_step;
+  std::vector<int> cause_item;
+};
+
+/// A user's chronological interaction sequence.
+struct Sequence {
+  int user = 0;
+  std::vector<Step> steps;
+
+  /// Total number of item interactions across all steps.
+  int NumInteractions() const;
+};
+
+/// A full dataset, including the generator's ground truth (true cluster
+/// assignment per item and the true cluster-level causal DAG) used by the
+/// explanation and identifiability experiments.
+struct Dataset {
+  std::string name;
+  int num_users = 0;
+  int num_items = 0;
+  int feature_dim = 0;
+  bool basket_mode = false;
+
+  std::vector<Sequence> sequences;
+  /// Raw item features (the paper's GloVe-averaged descriptions):
+  /// [num_items][feature_dim].
+  std::vector<std::vector<float>> item_features;
+
+  // -- generator ground truth (empty for externally loaded data) --
+  std::vector<int> item_true_cluster;
+  causal::Graph true_cluster_graph;
+
+  int NumInteractions() const;
+  double AvgSequenceLength() const;
+  /// 1 - |interactions| / (|users| * |items|), as reported in Table II.
+  double Sparsity() const;
+};
+
+/// A held-out evaluation instance: predict `target_items` from `history`.
+struct EvalInstance {
+  int user = 0;
+  std::vector<Step> history;
+  std::vector<int> target_items;
+  /// Ground-truth causes of each target item within `history` (history step
+  /// index, or -1). Parallel to target_items.
+  std::vector<int> target_cause_step;
+  std::vector<int> target_cause_item;
+};
+
+}  // namespace causer::data
+
+#endif  // CAUSER_DATA_DATASET_H_

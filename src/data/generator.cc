@@ -1,0 +1,218 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace causer::data {
+namespace {
+
+constexpr double kCauseRecencyDecay = 0.85;
+constexpr int kMaxBasketSize = 4;
+
+struct PendingEmission {
+  int item;
+  int cause_step;
+  int cause_item;
+};
+
+class Generator {
+ public:
+  explicit Generator(const DatasetSpec& spec) : spec_(spec), rng_(spec.seed) {}
+
+  Dataset Run() {
+    Dataset d;
+    d.name = spec_.name;
+    d.num_users = spec_.num_users;
+    d.num_items = spec_.num_items;
+    d.feature_dim = spec_.feature_dim;
+    d.basket_mode = spec_.basket_extend_prob > 0.0;
+
+    BuildClusters(d);
+    BuildFeatures(d);
+
+    d.sequences.reserve(spec_.num_users);
+    for (int u = 0; u < spec_.num_users; ++u) {
+      d.sequences.push_back(GenerateSequence(u, d));
+    }
+    return d;
+  }
+
+ private:
+  void BuildClusters(Dataset& d) {
+    const int k = spec_.num_clusters;
+    d.true_cluster_graph = causal::RandomDag(k, spec_.cluster_edge_prob, rng_);
+    // Guarantee the DAG has at least one edge so causal behaviour exists.
+    if (d.true_cluster_graph.NumEdges() == 0 && k >= 2) {
+      d.true_cluster_graph.SetEdge(0, 1);
+    }
+    d.item_true_cluster.resize(spec_.num_items);
+    cluster_items_.assign(k, {});
+    for (int i = 0; i < spec_.num_items; ++i) {
+      // First K items seed each cluster so none is empty.
+      int c = i < k ? i : rng_.UniformInt(k);
+      d.item_true_cluster[i] = c;
+      cluster_items_[c].push_back(i);
+    }
+    // Zipf popularity weights per cluster (by position within the cluster).
+    cluster_item_weights_.assign(k, {});
+    for (int c = 0; c < k; ++c) {
+      for (size_t r = 0; r < cluster_items_[c].size(); ++r) {
+        cluster_item_weights_[c].push_back(
+            1.0 / std::pow(static_cast<double>(r + 1), spec_.zipf_exponent));
+      }
+    }
+  }
+
+  void BuildFeatures(Dataset& d) {
+    const int k = spec_.num_clusters;
+    std::vector<std::vector<double>> centers(k);
+    for (int c = 0; c < k; ++c) {
+      centers[c].resize(spec_.feature_dim);
+      for (auto& v : centers[c]) v = rng_.Normal();
+    }
+    d.item_features.resize(spec_.num_items);
+    for (int i = 0; i < spec_.num_items; ++i) {
+      int c = d.item_true_cluster[i];
+      d.item_features[i].resize(spec_.feature_dim);
+      for (int f = 0; f < spec_.feature_dim; ++f) {
+        d.item_features[i][f] = static_cast<float>(
+            centers[c][f] + spec_.feature_noise * rng_.Normal());
+      }
+    }
+  }
+
+  /// Samples an item from cluster c by popularity; avoids `forbidden`.
+  int SampleFromCluster(int c, int forbidden) {
+    const auto& items = cluster_items_[c];
+    if (items.size() == 1) return items[0];
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      int idx = rng_.Categorical(cluster_item_weights_[c]);
+      if (items[idx] != forbidden) return items[idx];
+    }
+    return items[rng_.UniformInt(static_cast<int>(items.size()))];
+  }
+
+  /// Picks a cause from the history, weighted by recency.
+  std::pair<int, int> PickCause(
+      const std::vector<std::pair<int, int>>& history, int current_step) {
+    std::vector<double> weights(history.size());
+    for (size_t i = 0; i < history.size(); ++i) {
+      int age = current_step - history[i].first;
+      weights[i] = std::pow(kCauseRecencyDecay, age);
+    }
+    return history[rng_.Categorical(weights)];
+  }
+
+  Sequence GenerateSequence(int user, const Dataset& d) {
+    Sequence seq;
+    seq.user = user;
+    const int extra = spec_.max_len - spec_.min_len;
+    int num_steps =
+        spec_.min_len +
+        (extra > 0 ? rng_.TruncatedGeometric(spec_.len_stop_prob, extra) : 0);
+
+    // Per-user cluster affinity (log-normal).
+    std::vector<double> affinity(spec_.num_clusters);
+    for (auto& a : affinity)
+      a = std::exp(spec_.user_affinity_concentration * rng_.Normal());
+
+    std::vector<std::pair<int, int>> history;  // (step index, item)
+    std::deque<PendingEmission> pending;
+
+    for (int t = 0; t < num_steps; ++t) {
+      Step step;
+      auto emit = [&](int item, int cause_step, int cause_item) {
+        if (std::find(step.items.begin(), step.items.end(), item) !=
+            step.items.end()) {
+          return;  // no duplicate items within one basket
+        }
+        step.items.push_back(item);
+        step.cause_step.push_back(cause_step);
+        step.cause_item.push_back(cause_item);
+      };
+
+      // 1. Scheduled sibling effects take priority.
+      if (!pending.empty()) {
+        PendingEmission p = pending.front();
+        pending.pop_front();
+        emit(p.item, p.cause_step, p.cause_item);
+      } else {
+        EmitOne(d, affinity, history, t, emit, pending);
+      }
+
+      // 2. Basket extension.
+      while (static_cast<int>(step.items.size()) < kMaxBasketSize &&
+             rng_.Bernoulli(spec_.basket_extend_prob)) {
+        if (!pending.empty()) {
+          PendingEmission p = pending.front();
+          pending.pop_front();
+          emit(p.item, p.cause_step, p.cause_item);
+        } else {
+          EmitOne(d, affinity, history, t, emit, pending);
+        }
+      }
+
+      for (int item : step.items) history.emplace_back(t, item);
+      seq.steps.push_back(std::move(step));
+    }
+    return seq;
+  }
+
+  template <typename EmitFn>
+  void EmitOne(const Dataset& d, const std::vector<double>& affinity,
+               const std::vector<std::pair<int, int>>& history, int t,
+               EmitFn&& emit, std::deque<PendingEmission>& pending) {
+    if (!history.empty() && rng_.Bernoulli(spec_.causal_prob)) {
+      auto [cause_step, cause_item] = PickCause(history, t);
+      int c_a = d.item_true_cluster[cause_item];
+      std::vector<int> children = d.true_cluster_graph.Children(c_a);
+      // When the picked item's cluster has no effects, the interaction
+      // falls through to exploration noise (a cause must be causal).
+      if (!children.empty()) {
+        // Affinity-weighted child cluster choice.
+        std::vector<double> w(children.size());
+        for (size_t i = 0; i < children.size(); ++i)
+          w[i] = affinity[children[i]];
+        int pick = rng_.Categorical(w);
+        int c_b = children[pick];
+        int item = SampleFromCluster(c_b, cause_item);
+        emit(item, cause_step, cause_item);
+        // Confounded sibling: same cause, different child cluster.
+        if (children.size() >= 2 && rng_.Bernoulli(spec_.sibling_prob)) {
+          int other = children[(pick + 1 + rng_.UniformInt(
+                                   static_cast<int>(children.size()) - 1)) %
+                               children.size()];
+          if (other != c_b) {
+            pending.push_back(
+                {SampleFromCluster(other, cause_item), cause_step, cause_item});
+          }
+        }
+        return;
+      }
+    }
+    // Exploration noise: affinity-weighted cluster, popular item.
+    int c = rng_.Categorical(affinity);
+    emit(SampleFromCluster(c, -1), -1, -1);
+  }
+
+  const DatasetSpec& spec_;
+  Rng rng_;
+  std::vector<std::vector<int>> cluster_items_;
+  std::vector<std::vector<double>> cluster_item_weights_;
+};
+
+}  // namespace
+
+Dataset MakeDataset(const DatasetSpec& spec) {
+  CAUSER_CHECK(spec.num_users > 0 && spec.num_items > 0);
+  CAUSER_CHECK(spec.num_clusters >= 1 &&
+               spec.num_clusters <= spec.num_items);
+  CAUSER_CHECK(spec.min_len >= 1 && spec.max_len >= spec.min_len);
+  return Generator(spec).Run();
+}
+
+}  // namespace causer::data

@@ -1,0 +1,31 @@
+#ifndef CAUSER_DATA_GENERATOR_H_
+#define CAUSER_DATA_GENERATOR_H_
+
+#include "data/dataset.h"
+#include "data/specs.h"
+
+namespace causer::data {
+
+/// Generates a synthetic dataset from `spec` (deterministic in spec.seed).
+///
+/// The generator's process, per user:
+///  1. Draw a per-user cluster-affinity vector (log-normal weights).
+///  2. Draw the number of steps from min_len + Geometric(len_stop_prob),
+///     truncated at max_len.
+///  3. At each step, with probability `causal_prob` (and non-empty
+///     history) emit an *effect*: choose a recency-weighted cause item `a`
+///     from the history, a child cluster of cluster(a) in the true DAG, and
+///     a Zipf-popular item from that cluster. The (step, item) of the cause
+///     is recorded as ground truth. With probability `sibling_prob` a
+///     second effect of the *same* cause from a *different* child cluster
+///     is queued for the following step — the confounded co-occurrence
+///     pattern that separates causal from co-occurrence models.
+///     Otherwise emit exploration noise from the user's affinity-weighted
+///     cluster distribution (no cause recorded).
+///  4. In basket mode, extra items are appended to the current step with
+///     probability `basket_extend_prob` each.
+Dataset MakeDataset(const DatasetSpec& spec);
+
+}  // namespace causer::data
+
+#endif  // CAUSER_DATA_GENERATOR_H_

@@ -1,0 +1,163 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace causer::data {
+namespace {
+
+bool WriteInteractions(const Dataset& d, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "user\tstep\titem\tcause_step\tcause_item\n";
+  for (const auto& seq : d.sequences) {
+    for (size_t t = 0; t < seq.steps.size(); ++t) {
+      const Step& step = seq.steps[t];
+      for (size_t k = 0; k < step.items.size(); ++k) {
+        out << seq.user << '\t' << t << '\t' << step.items[k] << '\t'
+            << step.cause_step[k] << '\t' << step.cause_item[k] << '\n';
+      }
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool WriteFeatures(const Dataset& d, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (int i = 0; i < d.num_items; ++i) {
+    out << i;
+    for (float f : d.item_features[i]) out << '\t' << f;
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool WriteMeta(const Dataset& d, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "name\t" << d.name << '\n';
+  out << "num_users\t" << d.num_users << '\n';
+  out << "num_items\t" << d.num_items << '\n';
+  out << "feature_dim\t" << d.feature_dim << '\n';
+  out << "basket_mode\t" << (d.basket_mode ? 1 : 0) << '\n';
+  if (!d.item_true_cluster.empty()) {
+    out << "clusters";
+    for (int c : d.item_true_cluster) out << '\t' << c;
+    out << '\n';
+    out << "cluster_graph\t" << d.true_cluster_graph.n();
+    for (int i = 0; i < d.true_cluster_graph.n(); ++i)
+      for (int j = 0; j < d.true_cluster_graph.n(); ++j)
+        if (d.true_cluster_graph.Edge(i, j)) out << '\t' << i << ':' << j;
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool SaveDataset(const Dataset& dataset, const std::string& directory) {
+  return WriteInteractions(dataset, directory + "/interactions.tsv") &&
+         WriteFeatures(dataset, directory + "/features.tsv") &&
+         WriteMeta(dataset, directory + "/meta.tsv");
+}
+
+bool LoadDataset(const std::string& directory, Dataset* out) {
+  CAUSER_CHECK(out != nullptr);
+  Dataset d;
+
+  // --- meta ---
+  {
+    std::ifstream in(directory + "/meta.tsv");
+    if (!in) return false;
+    std::string line;
+    while (std::getline(in, line)) {
+      std::istringstream row(line);
+      std::string key;
+      if (!std::getline(row, key, '\t')) continue;
+      if (key == "name") {
+        std::getline(row, d.name, '\t');
+      } else if (key == "num_users") {
+        row >> d.num_users;
+      } else if (key == "num_items") {
+        row >> d.num_items;
+      } else if (key == "feature_dim") {
+        row >> d.feature_dim;
+      } else if (key == "basket_mode") {
+        int flag = 0;
+        row >> flag;
+        d.basket_mode = flag != 0;
+      } else if (key == "clusters") {
+        int c;
+        while (row >> c) d.item_true_cluster.push_back(c);
+      } else if (key == "cluster_graph") {
+        int n = 0;
+        row >> n;
+        d.true_cluster_graph = causal::Graph(n);
+        std::string edge;
+        while (row >> edge) {
+          size_t colon = edge.find(':');
+          if (colon == std::string::npos) return false;
+          int i = std::stoi(edge.substr(0, colon));
+          int j = std::stoi(edge.substr(colon + 1));
+          if (i < 0 || j < 0 || i >= n || j >= n) return false;
+          d.true_cluster_graph.SetEdge(i, j);
+        }
+      }
+    }
+    if (d.num_users <= 0 || d.num_items <= 0) return false;
+  }
+
+  // --- features ---
+  {
+    std::ifstream in(directory + "/features.tsv");
+    if (!in) return false;
+    d.item_features.assign(d.num_items, {});
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::istringstream row(line);
+      int item;
+      if (!(row >> item) || item < 0 || item >= d.num_items) return false;
+      float f;
+      while (row >> f) d.item_features[item].push_back(f);
+      if (static_cast<int>(d.item_features[item].size()) != d.feature_dim)
+        return false;
+    }
+  }
+
+  // --- interactions ---
+  {
+    std::ifstream in(directory + "/interactions.tsv");
+    if (!in) return false;
+    d.sequences.assign(d.num_users, {});
+    for (int u = 0; u < d.num_users; ++u) d.sequences[u].user = u;
+    std::string line;
+    std::getline(in, line);  // header
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::istringstream row(line);
+      int user, step, item, cause_step, cause_item;
+      if (!(row >> user >> step >> item >> cause_step >> cause_item))
+        return false;
+      if (user < 0 || user >= d.num_users || item < 0 ||
+          item >= d.num_items || step < 0) {
+        return false;
+      }
+      auto& steps = d.sequences[user].steps;
+      if (static_cast<int>(steps.size()) <= step)
+        steps.resize(step + 1);
+      steps[static_cast<size_t>(step)].items.push_back(item);
+      steps[static_cast<size_t>(step)].cause_step.push_back(cause_step);
+      steps[static_cast<size_t>(step)].cause_item.push_back(cause_item);
+    }
+  }
+
+  *out = std::move(d);
+  return true;
+}
+
+}  // namespace causer::data

@@ -1,0 +1,25 @@
+#ifndef CAUSER_DATA_IO_H_
+#define CAUSER_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace causer::data {
+
+/// Saves a dataset to a directory as three TSV files:
+///   interactions.tsv  user <tab> step <tab> item <tab> cause_step <tab> cause_item
+///   features.tsv      item <tab> f0 <tab> f1 ...
+///   meta.tsv          name/users/items/feature_dim/basket flags, true
+///                     cluster assignment and cluster-graph edges when the
+///                     dataset carries generator ground truth.
+/// Returns false on I/O failure.
+bool SaveDataset(const Dataset& dataset, const std::string& directory);
+
+/// Loads a dataset saved by SaveDataset. Returns false (leaving `out`
+/// untouched) on missing files or malformed content.
+bool LoadDataset(const std::string& directory, Dataset* out);
+
+}  // namespace causer::data
+
+#endif  // CAUSER_DATA_IO_H_

@@ -1,0 +1,40 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace causer::data {
+
+std::vector<int> SampleNegatives(int num_items,
+                                 const std::vector<int>& positives, int k,
+                                 Rng& rng) {
+  CAUSER_CHECK(k + static_cast<int>(positives.size()) <= num_items);
+  std::vector<int> out;
+  out.reserve(k);
+  while (static_cast<int>(out.size()) < k) {
+    int candidate = rng.UniformInt(num_items);
+    if (std::find(positives.begin(), positives.end(), candidate) !=
+        positives.end()) {
+      continue;
+    }
+    if (std::find(out.begin(), out.end(), candidate) != out.end()) continue;
+    out.push_back(candidate);
+  }
+  return out;
+}
+
+std::vector<TrainExample> EnumerateExamples(
+    const std::vector<Sequence>& sequences) {
+  std::vector<TrainExample> out;
+  for (const auto& seq : sequences) {
+    for (size_t t = 1; t < seq.steps.size(); ++t) {
+      if (!seq.steps[t].items.empty()) {
+        out.push_back({&seq, static_cast<int>(t)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace causer::data

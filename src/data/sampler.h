@@ -1,0 +1,31 @@
+#ifndef CAUSER_DATA_SAMPLER_H_
+#define CAUSER_DATA_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace causer::data {
+
+/// Samples `k` negative item ids uniformly from [0, num_items), excluding
+/// the items in `positives`. Requires k + |positives| <= num_items.
+std::vector<int> SampleNegatives(int num_items,
+                                 const std::vector<int>& positives, int k,
+                                 Rng& rng);
+
+/// A single next-step training example extracted from a sequence: predict
+/// the items of step `target_step` from steps [0, target_step).
+struct TrainExample {
+  const Sequence* sequence = nullptr;
+  int target_step = 0;
+};
+
+/// Enumerates all training examples (every step with non-empty history) in
+/// `sequences`. Order is deterministic; shuffle with an Rng for SGD.
+std::vector<TrainExample> EnumerateExamples(
+    const std::vector<Sequence>& sequences);
+
+}  // namespace causer::data
+
+#endif  // CAUSER_DATA_SAMPLER_H_

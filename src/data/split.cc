@@ -1,0 +1,39 @@
+#include "data/split.h"
+
+namespace causer::data {
+namespace {
+
+EvalInstance MakeInstance(const Sequence& seq, int target_step) {
+  EvalInstance inst;
+  inst.user = seq.user;
+  inst.history.assign(seq.steps.begin(), seq.steps.begin() + target_step);
+  const Step& target = seq.steps[target_step];
+  inst.target_items = target.items;
+  inst.target_cause_step = target.cause_step;
+  inst.target_cause_item = target.cause_item;
+  return inst;
+}
+
+}  // namespace
+
+Split LeaveLastOut(const Dataset& dataset) {
+  Split split;
+  for (const auto& seq : dataset.sequences) {
+    const int len = static_cast<int>(seq.steps.size());
+    if (len >= 3) {
+      split.test.push_back(MakeInstance(seq, len - 1));
+      split.validation.push_back(MakeInstance(seq, len - 2));
+      Sequence train = seq;
+      train.steps.resize(len - 2);
+      if (train.steps.size() >= 2) split.train.push_back(std::move(train));
+    } else if (len == 2) {
+      split.test.push_back(MakeInstance(seq, len - 1));
+    } else if (len == 1) {
+      // Too short to evaluate; nothing to predict from.
+      continue;
+    }
+  }
+  return split;
+}
+
+}  // namespace causer::data

@@ -1,0 +1,24 @@
+#ifndef CAUSER_DATA_SPLIT_H_
+#define CAUSER_DATA_SPLIT_H_
+
+#include "data/dataset.h"
+
+namespace causer::data {
+
+/// Leave-last-out split (the paper's protocol): the last step of each user
+/// sequence is the test target, the second-to-last is the validation
+/// target, the rest is training. Users with fewer than 3 steps contribute
+/// what they can (2 steps: test only; 1 step: training only).
+struct Split {
+  /// Training sequences (prefixes; sequences that became empty are kept out).
+  std::vector<Sequence> train;
+  std::vector<EvalInstance> validation;
+  std::vector<EvalInstance> test;
+};
+
+/// Splits `dataset` by the leave-last-out protocol.
+Split LeaveLastOut(const Dataset& dataset);
+
+}  // namespace causer::data
+
+#endif  // CAUSER_DATA_SPLIT_H_

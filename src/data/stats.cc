@@ -1,0 +1,32 @@
+#include "data/stats.h"
+
+#include "common/log.h"
+
+namespace causer::data {
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats s;
+  s.name = dataset.name;
+  s.num_users = dataset.num_users;
+  s.num_items = dataset.num_items;
+  s.num_interactions = dataset.NumInteractions();
+  s.avg_seq_len = dataset.AvgSequenceLength();
+  s.sparsity = dataset.Sparsity();
+  return s;
+}
+
+std::vector<int> SequenceLengthHistogram(
+    const Dataset& dataset, const std::vector<int>& bucket_edges) {
+  CAUSER_CHECK(bucket_edges.size() >= 2);
+  std::vector<int> counts(bucket_edges.size(), 0);
+  for (const auto& seq : dataset.sequences) {
+    int len = seq.NumInteractions();
+    size_t b = 0;
+    while (b + 1 < bucket_edges.size() && len >= bucket_edges[b + 1]) ++b;
+    if (len >= bucket_edges.back()) b = bucket_edges.size() - 1;
+    ++counts[b];
+  }
+  return counts;
+}
+
+}  // namespace causer::data

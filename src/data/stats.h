@@ -1,0 +1,33 @@
+#ifndef CAUSER_DATA_STATS_H_
+#define CAUSER_DATA_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace causer::data {
+
+/// The Table II statistics row of a dataset.
+struct DatasetStats {
+  std::string name;
+  int num_users = 0;
+  int num_items = 0;
+  int num_interactions = 0;
+  double avg_seq_len = 0.0;
+  double sparsity = 0.0;  // fraction in [0,1]
+};
+
+/// Computes the Table II row for `dataset`.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+/// Histogram of per-user sequence lengths (number of interactions).
+/// `bucket_edges` = {e0, e1, ..., ek} produces k buckets [e_i, e_{i+1});
+/// lengths >= ek land in a final overflow bucket, so the result has k+1
+/// entries.
+std::vector<int> SequenceLengthHistogram(const Dataset& dataset,
+                                         const std::vector<int>& bucket_edges);
+
+}  // namespace causer::data
+
+#endif  // CAUSER_DATA_STATS_H_

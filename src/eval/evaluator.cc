@@ -1,0 +1,29 @@
+#include "eval/evaluator.h"
+
+#include "common/log.h"
+#include "eval/metrics.h"
+
+namespace causer::eval {
+
+EvalResult Evaluate(const Scorer& scorer,
+                    const std::vector<data::EvalInstance>& instances, int z) {
+  CAUSER_CHECK(z > 0);
+  EvalResult result;
+  for (const auto& inst : instances) {
+    std::vector<float> scores = scorer(inst);
+    std::vector<int> ranked = TopK(scores, z);
+    double f1 = F1(ranked, inst.target_items);
+    double ndcg = Ndcg(ranked, inst.target_items);
+    result.per_instance_f1.push_back(f1);
+    result.per_instance_ndcg.push_back(ndcg);
+    result.f1 += f1;
+    result.ndcg += ndcg;
+  }
+  if (!instances.empty()) {
+    result.f1 /= instances.size();
+    result.ndcg /= instances.size();
+  }
+  return result;
+}
+
+}  // namespace causer::eval

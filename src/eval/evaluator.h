@@ -1,0 +1,32 @@
+#ifndef CAUSER_EVAL_EVALUATOR_H_
+#define CAUSER_EVAL_EVALUATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace causer::eval {
+
+/// A scorer maps an evaluation instance to one score per item (higher =
+/// more likely to be interacted next). This indirection keeps the evaluator
+/// independent of the model classes.
+using Scorer = std::function<std::vector<float>(const data::EvalInstance&)>;
+
+/// Aggregate ranking quality over a set of instances.
+struct EvalResult {
+  double f1 = 0.0;    ///< mean F1@Z across instances
+  double ndcg = 0.0;  ///< mean NDCG@Z across instances
+  /// Per-instance values, used for the paired t-test.
+  std::vector<double> per_instance_f1;
+  std::vector<double> per_instance_ndcg;
+};
+
+/// Ranks all items per instance with `scorer` and averages F1@Z / NDCG@Z,
+/// following the paper's protocol (Z = 5 in the experiments).
+EvalResult Evaluate(const Scorer& scorer,
+                    const std::vector<data::EvalInstance>& instances, int z);
+
+}  // namespace causer::eval
+
+#endif  // CAUSER_EVAL_EVALUATOR_H_

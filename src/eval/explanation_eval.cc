@@ -1,0 +1,76 @@
+#include "eval/explanation_eval.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "eval/metrics.h"
+
+namespace causer::eval {
+
+std::vector<ExplanationExample> BuildExplanationSet(
+    const std::vector<data::EvalInstance>& instances,
+    const data::Dataset& dataset, int max_examples, Rng& rng) {
+  std::vector<ExplanationExample> all;
+  for (const auto& inst : instances) {
+    for (size_t k = 0; k < inst.target_items.size(); ++k) {
+      if (inst.target_cause_step.size() <= k || inst.target_cause_step[k] < 0)
+        continue;  // noise interaction: no ground-truth cause
+      if (inst.history.empty()) continue;
+      ExplanationExample ex;
+      ex.instance = &inst;
+      ex.target_item = inst.target_items[k];
+      ex.true_cause_positions.push_back(inst.target_cause_step[k]);
+      // Plausible additional causes: history steps containing an item whose
+      // true cluster is a parent of the target's cluster.
+      int target_cluster = dataset.item_true_cluster[ex.target_item];
+      auto parents = dataset.true_cluster_graph.Parents(target_cluster);
+      for (size_t pos = 0; pos < inst.history.size(); ++pos) {
+        if (static_cast<int>(pos) == inst.target_cause_step[k]) continue;
+        for (int item : inst.history[pos].items) {
+          int c = dataset.item_true_cluster[item];
+          if (std::find(parents.begin(), parents.end(), c) != parents.end()) {
+            ex.true_cause_positions.push_back(static_cast<int>(pos));
+            break;
+          }
+        }
+      }
+      std::sort(ex.true_cause_positions.begin(),
+                ex.true_cause_positions.end());
+      ex.true_cause_positions.erase(std::unique(ex.true_cause_positions.begin(),
+                                                ex.true_cause_positions.end()),
+                                    ex.true_cause_positions.end());
+      all.push_back(std::move(ex));
+    }
+  }
+  if (static_cast<int>(all.size()) > max_examples) {
+    rng.Shuffle(all);
+    all.resize(max_examples);
+  }
+  return all;
+}
+
+ExplanationResult EvaluateExplanations(
+    const Explainer& explainer,
+    const std::vector<ExplanationExample>& examples, int top_k) {
+  CAUSER_CHECK(top_k > 0);
+  ExplanationResult result;
+  double cause_total = 0.0;
+  for (const auto& ex : examples) {
+    std::vector<double> scores = explainer(*ex.instance, ex.target_item);
+    CAUSER_CHECK(scores.size() == ex.instance->history.size());
+    std::vector<float> fscores(scores.begin(), scores.end());
+    std::vector<int> ranked = TopK(fscores, top_k);
+    result.f1 += F1(ranked, ex.true_cause_positions);
+    result.ndcg += Ndcg(ranked, ex.true_cause_positions);
+    cause_total += static_cast<double>(ex.true_cause_positions.size());
+  }
+  result.num_examples = static_cast<int>(examples.size());
+  if (result.num_examples > 0) {
+    result.f1 /= result.num_examples;
+    result.ndcg /= result.num_examples;
+    result.avg_causes_per_example = cause_total / result.num_examples;
+  }
+  return result;
+}
+
+}  // namespace causer::eval

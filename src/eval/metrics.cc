@@ -1,0 +1,71 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace causer::eval {
+
+std::vector<int> TopK(const std::vector<float>& scores, int k) {
+  const int n = static_cast<int>(scores.size());
+  k = std::min(k, n);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](int a, int b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+namespace {
+
+int HitCount(const std::vector<int>& ranked, const std::vector<int>& relevant) {
+  int hits = 0;
+  for (int r : ranked) {
+    if (std::find(relevant.begin(), relevant.end(), r) != relevant.end())
+      ++hits;
+  }
+  return hits;
+}
+
+}  // namespace
+
+double Precision(const std::vector<int>& ranked,
+                 const std::vector<int>& relevant) {
+  if (ranked.empty()) return 0.0;
+  return static_cast<double>(HitCount(ranked, relevant)) / ranked.size();
+}
+
+double Recall(const std::vector<int>& ranked,
+              const std::vector<int>& relevant) {
+  if (relevant.empty()) return 0.0;
+  return static_cast<double>(HitCount(ranked, relevant)) / relevant.size();
+}
+
+double F1(const std::vector<int>& ranked, const std::vector<int>& relevant) {
+  double p = Precision(ranked, relevant);
+  double r = Recall(ranked, relevant);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double Ndcg(const std::vector<int>& ranked, const std::vector<int>& relevant) {
+  if (relevant.empty()) return 0.0;
+  double dcg = 0.0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (std::find(relevant.begin(), relevant.end(), ranked[i]) !=
+        relevant.end()) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  double idcg = 0.0;
+  size_t ideal_hits = std::min(ranked.size(), relevant.size());
+  for (size_t i = 0; i < ideal_hits; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+}  // namespace causer::eval

@@ -1,0 +1,28 @@
+#ifndef CAUSER_EVAL_METRICS_H_
+#define CAUSER_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace causer::eval {
+
+/// Indices of the top-k largest scores, ties broken by lower index.
+std::vector<int> TopK(const std::vector<float>& scores, int k);
+
+/// Precision@Z = |ranked ∩ relevant| / |ranked|.
+double Precision(const std::vector<int>& ranked,
+                 const std::vector<int>& relevant);
+
+/// Recall@Z = |ranked ∩ relevant| / |relevant|.
+double Recall(const std::vector<int>& ranked,
+              const std::vector<int>& relevant);
+
+/// F1 = 2PR/(P+R); 0 when both are 0.
+double F1(const std::vector<int>& ranked, const std::vector<int>& relevant);
+
+/// NDCG@Z with binary relevance:
+///   DCG = sum_i rel(i)/log2(i+1), IDCG = best achievable for |relevant|.
+double Ndcg(const std::vector<int>& ranked, const std::vector<int>& relevant);
+
+}  // namespace causer::eval
+
+#endif  // CAUSER_EVAL_METRICS_H_

@@ -1,0 +1,98 @@
+#include "eval/significance.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace causer::eval {
+namespace {
+
+/// Continued-fraction evaluation of the regularized incomplete beta
+/// function I_x(a, b) (Numerical Recipes "betacf" scheme).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                   a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(ln_beta);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+}  // namespace
+
+double StudentTTwoSidedPValue(double t, int df) {
+  CAUSER_CHECK(df > 0);
+  double x = df / (df + t * t);
+  return RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+}
+
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  CAUSER_CHECK(a.size() == b.size());
+  CAUSER_CHECK(a.size() >= 2);
+  const int n = static_cast<int>(a.size());
+
+  double mean = 0.0;
+  for (int i = 0; i < n; ++i) mean += a[i] - b[i];
+  mean /= n;
+
+  double var = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double d = (a[i] - b[i]) - mean;
+    var += d * d;
+  }
+  var /= (n - 1);
+
+  TTestResult result;
+  result.degrees_of_freedom = n - 1;
+  result.mean_difference = mean;
+  if (var <= 0.0) {
+    result.t_statistic = mean == 0.0 ? 0.0 : (mean > 0 ? 1e9 : -1e9);
+    result.p_value = mean == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic = mean / std::sqrt(var / n);
+  result.p_value =
+      StudentTTwoSidedPValue(result.t_statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace causer::eval

@@ -1,0 +1,30 @@
+#ifndef CAUSER_EVAL_SIGNIFICANCE_H_
+#define CAUSER_EVAL_SIGNIFICANCE_H_
+
+#include <vector>
+
+namespace causer::eval {
+
+/// Result of a two-sided paired t-test on matched samples.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double p_value = 1.0;
+  int degrees_of_freedom = 0;
+  /// Mean of (a - b); positive means `a` larger on average.
+  double mean_difference = 0.0;
+};
+
+/// Paired two-sided t-test between matched per-instance metric vectors
+/// (the paper marks improvements with p < 0.05). Requires equal sizes and
+/// at least two pairs. Degenerate zero-variance differences yield
+/// p = 1 when the mean difference is 0, otherwise p = 0.
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Two-sided p-value of a Student-t statistic with `df` degrees of freedom
+/// (regularized incomplete beta implementation).
+double StudentTTwoSidedPValue(double t, int df);
+
+}  // namespace causer::eval
+
+#endif  // CAUSER_EVAL_SIGNIFICANCE_H_

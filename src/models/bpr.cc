@@ -1,0 +1,65 @@
+#include "models/bpr.h"
+
+#include "data/sampler.h"
+#include "nn/init.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace causer::models {
+
+using nn::Tensor;
+
+Bpr::Bpr(const ModelConfig& config) : SequentialRecommender(config) {
+  users_ = std::make_unique<nn::Embedding>(config.num_users,
+                                           config.embedding_dim, rng_);
+  items_ = std::make_unique<nn::Embedding>(config.num_items,
+                                           config.embedding_dim, rng_);
+  RegisterModule(users_.get());
+  RegisterModule(items_.get());
+  item_bias_ = RegisterParameter(nn::ZeroParam(config.num_items, 1));
+  optimizer_ = std::make_unique<nn::Adam>(Parameters(), config.learning_rate);
+}
+
+std::vector<float> Bpr::ScoreAll(int user,
+                                 const std::vector<data::Step>& history) {
+  (void)history;  // BPR ignores sequence context.
+  tensor::NoGradGuard guard;
+  Tensor pu = users_->Row(user);  // [1, d]
+  Tensor logits = tensor::Add(
+      tensor::MatMul(items_->weight(), tensor::Transpose(pu)), item_bias_);
+  std::vector<float> out(config_.num_items);
+  for (int i = 0; i < config_.num_items; ++i) out[i] = logits.At(i, 0);
+  return out;
+}
+
+double Bpr::TrainEpoch(const std::vector<data::Sequence>& train) {
+  // Flatten to (user, item) pairs.
+  std::vector<std::pair<int, int>> pairs;
+  for (const auto& seq : train) {
+    for (const auto& step : seq.steps) {
+      for (int item : step.items) pairs.emplace_back(seq.user, item);
+    }
+  }
+  rng_.Shuffle(pairs);
+
+  double total = 0.0;
+  for (const auto& [user, pos] : pairs) {
+    int neg = data::SampleNegatives(config_.num_items, {pos}, 1, rng_)[0];
+    Tensor pu = users_->Row(user);
+    Tensor qi = items_->Row(pos);
+    Tensor qj = items_->Row(neg);
+    Tensor x_pos = tensor::Add(tensor::SumRows(tensor::Mul(pu, qi)),
+                               tensor::GatherRows(item_bias_, {pos}));
+    Tensor x_neg = tensor::Add(tensor::SumRows(tensor::Mul(pu, qj)),
+                               tensor::GatherRows(item_bias_, {neg}));
+    Tensor diff = tensor::Sub(x_pos, x_neg);
+    Tensor loss = tensor::BceWithLogits(diff, Tensor::Scalar(1.0f));
+    optimizer_->ZeroGrad();
+    tensor::Backward(loss);
+    optimizer_->Step();
+    total += loss.Item();
+  }
+  return pairs.empty() ? 0.0 : total / pairs.size();
+}
+
+}  // namespace causer::models

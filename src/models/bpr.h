@@ -1,0 +1,33 @@
+#ifndef CAUSER_MODELS_BPR_H_
+#define CAUSER_MODELS_BPR_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+
+namespace causer::models {
+
+/// Bayesian Personalized Ranking (Rendle et al., 2012): matrix
+/// factorization trained with the pairwise ranking loss
+///   -log sigmoid(x_ui - x_uj)
+/// for observed item i vs. sampled negative j. History-agnostic; included
+/// as the paper's non-sequential baseline.
+class Bpr : public SequentialRecommender {
+ public:
+  explicit Bpr(const ModelConfig& config);
+
+  std::string name() const override { return "BPR"; }
+  std::vector<float> ScoreAll(int user,
+                              const std::vector<data::Step>& history) override;
+  double TrainEpoch(const std::vector<data::Sequence>& train) override;
+
+ private:
+  std::unique_ptr<nn::Embedding> users_;
+  std::unique_ptr<nn::Embedding> items_;
+  nn::Tensor item_bias_;  // [V, 1]
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace causer::models
+
+#endif  // CAUSER_MODELS_BPR_H_

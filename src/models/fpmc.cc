@@ -1,0 +1,80 @@
+#include "models/fpmc.h"
+
+#include "data/sampler.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace causer::models {
+
+using nn::Tensor;
+
+Fpmc::Fpmc(const ModelConfig& config) : SequentialRecommender(config) {
+  const int d = config.embedding_dim;
+  users_ = std::make_unique<nn::Embedding>(config.num_users, d, rng_);
+  items_mf_ = std::make_unique<nn::Embedding>(config.num_items, d, rng_);
+  prev_items_ = std::make_unique<nn::Embedding>(config.num_items, d, rng_);
+  next_items_ = std::make_unique<nn::Embedding>(config.num_items, d, rng_);
+  RegisterModule(users_.get());
+  RegisterModule(items_mf_.get());
+  RegisterModule(prev_items_.get());
+  RegisterModule(next_items_.get());
+  optimizer_ = std::make_unique<nn::Adam>(Parameters(), config.learning_rate);
+}
+
+Tensor Fpmc::ScorePair(int user, const std::vector<int>& basket, int item) {
+  Tensor pu = users_->Row(user);
+  Tensor qi = items_mf_->Row(item);
+  Tensor mf = tensor::SumRows(tensor::Mul(pu, qi));  // [1, 1]
+  Tensor m = prev_items_->Forward(basket);           // [k, d]
+  Tensor mean_m = tensor::ScalarMul(tensor::SumCols(m),
+                                    1.0f / static_cast<float>(m.rows()));
+  Tensor ni = next_items_->Row(item);
+  Tensor fmc = tensor::SumRows(tensor::Mul(mean_m, ni));  // [1, 1]
+  return tensor::Add(mf, fmc);
+}
+
+std::vector<float> Fpmc::ScoreAll(int user,
+                                  const std::vector<data::Step>& history) {
+  tensor::NoGradGuard guard;
+  Tensor pu = users_->Row(user);
+  Tensor mf = tensor::MatMul(items_mf_->weight(), tensor::Transpose(pu));
+  std::vector<float> out(config_.num_items);
+  if (history.empty() || history.back().items.empty()) {
+    for (int i = 0; i < config_.num_items; ++i) out[i] = mf.At(i, 0);
+    return out;
+  }
+  Tensor m = prev_items_->Forward(history.back().items);
+  Tensor mean_m = tensor::ScalarMul(tensor::SumCols(m),
+                                    1.0f / static_cast<float>(m.rows()));
+  Tensor fmc =
+      tensor::MatMul(next_items_->weight(), tensor::Transpose(mean_m));
+  for (int i = 0; i < config_.num_items; ++i) out[i] = mf.At(i, 0) + fmc.At(i, 0);
+  return out;
+}
+
+double Fpmc::TrainEpoch(const std::vector<data::Sequence>& train) {
+  auto examples = data::EnumerateExamples(train);
+  rng_.Shuffle(examples);
+
+  double total = 0.0;
+  int count = 0;
+  for (const auto& ex : examples) {
+    const auto& steps = ex.sequence->steps;
+    const auto& basket = steps[ex.target_step - 1].items;
+    if (basket.empty()) continue;
+    for (int pos : steps[ex.target_step].items) {
+      int neg = data::SampleNegatives(config_.num_items, {pos}, 1, rng_)[0];
+      Tensor diff = tensor::Sub(ScorePair(ex.sequence->user, basket, pos),
+                                ScorePair(ex.sequence->user, basket, neg));
+      Tensor loss = tensor::BceWithLogits(diff, Tensor::Scalar(1.0f));
+      optimizer_->ZeroGrad();
+      tensor::Backward(loss);
+      optimizer_->Step();
+      total += loss.Item();
+      ++count;
+    }
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+}  // namespace causer::models

@@ -1,0 +1,35 @@
+#ifndef CAUSER_MODELS_FPMC_H_
+#define CAUSER_MODELS_FPMC_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+
+namespace causer::models {
+
+/// Factorizing Personalized Markov Chains (Rendle et al., 2010):
+///   score(u, i | last basket B) = <P_u, Q_i> + (1/|B|) sum_{l in B} <M_l, N_i>
+/// Combines matrix factorization with a first-order Markov transition
+/// factorization. Trained with the S-BPR pairwise loss.
+class Fpmc : public SequentialRecommender {
+ public:
+  explicit Fpmc(const ModelConfig& config);
+
+  std::string name() const override { return "FPMC"; }
+  std::vector<float> ScoreAll(int user,
+                              const std::vector<data::Step>& history) override;
+  double TrainEpoch(const std::vector<data::Sequence>& train) override;
+
+ private:
+  nn::Tensor ScorePair(int user, const std::vector<int>& basket, int item);
+
+  std::unique_ptr<nn::Embedding> users_;       // P
+  std::unique_ptr<nn::Embedding> items_mf_;    // Q
+  std::unique_ptr<nn::Embedding> prev_items_;  // M
+  std::unique_ptr<nn::Embedding> next_items_;  // N
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace causer::models
+
+#endif  // CAUSER_MODELS_FPMC_H_

@@ -1,0 +1,33 @@
+#include "models/gru4rec.h"
+
+#include "tensor/ops.h"
+
+namespace causer::models {
+
+using nn::Tensor;
+
+Gru4Rec::Gru4Rec(const ModelConfig& config) : RepresentationModel(config) {
+  in_items_ = std::make_unique<nn::Embedding>(config.num_items,
+                                              config.embedding_dim, rng_);
+  cell_ = std::make_unique<nn::GruCell>(config.embedding_dim,
+                                        config.hidden_dim, rng_);
+  out_proj_ =
+      std::make_unique<nn::Linear>(config.hidden_dim, config.embedding_dim,
+                                   rng_);
+  RegisterModule(in_items_.get());
+  RegisterModule(cell_.get());
+  RegisterModule(out_proj_.get());
+  FinalizeOptimizer();
+}
+
+Tensor Gru4Rec::Represent(int user, const std::vector<data::Step>& history) {
+  (void)user;  // session-based: no user embedding
+  Tensor h = cell_->InitialState();
+  for (const auto& step : history) {
+    if (step.items.empty()) continue;
+    h = cell_->Forward(StepEmbedding(*in_items_, step), h);
+  }
+  return out_proj_->Forward(h);
+}
+
+}  // namespace causer::models

@@ -1,0 +1,31 @@
+#ifndef CAUSER_MODELS_GRU4REC_H_
+#define CAUSER_MODELS_GRU4REC_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+#include "nn/linear.h"
+#include "nn/rnn_cells.h"
+
+namespace causer::models {
+
+/// GRU4Rec (Hidasi et al., 2016): a GRU consumes the step embeddings; the
+/// final hidden state, projected to the embedding space, scores items.
+class Gru4Rec : public RepresentationModel {
+ public:
+  explicit Gru4Rec(const ModelConfig& config);
+
+  std::string name() const override { return "GRU4Rec"; }
+
+ protected:
+  nn::Tensor Represent(int user,
+                       const std::vector<data::Step>& history) override;
+
+  std::unique_ptr<nn::Embedding> in_items_;
+  std::unique_ptr<nn::GruCell> cell_;
+  std::unique_ptr<nn::Linear> out_proj_;  // hidden -> embedding space
+};
+
+}  // namespace causer::models
+
+#endif  // CAUSER_MODELS_GRU4REC_H_

@@ -1,0 +1,33 @@
+#include "models/mmsarec.h"
+
+#include "common/log.h"
+#include "tensor/ops.h"
+
+namespace causer::models {
+
+using nn::Tensor;
+
+MmsaRec::MmsaRec(const ModelConfig& config) : SasRec(config) {
+  CAUSER_CHECK(config.item_features != nullptr &&
+               !config.item_features->empty());
+  feature_dim_ = static_cast<int>((*config.item_features)[0].size());
+  feature_proj_ =
+      std::make_unique<nn::Linear>(feature_dim_, config.embedding_dim, rng_);
+  RegisterModule(feature_proj_.get());
+  // Rebuild the optimizer so it covers the feature projection too.
+  FinalizeOptimizer();
+}
+
+Tensor MmsaRec::InputEmbedding(const data::Step& step) {
+  Tensor emb = StepEmbedding(*in_items_, step);
+  std::vector<float> mean(feature_dim_, 0.0f);
+  for (int item : step.items) {
+    const auto& f = (*config_.item_features)[item];
+    for (int k = 0; k < feature_dim_; ++k) mean[k] += f[k];
+  }
+  for (auto& v : mean) v /= static_cast<float>(step.items.size());
+  Tensor feat = Tensor::FromData(1, feature_dim_, std::move(mean));
+  return tensor::Add(emb, feature_proj_->Forward(feat));
+}
+
+}  // namespace causer::models

@@ -1,0 +1,31 @@
+#ifndef CAUSER_MODELS_MMSAREC_H_
+#define CAUSER_MODELS_MMSAREC_H_
+
+#include <memory>
+
+#include "models/sasrec.h"
+#include "nn/linear.h"
+
+namespace causer::models {
+
+/// MMSARec (Han et al., 2020): self-attentive sequential recommendation
+/// with multi-modal side information encoded into the architecture. Here
+/// the step input is the item embedding plus a learned projection of the
+/// item's raw features. Requires config.item_features.
+class MmsaRec : public SasRec {
+ public:
+  explicit MmsaRec(const ModelConfig& config);
+
+  std::string name() const override { return "MMSARec"; }
+
+ protected:
+  nn::Tensor InputEmbedding(const data::Step& step) override;
+
+ private:
+  std::unique_ptr<nn::Linear> feature_proj_;
+  int feature_dim_;
+};
+
+}  // namespace causer::models
+
+#endif  // CAUSER_MODELS_MMSAREC_H_

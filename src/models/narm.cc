@@ -1,0 +1,66 @@
+#include "models/narm.h"
+
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace causer::models {
+
+using nn::Tensor;
+
+Narm::Narm(const ModelConfig& config) : RepresentationModel(config) {
+  in_items_ = std::make_unique<nn::Embedding>(config.num_items,
+                                              config.embedding_dim, rng_);
+  cell_ = std::make_unique<nn::GruCell>(config.embedding_dim,
+                                        config.hidden_dim, rng_);
+  attention_ = std::make_unique<nn::BilinearAttention>(config.hidden_dim, rng_);
+  out_proj_ = std::make_unique<nn::Linear>(2 * config.hidden_dim,
+                                           config.embedding_dim, rng_);
+  RegisterModule(in_items_.get());
+  RegisterModule(cell_.get());
+  RegisterModule(attention_.get());
+  RegisterModule(out_proj_.get());
+  FinalizeOptimizer();
+}
+
+Tensor Narm::EncodeStates(const std::vector<data::Step>& history) {
+  Tensor h = cell_->InitialState();
+  std::vector<Tensor> states;
+  for (const auto& step : history) {
+    if (step.items.empty()) continue;
+    h = cell_->Forward(StepEmbedding(*in_items_, step), h);
+    states.push_back(h);
+  }
+  CAUSER_CHECK(!states.empty());
+  return tensor::ConcatRows(states);  // [T, hidden]
+}
+
+Tensor Narm::Represent(int user, const std::vector<data::Step>& history) {
+  (void)user;
+  Tensor states = EncodeStates(history);                     // [T, h]
+  Tensor global = tensor::SliceRows(states, states.rows() - 1, 1);  // [1, h]
+  Tensor local = attention_->Pool(states, global);           // [1, h]
+  return out_proj_->Forward(tensor::ConcatCols(global, local));
+}
+
+std::vector<double> Narm::AttentionWeights(
+    const data::EvalInstance& instance) {
+  tensor::NoGradGuard guard;
+  const auto truncated = Truncate(instance.history);
+  const size_t offset = instance.history.size() - truncated.size();
+  std::vector<double> out(instance.history.size(), 0.0);
+  if (truncated.empty()) return out;
+  Tensor states = EncodeStates(truncated);
+  Tensor query = tensor::SliceRows(states, states.rows() - 1, 1);
+  Tensor w = attention_->Weights(states, query);  // [T, 1]
+  // Map encoded step positions back onto original history positions
+  // (steps with empty baskets were skipped by the encoder).
+  int row = 0;
+  for (size_t t = 0; t < truncated.size(); ++t) {
+    if (truncated[t].items.empty()) continue;
+    if (row < w.rows()) out[offset + t] = w.At(row, 0);
+    ++row;
+  }
+  return out;
+}
+
+}  // namespace causer::models

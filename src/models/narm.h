@@ -1,0 +1,44 @@
+#ifndef CAUSER_MODELS_NARM_H_
+#define CAUSER_MODELS_NARM_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+#include "nn/attention.h"
+#include "nn/linear.h"
+#include "nn/rnn_cells.h"
+
+namespace causer::models {
+
+/// NARM (Li et al., 2017): a GRU encoder whose final state provides the
+/// *global* preference, plus an attention mechanism over all hidden states
+/// (query = final state) providing the *local* purpose representation; the
+/// concatenation is projected into the item-embedding space for scoring.
+class Narm : public RepresentationModel {
+ public:
+  explicit Narm(const ModelConfig& config);
+
+  std::string name() const override { return "NARM"; }
+
+  /// Attention weights over history steps for a given instance, exposed for
+  /// the explanation experiments (Fig 8 compares NARM's attention-based
+  /// explanations with Causer's causal ones).
+  std::vector<double> AttentionWeights(const data::EvalInstance& instance);
+
+ protected:
+  nn::Tensor Represent(int user,
+                       const std::vector<data::Step>& history) override;
+
+ private:
+  /// Runs the GRU; returns stacked hidden states [T, hidden].
+  nn::Tensor EncodeStates(const std::vector<data::Step>& history);
+
+  std::unique_ptr<nn::Embedding> in_items_;
+  std::unique_ptr<nn::GruCell> cell_;
+  std::unique_ptr<nn::BilinearAttention> attention_;
+  std::unique_ptr<nn::Linear> out_proj_;  // [2*hidden] -> embedding
+};
+
+}  // namespace causer::models
+
+#endif  // CAUSER_MODELS_NARM_H_

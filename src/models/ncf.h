@@ -1,0 +1,39 @@
+#ifndef CAUSER_MODELS_NCF_H_
+#define CAUSER_MODELS_NCF_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+#include "nn/linear.h"
+
+namespace causer::models {
+
+/// Neural Collaborative Filtering (He et al., 2017): the NeuMF variant
+/// combining generalized matrix factorization (elementwise p_u * q_i) with
+/// an MLP over [p_u ; q_i], fused by a final linear layer. Trained with
+/// pointwise BCE + negative sampling; history-agnostic.
+class Ncf : public SequentialRecommender {
+ public:
+  explicit Ncf(const ModelConfig& config);
+
+  std::string name() const override { return "NCF"; }
+  std::vector<float> ScoreAll(int user,
+                              const std::vector<data::Step>& history) override;
+  double TrainEpoch(const std::vector<data::Sequence>& train) override;
+
+ private:
+  /// Logits for `user` against the item rows `items` ([n, d] each stream).
+  nn::Tensor Logits(int user, const std::vector<int>& item_ids);
+
+  std::unique_ptr<nn::Embedding> users_gmf_;
+  std::unique_ptr<nn::Embedding> items_gmf_;
+  std::unique_ptr<nn::Embedding> users_mlp_;
+  std::unique_ptr<nn::Embedding> items_mlp_;
+  std::unique_ptr<nn::Mlp> mlp_;
+  std::unique_ptr<nn::Linear> fusion_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace causer::models
+
+#endif  // CAUSER_MODELS_NCF_H_

@@ -1,0 +1,159 @@
+#include "models/recommender.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "data/sampler.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace causer::models {
+
+using nn::Tensor;
+
+std::vector<data::Step> SequentialRecommender::Truncate(
+    const std::vector<data::Step>& history) const {
+  const int cap = config_.max_history;
+  if (static_cast<int>(history.size()) <= cap) return history;
+  return std::vector<data::Step>(history.end() - cap, history.end());
+}
+
+RepresentationModel::RepresentationModel(const ModelConfig& config)
+    : SequentialRecommender(config) {
+  out_items_ = std::make_unique<nn::Embedding>(config.num_items,
+                                               config.embedding_dim, rng_);
+  RegisterModule(out_items_.get());
+}
+
+void RepresentationModel::FinalizeOptimizer() {
+  optimizer_ = std::make_unique<nn::Adam>(Parameters(), config_.learning_rate);
+}
+
+Tensor RepresentationModel::StepEmbedding(const nn::Embedding& emb,
+                                          const data::Step& step) const {
+  CAUSER_CHECK(!step.items.empty());
+  Tensor rows = emb.Forward(step.items);  // [k, dim]
+  if (rows.rows() == 1) return rows;
+  return tensor::ScalarMul(tensor::SumCols(rows),
+                           1.0f / static_cast<float>(rows.rows()));
+}
+
+std::vector<float> RepresentationModel::ScoreAll(
+    int user, const std::vector<data::Step>& history) {
+  tensor::NoGradGuard guard;
+  if (history.empty()) {
+    return std::vector<float>(config_.num_items, 0.0f);
+  }
+  Tensor rep = Represent(user, Truncate(history));        // [1, d]
+  Tensor logits = tensor::MatMul(out_items_->weight(), tensor::Transpose(rep));
+  std::vector<float> out(config_.num_items);
+  for (int i = 0; i < config_.num_items; ++i) out[i] = logits.At(i, 0);
+  return out;
+}
+
+double RepresentationModel::TrainEpoch(
+    const std::vector<data::Sequence>& train) {
+  CAUSER_CHECK(optimizer_ != nullptr);
+  auto examples = data::EnumerateExamples(train);
+  rng_.Shuffle(examples);
+
+  double total_loss = 0.0;
+  int count = 0;
+  for (const auto& ex : examples) {
+    const auto& steps = ex.sequence->steps;
+    std::vector<data::Step> history(steps.begin(),
+                                    steps.begin() + ex.target_step);
+    history = Truncate(history);
+    if (history.empty()) continue;
+    const auto& positives = steps[ex.target_step].items;
+    int available = config_.num_items - static_cast<int>(positives.size());
+    int num_neg = std::min(config_.num_negatives, std::max(0, available));
+    std::vector<int> negatives =
+        data::SampleNegatives(config_.num_items, positives, num_neg, rng_);
+
+    std::vector<int> ids = positives;
+    ids.insert(ids.end(), negatives.begin(), negatives.end());
+    std::vector<float> labels(ids.size(), 0.0f);
+    for (size_t i = 0; i < positives.size(); ++i) labels[i] = 1.0f;
+
+    Tensor rep = Represent(ex.sequence->user, history);  // [1, d]
+    Tensor cand = out_items_->Forward(ids);              // [n, d]
+    Tensor logits = tensor::MatMul(cand, tensor::Transpose(rep));  // [n, 1]
+    Tensor targets =
+        Tensor::FromData(static_cast<int>(ids.size()), 1, labels);
+    Tensor loss = tensor::BceWithLogits(logits, targets);
+
+    optimizer_->ZeroGrad();
+    tensor::Backward(loss);
+    optimizer_->ClipGradNorm(config_.grad_clip);
+    optimizer_->Step();
+    total_loss += loss.Item();
+    ++count;
+  }
+  return count > 0 ? total_loss / count : 0.0;
+}
+
+namespace {
+
+std::vector<std::vector<float>> SnapshotParams(
+    const std::vector<Tensor>& params) {
+  std::vector<std::vector<float>> snap;
+  snap.reserve(params.size());
+  for (const auto& p : params) snap.push_back(p.data());
+  return snap;
+}
+
+void RestoreParams(std::vector<Tensor>& params,
+                   const std::vector<std::vector<float>>& snap) {
+  CAUSER_CHECK(params.size() == snap.size());
+  for (size_t i = 0; i < params.size(); ++i) params[i].data() = snap[i];
+}
+
+}  // namespace
+
+FitResult Fit(SequentialRecommender& model, const data::Split& split,
+              const TrainConfig& config) {
+  FitResult result;
+  auto scorer = MakeScorer(model);
+  auto params = model.Parameters();
+  std::vector<std::vector<float>> best_snapshot;
+  double best_ndcg = -1.0;
+  int stale = 0;
+
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    double loss = model.TrainEpoch(split.train);
+    result.epoch_losses.push_back(loss);
+    ++result.epochs_run;
+
+    const auto& val =
+        split.validation.empty() ? split.test : split.validation;
+    eval::EvalResult ev = eval::Evaluate(scorer, val, config.eval_z);
+    if (config.verbose) {
+      CAUSER_LOG(Info) << model.name() << " epoch " << epoch << " loss "
+                       << loss << " val NDCG@" << config.eval_z << " "
+                       << ev.ndcg;
+    }
+    if (epoch + 1 < config.min_epochs) continue;
+    if (ev.ndcg > best_ndcg) {
+      best_ndcg = ev.ndcg;
+      best_snapshot = SnapshotParams(params);
+      stale = 0;
+    } else if (++stale > config.patience) {
+      break;
+    }
+  }
+  if (!best_snapshot.empty()) {
+    RestoreParams(params, best_snapshot);
+    model.OnParametersRestored();
+  }
+  result.best_validation_ndcg = std::max(best_ndcg, 0.0);
+  return result;
+}
+
+eval::Scorer MakeScorer(SequentialRecommender& model) {
+  return [&model](const data::EvalInstance& inst) {
+    return model.ScoreAll(inst.user, inst.history);
+  };
+}
+
+}  // namespace causer::models

@@ -1,0 +1,135 @@
+#ifndef CAUSER_MODELS_RECOMMENDER_H_
+#define CAUSER_MODELS_RECOMMENDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "eval/evaluator.h"
+#include "nn/embedding.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+
+namespace causer::models {
+
+/// Hyper-parameters shared by all models in the comparison suite. Sized for
+/// single-core CPU training on the scaled-down datasets.
+struct ModelConfig {
+  int num_users = 0;
+  int num_items = 0;
+  int embedding_dim = 16;
+  int hidden_dim = 16;
+  /// Negative samples per training example (sigmoid + negative sampling,
+  /// the paper's Section II-A training scheme).
+  int num_negatives = 5;
+  /// History is truncated to the most recent `max_history` steps.
+  int max_history = 12;
+  float learning_rate = 0.01f;
+  float grad_clip = 5.0f;
+  uint64_t seed = 7;
+  /// Item raw features (needed by VTRNN / MMSARec / Causer); may be null.
+  const std::vector<std::vector<float>>* item_features = nullptr;
+};
+
+/// Interface of every recommender in the comparison suite (Table IV).
+/// Inherits the nn::Module parameter registry so the trainer can snapshot
+/// and restore weights for early stopping.
+class SequentialRecommender : public nn::Module {
+ public:
+  explicit SequentialRecommender(const ModelConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Display name, e.g. "GRU4Rec".
+  virtual std::string name() const = 0;
+
+  /// Scores every item given the user's history (inference; higher =
+  /// more likely to be the next interaction).
+  virtual std::vector<float> ScoreAll(
+      int user, const std::vector<data::Step>& history) = 0;
+
+  /// One shuffled pass over the training sequences; returns mean loss.
+  virtual double TrainEpoch(const std::vector<data::Sequence>& train) = 0;
+
+  /// Hook invoked by Fit() after restoring the best parameter snapshot;
+  /// models with derived caches (Causer's item-level W) invalidate them.
+  virtual void OnParametersRestored() {}
+
+  const ModelConfig& config() const { return config_; }
+
+ protected:
+  /// Truncates history to the most recent config_.max_history steps.
+  std::vector<data::Step> Truncate(
+      const std::vector<data::Step>& history) const;
+
+  ModelConfig config_;
+  Rng rng_;
+};
+
+/// Base for models that reduce a history to a single representation vector
+/// and score items by inner product with an output item embedding. Supplies
+/// the BCE + negative-sampling training loop and full-catalog scoring; the
+/// derived model only provides Represent().
+class RepresentationModel : public SequentialRecommender {
+ public:
+  explicit RepresentationModel(const ModelConfig& config);
+
+  std::vector<float> ScoreAll(int user,
+                              const std::vector<data::Step>& history) override;
+  double TrainEpoch(const std::vector<data::Sequence>& train) override;
+
+ protected:
+  /// Maps (user, truncated history) to a [1, embedding_dim] representation.
+  /// `history` is non-empty.
+  virtual nn::Tensor Represent(int user,
+                               const std::vector<data::Step>& history) = 0;
+
+  /// Mean of the item embeddings of one step (the paper's multi-hot input
+  /// handling): [1, dim].
+  nn::Tensor StepEmbedding(const nn::Embedding& emb,
+                           const data::Step& step) const;
+
+  /// Must be called at the end of the derived constructor, after all
+  /// parameters are registered.
+  void FinalizeOptimizer();
+
+  /// Output (scoring) item embeddings e_b.
+  std::unique_ptr<nn::Embedding> out_items_;
+
+ private:
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+/// Training configuration for Fit().
+struct TrainConfig {
+  int max_epochs = 8;
+  /// Early stopping: epochs without validation NDCG improvement.
+  int patience = 2;
+  /// Epochs before early-stopping bookkeeping begins (no snapshots, no
+  /// patience countdown). Used by models with staged training (Causer's
+  /// graph warm-up) whose early epochs would otherwise win the snapshot.
+  int min_epochs = 0;
+  int eval_z = 5;
+  bool verbose = false;
+};
+
+/// Outcome of Fit().
+struct FitResult {
+  int epochs_run = 0;
+  double best_validation_ndcg = 0.0;
+  std::vector<double> epoch_losses;
+};
+
+/// Trains `model` on split.train with early stopping on split.validation
+/// NDCG@eval_z, restoring the best parameters before returning.
+FitResult Fit(SequentialRecommender& model, const data::Split& split,
+              const TrainConfig& config = {});
+
+/// Adapts a model to the evaluator's Scorer interface.
+eval::Scorer MakeScorer(SequentialRecommender& model);
+
+}  // namespace causer::models
+
+#endif  // CAUSER_MODELS_RECOMMENDER_H_

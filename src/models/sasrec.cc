@@ -1,0 +1,54 @@
+#include "models/sasrec.h"
+
+#include "tensor/ops.h"
+
+namespace causer::models {
+
+using nn::Tensor;
+
+SasRec::SasRec(const ModelConfig& config) : RepresentationModel(config) {
+  const int d = config.embedding_dim;
+  in_items_ = std::make_unique<nn::Embedding>(config.num_items, d, rng_);
+  positions_ = std::make_unique<nn::Embedding>(config.max_history, d, rng_);
+  attention_ = std::make_unique<nn::CausalSelfAttention>(d, rng_);
+  ffn1_ = std::make_unique<nn::Linear>(d, d, rng_);
+  ffn2_ = std::make_unique<nn::Linear>(d, d, rng_);
+  norm1_ = std::make_unique<nn::LayerNorm>(d);
+  norm2_ = std::make_unique<nn::LayerNorm>(d);
+  RegisterModule(in_items_.get());
+  RegisterModule(positions_.get());
+  RegisterModule(attention_.get());
+  RegisterModule(ffn1_.get());
+  RegisterModule(ffn2_.get());
+  RegisterModule(norm1_.get());
+  RegisterModule(norm2_.get());
+  FinalizeOptimizer();
+}
+
+Tensor SasRec::InputEmbedding(const data::Step& step) {
+  return StepEmbedding(*in_items_, step);
+}
+
+Tensor SasRec::Represent(int user, const std::vector<data::Step>& history) {
+  (void)user;
+  std::vector<Tensor> embeds;
+  for (const auto& step : history) {
+    if (step.items.empty()) continue;
+    embeds.push_back(InputEmbedding(step));
+  }
+  CAUSER_CHECK(!embeds.empty());
+  const int t = static_cast<int>(embeds.size());
+  Tensor x = tensor::ConcatRows(embeds);  // [T, d]
+  std::vector<int> pos(t);
+  for (int i = 0; i < t; ++i) pos[i] = config_.max_history - t + i;
+  x = tensor::Add(x, positions_->Forward(pos));
+
+  // Self-attention block with residual connection and layer norm.
+  Tensor attended = norm1_->Forward(tensor::Add(attention_->Forward(x), x));
+  // Pointwise FFN with residual and layer norm.
+  Tensor ffn = ffn2_->Forward(tensor::Relu(ffn1_->Forward(attended)));
+  Tensor out = norm2_->Forward(tensor::Add(ffn, attended));
+  return tensor::SliceRows(out, t - 1, 1);
+}
+
+}  // namespace causer::models

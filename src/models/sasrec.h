@@ -1,0 +1,40 @@
+#ifndef CAUSER_MODELS_SASREC_H_
+#define CAUSER_MODELS_SASREC_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+#include "nn/attention.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+
+namespace causer::models {
+
+/// SASRec (Kang & McAuley, 2018): item + positional embeddings feed a
+/// causal self-attention block with a residual pointwise feed-forward
+/// network; the representation at the last position scores the catalog.
+class SasRec : public RepresentationModel {
+ public:
+  explicit SasRec(const ModelConfig& config);
+
+  std::string name() const override { return "SASRec"; }
+
+ protected:
+  nn::Tensor Represent(int user,
+                       const std::vector<data::Step>& history) override;
+
+  /// Per-step input embedding hook (MMSARec overrides to add side info).
+  virtual nn::Tensor InputEmbedding(const data::Step& step);
+
+  std::unique_ptr<nn::Embedding> in_items_;
+  std::unique_ptr<nn::Embedding> positions_;
+  std::unique_ptr<nn::CausalSelfAttention> attention_;
+  std::unique_ptr<nn::Linear> ffn1_;
+  std::unique_ptr<nn::Linear> ffn2_;
+  std::unique_ptr<nn::LayerNorm> norm1_;
+  std::unique_ptr<nn::LayerNorm> norm2_;
+};
+
+}  // namespace causer::models
+
+#endif  // CAUSER_MODELS_SASREC_H_

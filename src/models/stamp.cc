@@ -1,0 +1,55 @@
+#include "models/stamp.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace causer::models {
+
+using nn::Tensor;
+
+Stamp::Stamp(const ModelConfig& config) : RepresentationModel(config) {
+  const int d = config.embedding_dim;
+  in_items_ = std::make_unique<nn::Embedding>(config.num_items, d, rng_);
+  w1_ = std::make_unique<nn::Linear>(d, d, rng_, /*with_bias=*/true);
+  w2_ = std::make_unique<nn::Linear>(d, d, rng_, /*with_bias=*/false);
+  w3_ = std::make_unique<nn::Linear>(d, d, rng_, /*with_bias=*/false);
+  w0_ = RegisterParameter(nn::XavierUniform(d, 1, rng_));
+  mlp_a_ = std::make_unique<nn::Linear>(d, d, rng_);
+  mlp_t_ = std::make_unique<nn::Linear>(d, d, rng_);
+  RegisterModule(in_items_.get());
+  RegisterModule(w1_.get());
+  RegisterModule(w2_.get());
+  RegisterModule(w3_.get());
+  RegisterModule(mlp_a_.get());
+  RegisterModule(mlp_t_.get());
+  FinalizeOptimizer();
+}
+
+Tensor Stamp::Represent(int user, const std::vector<data::Step>& history) {
+  (void)user;
+  std::vector<Tensor> embeds;
+  for (const auto& step : history) {
+    if (step.items.empty()) continue;
+    embeds.push_back(StepEmbedding(*in_items_, step));
+  }
+  CAUSER_CHECK(!embeds.empty());
+  Tensor x = tensor::ConcatRows(embeds);  // [T, d]
+  const int t = x.rows();
+  // m_s: session mean; m_t: last step embedding.
+  Tensor m_s = tensor::ScalarMul(tensor::SumCols(x), 1.0f / t);  // [1, d]
+  Tensor m_t = tensor::SliceRows(x, t - 1, 1);                   // [1, d]
+
+  // Attention scores per step; W2 m_t and W3 m_s broadcast over rows.
+  Tensor pre = tensor::Sigmoid(tensor::Add(
+      tensor::Add(w1_->Forward(x), w2_->Forward(m_t)), w3_->Forward(m_s)));
+  Tensor scores = tensor::MatMul(pre, w0_);  // [T, 1]
+  // STAMP uses unnormalized attention; the attended memory is the
+  // score-weighted sum of item embeddings.
+  Tensor m_a = tensor::MatMul(tensor::Transpose(scores), x);  // [1, d]
+
+  Tensor h_s = tensor::Tanh(mlp_a_->Forward(m_a));
+  Tensor h_t = tensor::Tanh(mlp_t_->Forward(m_t));
+  return tensor::Mul(h_s, h_t);
+}
+
+}  // namespace causer::models

@@ -1,0 +1,37 @@
+#ifndef CAUSER_MODELS_STAMP_H_
+#define CAUSER_MODELS_STAMP_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+#include "nn/linear.h"
+
+namespace causer::models {
+
+/// STAMP (Liu et al., 2018): Short-Term Attention/Memory Priority model.
+/// Attention over history item embeddings with a query built from the
+/// session mean (long-term) and the last step (short-term); two MLPs embed
+/// the attended memory and the last step, and their elementwise product is
+/// the session representation.
+class Stamp : public RepresentationModel {
+ public:
+  explicit Stamp(const ModelConfig& config);
+
+  std::string name() const override { return "STAMP"; }
+
+ protected:
+  nn::Tensor Represent(int user,
+                       const std::vector<data::Step>& history) override;
+
+ private:
+  std::unique_ptr<nn::Embedding> in_items_;
+  // Attention network: a_t = w0^T sigmoid(W1 x_t + W2 m_t + W3 m_s + b).
+  std::unique_ptr<nn::Linear> w1_, w2_, w3_;
+  nn::Tensor w0_;  // [d, 1]
+  std::unique_ptr<nn::Linear> mlp_a_;  // attended memory -> h_s
+  std::unique_ptr<nn::Linear> mlp_t_;  // last step -> h_t
+};
+
+}  // namespace causer::models
+
+#endif  // CAUSER_MODELS_STAMP_H_

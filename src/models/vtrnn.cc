@@ -1,0 +1,48 @@
+#include "models/vtrnn.h"
+
+#include "common/log.h"
+#include "tensor/ops.h"
+
+namespace causer::models {
+
+using nn::Tensor;
+
+Vtrnn::Vtrnn(const ModelConfig& config) : RepresentationModel(config) {
+  CAUSER_CHECK(config.item_features != nullptr &&
+               !config.item_features->empty());
+  feature_dim_ = static_cast<int>((*config.item_features)[0].size());
+  const int d = config.embedding_dim;
+  in_items_ = std::make_unique<nn::Embedding>(config.num_items, d, rng_);
+  feature_proj_ = std::make_unique<nn::Linear>(feature_dim_, d, rng_);
+  cell_ = std::make_unique<nn::GruCell>(2 * d, config.hidden_dim, rng_);
+  out_proj_ = std::make_unique<nn::Linear>(config.hidden_dim, d, rng_);
+  RegisterModule(in_items_.get());
+  RegisterModule(feature_proj_.get());
+  RegisterModule(cell_.get());
+  RegisterModule(out_proj_.get());
+  FinalizeOptimizer();
+}
+
+Tensor Vtrnn::StepFeatures(const data::Step& step) const {
+  std::vector<float> mean(feature_dim_, 0.0f);
+  for (int item : step.items) {
+    const auto& f = (*config_.item_features)[item];
+    for (int k = 0; k < feature_dim_; ++k) mean[k] += f[k];
+  }
+  for (auto& v : mean) v /= static_cast<float>(step.items.size());
+  return Tensor::FromData(1, feature_dim_, std::move(mean));
+}
+
+Tensor Vtrnn::Represent(int user, const std::vector<data::Step>& history) {
+  (void)user;
+  Tensor h = cell_->InitialState();
+  for (const auto& step : history) {
+    if (step.items.empty()) continue;
+    Tensor emb = StepEmbedding(*in_items_, step);
+    Tensor feat = feature_proj_->Forward(StepFeatures(step));
+    h = cell_->Forward(tensor::ConcatCols(emb, feat), h);
+  }
+  return out_proj_->Forward(h);
+}
+
+}  // namespace causer::models

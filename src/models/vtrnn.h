@@ -1,0 +1,39 @@
+#ifndef CAUSER_MODELS_VTRNN_H_
+#define CAUSER_MODELS_VTRNN_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+#include "nn/linear.h"
+#include "nn/rnn_cells.h"
+
+namespace causer::models {
+
+/// VTRNN (Cui et al., 2016): a recurrent recommender whose step inputs are
+/// the concatenation of the item embedding and a learned projection of the
+/// item's raw side features (visual/textual in the original; our synthetic
+/// raw features here). Requires config.item_features.
+class Vtrnn : public RepresentationModel {
+ public:
+  explicit Vtrnn(const ModelConfig& config);
+
+  std::string name() const override { return "VTRNN"; }
+
+ protected:
+  nn::Tensor Represent(int user,
+                       const std::vector<data::Step>& history) override;
+
+ private:
+  /// Mean raw-feature vector of a step: [1, feature_dim] constant tensor.
+  nn::Tensor StepFeatures(const data::Step& step) const;
+
+  std::unique_ptr<nn::Embedding> in_items_;
+  std::unique_ptr<nn::Linear> feature_proj_;
+  std::unique_ptr<nn::GruCell> cell_;
+  std::unique_ptr<nn::Linear> out_proj_;
+  int feature_dim_;
+};
+
+}  // namespace causer::models
+
+#endif  // CAUSER_MODELS_VTRNN_H_

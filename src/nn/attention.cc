@@ -1,0 +1,68 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace causer::nn {
+
+using tensor::Add;
+using tensor::MatMul;
+using tensor::ScalarMul;
+using tensor::SoftmaxRows;
+using tensor::Tensor;
+using tensor::Transpose;
+
+BilinearAttention::BilinearAttention(int dim, causer::Rng& rng) {
+  a_ = RegisterParameter(XavierUniform(dim, dim, rng));
+}
+
+Tensor BilinearAttention::Scores(const Tensor& history,
+                                 const Tensor& query) const {
+  CAUSER_CHECK(history.cols() == a_.rows() && query.cols() == a_.cols());
+  // [T, dim] x [dim, dim] x [dim, 1] -> [T, 1]
+  return MatMul(MatMul(history, a_), Transpose(query));
+}
+
+Tensor BilinearAttention::Weights(const Tensor& history,
+                                  const Tensor& query) const {
+  Tensor scores = Scores(history, query);       // [T, 1]
+  Tensor row = Transpose(scores);               // [1, T]
+  return Transpose(SoftmaxRows(row));           // softmax over T -> [T, 1]
+}
+
+Tensor BilinearAttention::Pool(const Tensor& history,
+                               const Tensor& query) const {
+  Tensor w = Weights(history, query);           // [T, 1]
+  return MatMul(Transpose(w), history);         // [1, dim]
+}
+
+CausalSelfAttention::CausalSelfAttention(int dim, causer::Rng& rng)
+    : dim_(dim) {
+  wq_ = std::make_unique<Linear>(dim, dim, rng, /*with_bias=*/false);
+  wk_ = std::make_unique<Linear>(dim, dim, rng, /*with_bias=*/false);
+  wv_ = std::make_unique<Linear>(dim, dim, rng, /*with_bias=*/false);
+  RegisterModule(wq_.get());
+  RegisterModule(wk_.get());
+  RegisterModule(wv_.get());
+}
+
+Tensor CausalSelfAttention::Forward(const Tensor& x) const {
+  CAUSER_CHECK(x.cols() == dim_);
+  const int t = x.rows();
+  Tensor q = wq_->Forward(x);
+  Tensor k = wk_->Forward(x);
+  Tensor v = wv_->Forward(x);
+  Tensor scores =
+      ScalarMul(MatMul(q, Transpose(k)), 1.0f / std::sqrt(static_cast<float>(dim_)));
+  // Causal mask: position i may not attend to j > i.
+  Tensor mask = Tensor::Zeros(t, t);
+  for (int i = 0; i < t; ++i)
+    for (int j = i + 1; j < t; ++j) mask.At(i, j) = -1e9f;
+  scores = Add(scores, mask);
+  Tensor weights = SoftmaxRows(scores);
+  return MatMul(weights, v);
+}
+
+}  // namespace causer::nn

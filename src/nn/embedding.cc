@@ -1,0 +1,27 @@
+#include "nn/embedding.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace causer::nn {
+
+Embedding::Embedding(int num_embeddings, int dim, causer::Rng& rng,
+                     float scale) {
+  // scale == 0 requests a zero table; skip the generator entirely so the
+  // surrounding model's random stream is identical with or without this
+  // embedding (important for reproducibility of configuration ablations).
+  weight_ = RegisterParameter(scale == 0.0f
+                                  ? ZeroParam(num_embeddings, dim)
+                                  : UniformParam(num_embeddings, dim, scale,
+                                                 rng));
+}
+
+Tensor Embedding::Forward(const std::vector<int>& indices) const {
+  return tensor::GatherRows(weight_, indices);
+}
+
+Tensor Embedding::Row(int index) const {
+  return tensor::GatherRows(weight_, {index});
+}
+
+}  // namespace causer::nn

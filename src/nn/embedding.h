@@ -1,0 +1,31 @@
+#ifndef CAUSER_NN_EMBEDDING_H_
+#define CAUSER_NN_EMBEDDING_H_
+
+#include "nn/module.h"
+
+namespace causer::nn {
+
+/// Lookup table [num_embeddings, dim]; rows are gathered differentiably.
+class Embedding : public Module {
+ public:
+  Embedding(int num_embeddings, int dim, causer::Rng& rng, float scale = 0.1f);
+
+  /// Gathers rows: -> [indices.size(), dim].
+  Tensor Forward(const std::vector<int>& indices) const;
+
+  /// Single-row convenience: -> [1, dim].
+  Tensor Row(int index) const;
+
+  /// Full table, e.g. for scoring all items at once: [num, dim].
+  const Tensor& weight() const { return weight_; }
+
+  int num_embeddings() const { return weight_.rows(); }
+  int dim() const { return weight_.cols(); }
+
+ private:
+  Tensor weight_;
+};
+
+}  // namespace causer::nn
+
+#endif  // CAUSER_NN_EMBEDDING_H_

@@ -1,0 +1,22 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace causer::nn {
+
+tensor::Tensor XavierUniform(int rows, int cols, causer::Rng& rng) {
+  float a = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  return tensor::Tensor::RandomUniform(rows, cols, -a, a, rng,
+                                       /*requires_grad=*/true);
+}
+
+tensor::Tensor UniformParam(int rows, int cols, float scale, causer::Rng& rng) {
+  return tensor::Tensor::RandomUniform(rows, cols, -scale, scale, rng,
+                                       /*requires_grad=*/true);
+}
+
+tensor::Tensor ZeroParam(int rows, int cols) {
+  return tensor::Tensor::Zeros(rows, cols, /*requires_grad=*/true);
+}
+
+}  // namespace causer::nn

@@ -1,0 +1,21 @@
+#ifndef CAUSER_NN_INIT_H_
+#define CAUSER_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace causer::nn {
+
+/// Xavier/Glorot uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+/// Returned tensor has requires_grad = true.
+tensor::Tensor XavierUniform(int rows, int cols, causer::Rng& rng);
+
+/// Uniform init in [-scale, scale] with requires_grad = true.
+tensor::Tensor UniformParam(int rows, int cols, float scale, causer::Rng& rng);
+
+/// Zero-initialized parameter (e.g. biases) with requires_grad = true.
+tensor::Tensor ZeroParam(int rows, int cols);
+
+}  // namespace causer::nn
+
+#endif  // CAUSER_NN_INIT_H_

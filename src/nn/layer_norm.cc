@@ -1,0 +1,27 @@
+#include "nn/layer_norm.h"
+
+#include "tensor/ops.h"
+
+namespace causer::nn {
+
+using tensor::Tensor;
+
+LayerNorm::LayerNorm(int dim, float eps) : dim_(dim), eps_(eps) {
+  gamma_ = RegisterParameter(Tensor::Full(1, dim, 1.0f, /*requires_grad=*/true));
+  beta_ = RegisterParameter(Tensor::Zeros(1, dim, /*requires_grad=*/true));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  CAUSER_CHECK(x.cols() == dim_);
+  const float inv_d = 1.0f / static_cast<float>(dim_);
+  Tensor mean = tensor::ScalarMul(tensor::SumRows(x), inv_d);     // [n, 1]
+  Tensor centered = tensor::Sub(x, mean);                          // broadcast
+  Tensor var = tensor::ScalarMul(
+      tensor::SumRows(tensor::Mul(centered, centered)), inv_d);    // [n, 1]
+  Tensor inv_std = tensor::Div(Tensor::Full(var.rows(), 1, 1.0f),
+                               tensor::Sqrt(tensor::AddScalar(var, eps_)));
+  Tensor normalized = tensor::Mul(centered, inv_std);              // broadcast
+  return tensor::Add(tensor::Mul(normalized, gamma_), beta_);
+}
+
+}  // namespace causer::nn

@@ -1,0 +1,31 @@
+#ifndef CAUSER_NN_LAYER_NORM_H_
+#define CAUSER_NN_LAYER_NORM_H_
+
+#include "nn/module.h"
+
+namespace causer::nn {
+
+/// Layer normalization (Ba et al., 2016): per-row standardization followed
+/// by a learned affine map,
+///   y = (x - mean) / sqrt(var + eps) * gamma + beta.
+/// Used by the SASRec baseline's transformer block.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int dim, float eps = 1e-5f);
+
+  /// x: [n, dim] -> [n, dim], each row normalized independently.
+  Tensor Forward(const Tensor& x) const;
+
+  const Tensor& gamma() const { return gamma_; }
+  const Tensor& beta() const { return beta_; }
+
+ private:
+  int dim_;
+  float eps_;
+  Tensor gamma_;  // [1, dim]
+  Tensor beta_;   // [1, dim]
+};
+
+}  // namespace causer::nn
+
+#endif  // CAUSER_NN_LAYER_NORM_H_

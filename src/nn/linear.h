@@ -1,0 +1,51 @@
+#ifndef CAUSER_NN_LINEAR_H_
+#define CAUSER_NN_LINEAR_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace causer::nn {
+
+/// Affine map y = x W + b with W: [in, out], b: [1, out].
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, causer::Rng& rng,
+         bool with_bias = true);
+
+  /// x: [n, in] -> [n, out].
+  Tensor Forward(const Tensor& x) const;
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Tensor weight_;
+  Tensor bias_;  // undefined when with_bias == false
+};
+
+/// Multi-layer perceptron with a fixed activation between layers
+/// (sigmoid, matching the paper's encoder/decoder; ReLU optional).
+class Mlp : public Module {
+ public:
+  enum class Activation { kSigmoid, kRelu, kTanh };
+
+  /// dims = {in, hidden..., out}; activation applied between layers but not
+  /// after the final one.
+  Mlp(const std::vector<int>& dims, Activation activation, causer::Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation activation_;
+};
+
+}  // namespace causer::nn
+
+#endif  // CAUSER_NN_LINEAR_H_

@@ -1,0 +1,35 @@
+#include "nn/module.h"
+
+namespace causer::nn {
+
+Tensor Module::RegisterParameter(Tensor t) {
+  CAUSER_CHECK(t.defined() && t.requires_grad());
+  params_.push_back(t);
+  return t;
+}
+
+void Module::RegisterModule(Module* child) {
+  CAUSER_CHECK(child != nullptr && child != this);
+  children_.push_back(child);
+}
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> all = params_;
+  for (const Module* child : children_) {
+    auto sub = child->Parameters();
+    all.insert(all.end(), sub.begin(), sub.end());
+  }
+  return all;
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+int Module::NumParameters() const {
+  int n = 0;
+  for (const auto& p : Parameters()) n += p.size();
+  return n;
+}
+
+}  // namespace causer::nn

@@ -1,0 +1,48 @@
+#ifndef CAUSER_NN_MODULE_H_
+#define CAUSER_NN_MODULE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace causer::nn {
+
+using tensor::Tensor;
+
+/// Base class for anything that owns trainable parameters.
+///
+/// Child modules register themselves with RegisterModule so that
+/// `Parameters()` flattens the whole tree; optimizers operate on that flat
+/// list. Modules are neither copyable nor movable (parameter identity
+/// matters to optimizers).
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its registered children.
+  std::vector<Tensor> Parameters() const;
+
+  /// Zeroes every parameter gradient in the tree.
+  void ZeroGrad();
+
+  /// Total number of scalar parameters in the tree.
+  int NumParameters() const;
+
+ protected:
+  /// Registers a direct parameter tensor (must have requires_grad == true).
+  Tensor RegisterParameter(Tensor t);
+
+  /// Registers a child module; the child must outlive this module.
+  void RegisterModule(Module* child);
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace causer::nn
+
+#endif  // CAUSER_NN_MODULE_H_

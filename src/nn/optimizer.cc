@@ -1,0 +1,89 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace causer::nn {
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
+  for (const auto& p : params_) CAUSER_CHECK(p.defined() && p.requires_grad());
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double total = 0.0;
+  for (const auto& p : params_) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    float scale = static_cast<float>(max_norm / norm);
+    for (auto& p : params_) {
+      auto& node = *p.node();
+      for (auto& g : node.grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i)
+      velocity_[i].assign(params_[i].size(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& node = *params_[i].node();
+    if (node.grad.empty()) continue;
+    if (momentum_ > 0.0f) {
+      for (size_t j = 0; j < node.value.size(); ++j) {
+        velocity_[i][j] = momentum_ * velocity_[i][j] + node.grad[j];
+        node.value[j] -= lr_ * velocity_[i][j];
+      }
+    } else {
+      for (size_t j = 0; j < node.value.size(); ++j)
+        node.value[j] -= lr_ * node.grad[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].size(), 0.0f);
+    v_[i].assign(params_[i].size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& node = *params_[i].node();
+    if (node.grad.empty()) continue;
+    for (size_t j = 0; j < node.value.size(); ++j) {
+      float g = node.grad[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
+      float mhat = m_[i][j] / bc1;
+      float vhat = v_[i][j] / bc2;
+      node.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace causer::nn

@@ -1,0 +1,72 @@
+#ifndef CAUSER_NN_OPTIMIZER_H_
+#define CAUSER_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace causer::nn {
+
+using tensor::Tensor;
+
+/// Base optimizer over a fixed flat parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently stored on the params.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  /// Rescales all gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Plain stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int step_count_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace causer::nn
+
+#endif  // CAUSER_NN_OPTIMIZER_H_

@@ -1,0 +1,91 @@
+#include "nn/rnn_cells.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace causer::nn {
+
+using tensor::Add;
+using tensor::MatMul;
+using tensor::Mul;
+using tensor::Sigmoid;
+using tensor::Sub;
+using tensor::Tanh;
+using tensor::Tensor;
+
+namespace {
+
+Tensor Gate(const Tensor& x, const Tensor& w, const Tensor& h, const Tensor& u,
+            const Tensor& b) {
+  return Add(Add(MatMul(x, w), MatMul(h, u)), b);
+}
+
+}  // namespace
+
+GruCell::GruCell(int input_dim, int hidden_dim, causer::Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  auto weight = [&](int in, int out) {
+    return RegisterParameter(XavierUniform(in, out, rng));
+  };
+  auto bias = [&](int out) { return RegisterParameter(ZeroParam(1, out)); };
+  wz_ = weight(input_dim, hidden_dim);
+  uz_ = weight(hidden_dim, hidden_dim);
+  bz_ = bias(hidden_dim);
+  wr_ = weight(input_dim, hidden_dim);
+  ur_ = weight(hidden_dim, hidden_dim);
+  br_ = bias(hidden_dim);
+  wc_ = weight(input_dim, hidden_dim);
+  uc_ = weight(hidden_dim, hidden_dim);
+  bc_ = bias(hidden_dim);
+}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  CAUSER_CHECK(x.cols() == input_dim_ && h.cols() == hidden_dim_);
+  Tensor z = Sigmoid(Gate(x, wz_, h, uz_, bz_));
+  Tensor r = Sigmoid(Gate(x, wr_, h, ur_, br_));
+  Tensor c = Tanh(Add(Add(MatMul(x, wc_), MatMul(Mul(r, h), uc_)), bc_));
+  // (1-z)*h + z*c
+  Tensor one_minus_z = Sub(Tensor::Full(z.rows(), z.cols(), 1.0f), z);
+  return Add(Mul(one_minus_z, h), Mul(z, c));
+}
+
+Tensor GruCell::InitialState(int n) const {
+  return Tensor::Zeros(n, hidden_dim_);
+}
+
+LstmCell::LstmCell(int input_dim, int hidden_dim, causer::Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  auto weight = [&](int in, int out) {
+    return RegisterParameter(XavierUniform(in, out, rng));
+  };
+  auto bias = [&](int out) { return RegisterParameter(ZeroParam(1, out)); };
+  wi_ = weight(input_dim, hidden_dim);
+  ui_ = weight(hidden_dim, hidden_dim);
+  bi_ = bias(hidden_dim);
+  wf_ = weight(input_dim, hidden_dim);
+  uf_ = weight(hidden_dim, hidden_dim);
+  bf_ = bias(hidden_dim);
+  wo_ = weight(input_dim, hidden_dim);
+  uo_ = weight(hidden_dim, hidden_dim);
+  bo_ = bias(hidden_dim);
+  wg_ = weight(input_dim, hidden_dim);
+  ug_ = weight(hidden_dim, hidden_dim);
+  bg_ = bias(hidden_dim);
+}
+
+LstmState LstmCell::Forward(const Tensor& x, const LstmState& state) const {
+  CAUSER_CHECK(x.cols() == input_dim_ && state.h.cols() == hidden_dim_);
+  Tensor i = Sigmoid(Gate(x, wi_, state.h, ui_, bi_));
+  Tensor f = Sigmoid(Gate(x, wf_, state.h, uf_, bf_));
+  Tensor o = Sigmoid(Gate(x, wo_, state.h, uo_, bo_));
+  Tensor g = Tanh(Gate(x, wg_, state.h, ug_, bg_));
+  Tensor c_next = Add(Mul(f, state.c), Mul(i, g));
+  Tensor h_next = Mul(o, Tanh(c_next));
+  return {h_next, c_next};
+}
+
+LstmState LstmCell::InitialState(int n) const {
+  return {Tensor::Zeros(n, hidden_dim_), Tensor::Zeros(n, hidden_dim_)};
+}
+
+}  // namespace causer::nn

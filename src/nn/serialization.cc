@@ -1,0 +1,81 @@
+#include "nn/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace causer::nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x43415553;  // "CAUS"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU32(std::FILE* f, uint32_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadU32(std::FILE* f, uint32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+bool SaveParameters(const Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  auto params = module.Parameters();
+  if (!WriteU32(f.get(), kMagic) || !WriteU32(f.get(), kVersion) ||
+      !WriteU32(f.get(), static_cast<uint32_t>(params.size()))) {
+    return false;
+  }
+  for (const auto& p : params) {
+    if (!WriteU32(f.get(), static_cast<uint32_t>(p.rows())) ||
+        !WriteU32(f.get(), static_cast<uint32_t>(p.cols()))) {
+      return false;
+    }
+    if (std::fwrite(p.data().data(), sizeof(float), p.data().size(),
+                    f.get()) != p.data().size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadParameters(Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  uint32_t magic = 0, version = 0, count = 0;
+  if (!ReadU32(f.get(), &magic) || magic != kMagic) return false;
+  if (!ReadU32(f.get(), &version) || version != kVersion) return false;
+  auto params = module.Parameters();
+  if (!ReadU32(f.get(), &count) || count != params.size()) return false;
+
+  // Stage everything first so a short/mismatched file cannot leave the
+  // module half-loaded.
+  std::vector<std::vector<float>> staged(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    uint32_t rows = 0, cols = 0;
+    if (!ReadU32(f.get(), &rows) || !ReadU32(f.get(), &cols)) return false;
+    if (static_cast<int>(rows) != params[i].rows() ||
+        static_cast<int>(cols) != params[i].cols()) {
+      return false;
+    }
+    staged[i].resize(static_cast<size_t>(rows) * cols);
+    if (std::fread(staged[i].data(), sizeof(float), staged[i].size(),
+                   f.get()) != staged[i].size()) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) params[i].data() = staged[i];
+  return true;
+}
+
+}  // namespace causer::nn

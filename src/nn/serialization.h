@@ -1,0 +1,23 @@
+#ifndef CAUSER_NN_SERIALIZATION_H_
+#define CAUSER_NN_SERIALIZATION_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace causer::nn {
+
+/// Writes all parameters of `module` to `path` in a simple binary format
+/// (magic, parameter count, then per parameter: rows, cols, row-major
+/// float data). Returns false on I/O failure.
+bool SaveParameters(const Module& module, const std::string& path);
+
+/// Loads parameters saved by SaveParameters into `module`. The module must
+/// have the same architecture: parameter count and every shape must match,
+/// otherwise loading fails and the module is left unchanged. Returns true
+/// on success.
+bool LoadParameters(Module& module, const std::string& path);
+
+}  // namespace causer::nn
+
+#endif  // CAUSER_NN_SERIALIZATION_H_

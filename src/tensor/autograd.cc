@@ -1,0 +1,74 @@
+#include "tensor/autograd.h"
+
+#include <vector>
+
+namespace causer::tensor {
+namespace {
+
+using internal::Node;
+
+// Monotone epoch for visit marks, so we never have to clear them. Graphs
+// are thread-confined, so per-thread epochs suffice.
+thread_local int g_visit_epoch = 0;
+
+// Iterative post-order DFS producing children-before-parents order; we then
+// walk it backwards so each node's grad is complete before propagation.
+void TopoSort(Node* root, std::vector<Node*>& order, int epoch) {
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (root->visit_mark == epoch) return;
+  root->visit_mark = epoch;
+  stack.push_back({root, 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent++].get();
+      if (parent->visit_mark != epoch && parent->requires_grad) {
+        parent->visit_mark = epoch;
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Tensor& loss) {
+  CAUSER_CHECK(loss.defined() && loss.size() == 1);
+  Node* root = loss.node().get();
+  if (!root->requires_grad) return;
+
+  std::vector<Node*> order;
+  TopoSort(root, order, ++g_visit_epoch);
+
+  root->EnsureGrad();
+  root->grad[0] += 1.0f;
+
+  // `order` is post-order (leaves first); iterate from the root backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      node->backward_fn(*node);
+    }
+  }
+}
+
+double NumericalGradient(const std::function<double()>& f, Tensor& x, int r,
+                         int c, double eps) {
+  float original = x.At(r, c);
+  x.At(r, c) = original + static_cast<float>(eps);
+  double up = f();
+  x.At(r, c) = original - static_cast<float>(eps);
+  double down = f();
+  x.At(r, c) = original;
+  return (up - down) / (2.0 * eps);
+}
+
+}  // namespace causer::tensor

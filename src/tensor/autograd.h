@@ -1,0 +1,21 @@
+#ifndef CAUSER_TENSOR_AUTOGRAD_H_
+#define CAUSER_TENSOR_AUTOGRAD_H_
+
+#include "tensor/tensor.h"
+
+namespace causer::tensor {
+
+/// Runs reverse-mode automatic differentiation from `loss`, which must be a
+/// [1,1] scalar. Gradients are *accumulated* into every reachable node with
+/// `requires_grad == true`; call ZeroGrad() on parameters (or use an
+/// Optimizer, which does it for you) between steps.
+void Backward(const Tensor& loss);
+
+/// Numerical gradient of `f` with respect to entry (r, c) of `x`, via
+/// central differences. Test utility for verifying the analytic gradients.
+double NumericalGradient(const std::function<double()>& f, Tensor& x, int r,
+                         int c, double eps = 1e-3);
+
+}  // namespace causer::tensor
+
+#endif  // CAUSER_TENSOR_AUTOGRAD_H_

@@ -1,0 +1,520 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <functional>
+
+namespace causer::tensor {
+namespace {
+
+using internal::Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// Creates the result node of an op. Parents and the backward closure are
+/// only recorded when gradients are globally enabled and at least one parent
+/// requires them; otherwise the result is a detached leaf.
+Tensor MakeResult(int rows, int cols, std::vector<NodePtr> parents,
+                  std::function<void(Node&)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->rows = rows;
+  node->cols = cols;
+  node->value.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  bool needs_grad = false;
+  if (GradEnabled()) {
+    for (const auto& p : parents) {
+      if (p->requires_grad) {
+        needs_grad = true;
+        break;
+      }
+    }
+  }
+  if (needs_grad) {
+    node->requires_grad = true;
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward_fn);
+  }
+  return Tensor(node);
+}
+
+bool BroadcastCompatible(int da, int db) { return da == db || da == 1 || db == 1; }
+
+/// Generic broadcasting binary elementwise op.
+/// fwd(x, y) computes the value; dfa/dfb give dL/dx and dL/dy contributions
+/// as functions of (x, y, gout).
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b,
+                       float (*fwd)(float, float),
+                       float (*dfa)(float, float, float),
+                       float (*dfb)(float, float, float)) {
+  CAUSER_CHECK(a.defined() && b.defined());
+  CAUSER_CHECK(BroadcastCompatible(a.rows(), b.rows()));
+  CAUSER_CHECK(BroadcastCompatible(a.cols(), b.cols()));
+  const int rows = std::max(a.rows(), b.rows());
+  const int cols = std::max(a.cols(), b.cols());
+  NodePtr an = a.node();
+  NodePtr bn = b.node();
+
+  auto index = [](const NodePtr& n, int r, int c) {
+    int rr = n->rows == 1 ? 0 : r;
+    int cc = n->cols == 1 ? 0 : c;
+    return static_cast<size_t>(rr) * n->cols + cc;
+  };
+
+  Tensor out = MakeResult(
+      rows, cols, {an, bn}, [an, bn, rows, cols, dfa, dfb, index](Node& self) {
+        if (an->requires_grad) an->EnsureGrad();
+        if (bn->requires_grad) bn->EnsureGrad();
+        for (int r = 0; r < rows; ++r) {
+          for (int c = 0; c < cols; ++c) {
+            size_t oi = static_cast<size_t>(r) * cols + c;
+            float g = self.grad[oi];
+            float x = an->value[index(an, r, c)];
+            float y = bn->value[index(bn, r, c)];
+            if (an->requires_grad) an->grad[index(an, r, c)] += dfa(x, y, g);
+            if (bn->requires_grad) bn->grad[index(bn, r, c)] += dfb(x, y, g);
+          }
+        }
+      });
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out.data()[static_cast<size_t>(r) * cols + c] =
+          fwd(an->value[index(an, r, c)], bn->value[index(bn, r, c)]);
+    }
+  }
+  return out;
+}
+
+/// Generic elementwise unary op; dfn(x, y, gout) returns dL/dx where y is
+/// the forward output (lets sigmoid/tanh reuse the output).
+Tensor UnaryOp(const Tensor& a, float (*fwd)(float),
+               float (*dfn)(float, float, float)) {
+  CAUSER_CHECK(a.defined());
+  NodePtr an = a.node();
+  Tensor out = MakeResult(a.rows(), a.cols(), {an}, [an, dfn](Node& self) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < self.value.size(); ++i) {
+      an->grad[i] += dfn(an->value[i], self.value[i], self.grad[i]);
+    }
+  });
+  for (size_t i = 0; i < out.data().size(); ++i) {
+    out.data()[i] = fwd(an->value[i]);
+  }
+  return out;
+}
+
+/// c[n,p] += a[n,m] * b[m,p] on raw buffers (ikj loop order).
+void RawMatMulAdd(const float* a, const float* b, float* c, int n, int m,
+                  int p, bool transpose_a, bool transpose_b) {
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < m; ++k) {
+      float av = transpose_a ? a[static_cast<size_t>(k) * n + i]
+                             : a[static_cast<size_t>(i) * m + k];
+      if (av == 0.0f) continue;
+      const float* brow;
+      if (!transpose_b) {
+        brow = b + static_cast<size_t>(k) * p;
+        float* crow = c + static_cast<size_t>(i) * p;
+        for (int j = 0; j < p; ++j) crow[j] += av * brow[j];
+      } else {
+        // b is [p, m] stored row-major; b^T[k][j] = b[j][k].
+        float* crow = c + static_cast<size_t>(i) * p;
+        for (int j = 0; j < p; ++j) crow[j] += av * b[static_cast<size_t>(j) * m + k];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float, float g) { return g; },
+      [](float, float, float g) { return g; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float, float g) { return g; },
+      [](float, float, float g) { return -g; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y, float g) { return g * y; },
+      [](float x, float, float g) { return g * x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y, float g) { return g / y; },
+      [](float x, float y, float g) { return -g * x / (y * y); });
+}
+
+Tensor Neg(const Tensor& a) { return ScalarMul(a, -1.0f); }
+
+Tensor ScalarMul(const Tensor& a, float c) {
+  NodePtr an = a.node();
+  Tensor out = MakeResult(a.rows(), a.cols(), {an}, [an, c](Node& self) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < self.value.size(); ++i)
+      an->grad[i] += c * self.grad[i];
+  });
+  for (size_t i = 0; i < out.data().size(); ++i) out.data()[i] = c * an->value[i];
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float c) {
+  NodePtr an = a.node();
+  Tensor out = MakeResult(a.rows(), a.cols(), {an}, [an](Node& self) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < self.value.size(); ++i) an->grad[i] += self.grad[i];
+  });
+  for (size_t i = 0; i < out.data().size(); ++i) out.data()[i] = an->value[i] + c;
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CAUSER_CHECK(a.cols() == b.rows());
+  const int n = a.rows(), m = a.cols(), p = b.cols();
+  NodePtr an = a.node();
+  NodePtr bn = b.node();
+  Tensor out = MakeResult(n, p, {an, bn}, [an, bn, n, m, p](Node& self) {
+    if (an->requires_grad) {
+      an->EnsureGrad();
+      // dA = dC * B^T : [n,p] x [p,m]
+      RawMatMulAdd(self.grad.data(), bn->value.data(), an->grad.data(), n, p,
+                   m, /*transpose_a=*/false, /*transpose_b=*/true);
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad();
+      // dB = A^T * dC : [m,n] x [n,p]
+      RawMatMulAdd(an->value.data(), self.grad.data(), bn->grad.data(), m, n,
+                   p, /*transpose_a=*/true, /*transpose_b=*/false);
+    }
+  });
+  RawMatMulAdd(an->value.data(), bn->value.data(), out.data().data(), n, m, p,
+               false, false);
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  const int n = a.rows(), m = a.cols();
+  NodePtr an = a.node();
+  Tensor out = MakeResult(m, n, {an}, [an, n, m](Node& self) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < m; ++j)
+        an->grad[static_cast<size_t>(i) * m + j] +=
+            self.grad[static_cast<size_t>(j) * n + i];
+  });
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j)
+      out.data()[static_cast<size_t>(j) * n + i] =
+          an->value[static_cast<size_t>(i) * m + j];
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                         : std::exp(x) / (1.0f + std::exp(x));
+      },
+      [](float, float y, float g) { return g * y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); },
+                 [](float, float y, float g) { return g * (1.0f - y * y); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; },
+                 [](float x, float, float g) { return x > 0.0f ? g : 0.0f; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); },
+                 [](float, float y, float g) { return g * y; });
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  NodePtr an = a.node();
+  Tensor out = MakeResult(a.rows(), a.cols(), {an}, [an, eps](Node& self) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < self.value.size(); ++i) {
+      float x = std::max(an->value[i], eps);
+      an->grad[i] += self.grad[i] / x;
+    }
+  });
+  for (size_t i = 0; i < out.data().size(); ++i)
+    out.data()[i] = std::log(std::max(an->value[i], eps));
+  return out;
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(std::max(x, 0.0f)); },
+      [](float x, float y, float g) {
+        return x > 0.0f ? g / (2.0f * y) : 0.0f;
+      });
+}
+
+Tensor SoftmaxRows(const Tensor& a, float temperature) {
+  CAUSER_CHECK(temperature > 0.0f);
+  const int n = a.rows(), m = a.cols();
+  NodePtr an = a.node();
+  Tensor out =
+      MakeResult(n, m, {an}, [an, n, m, temperature](Node& self) {
+        if (!an->requires_grad) return;
+        an->EnsureGrad();
+        for (int r = 0; r < n; ++r) {
+          const float* y = self.value.data() + static_cast<size_t>(r) * m;
+          const float* gy = self.grad.data() + static_cast<size_t>(r) * m;
+          float dot = 0.0f;
+          for (int c = 0; c < m; ++c) dot += gy[c] * y[c];
+          float* ga = an->grad.data() + static_cast<size_t>(r) * m;
+          for (int c = 0; c < m; ++c)
+            ga[c] += y[c] * (gy[c] - dot) / temperature;
+        }
+      });
+  for (int r = 0; r < n; ++r) {
+    const float* x = an->value.data() + static_cast<size_t>(r) * m;
+    float* y = out.data().data() + static_cast<size_t>(r) * m;
+    float mx = x[0];
+    for (int c = 1; c < m; ++c) mx = std::max(mx, x[c]);
+    float total = 0.0f;
+    for (int c = 0; c < m; ++c) {
+      y[c] = std::exp((x[c] - mx) / temperature);
+      total += y[c];
+    }
+    for (int c = 0; c < m; ++c) y[c] /= total;
+  }
+  return out;
+}
+
+Tensor Sum(const Tensor& a) {
+  NodePtr an = a.node();
+  Tensor out = MakeResult(1, 1, {an}, [an](Node& self) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (auto& g : an->grad) g += self.grad[0];
+  });
+  float total = 0.0f;
+  for (float v : an->value) total += v;
+  out.data()[0] = total;
+  return out;
+}
+
+Tensor Mean(const Tensor& a) { return ScalarMul(Sum(a), 1.0f / a.size()); }
+
+Tensor SumRows(const Tensor& a) {
+  const int n = a.rows(), m = a.cols();
+  NodePtr an = a.node();
+  Tensor out = MakeResult(n, 1, {an}, [an, n, m](Node& self) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (int r = 0; r < n; ++r)
+      for (int c = 0; c < m; ++c)
+        an->grad[static_cast<size_t>(r) * m + c] += self.grad[r];
+  });
+  for (int r = 0; r < n; ++r) {
+    float total = 0.0f;
+    for (int c = 0; c < m; ++c) total += an->value[static_cast<size_t>(r) * m + c];
+    out.data()[r] = total;
+  }
+  return out;
+}
+
+Tensor SumCols(const Tensor& a) {
+  const int n = a.rows(), m = a.cols();
+  NodePtr an = a.node();
+  Tensor out = MakeResult(1, m, {an}, [an, n, m](Node& self) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (int r = 0; r < n; ++r)
+      for (int c = 0; c < m; ++c)
+        an->grad[static_cast<size_t>(r) * m + c] += self.grad[c];
+  });
+  for (int c = 0; c < m; ++c) {
+    float total = 0.0f;
+    for (int r = 0; r < n; ++r) total += an->value[static_cast<size_t>(r) * m + c];
+    out.data()[c] = total;
+  }
+  return out;
+}
+
+Tensor L1Norm(const Tensor& a) {
+  NodePtr an = a.node();
+  Tensor out = MakeResult(1, 1, {an}, [an](Node& self) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < an->value.size(); ++i) {
+      float x = an->value[i];
+      float s = x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+      an->grad[i] += self.grad[0] * s;
+    }
+  });
+  float total = 0.0f;
+  for (float v : an->value) total += std::fabs(v);
+  out.data()[0] = total;
+  return out;
+}
+
+Tensor SquaredNorm(const Tensor& a) {
+  NodePtr an = a.node();
+  Tensor out = MakeResult(1, 1, {an}, [an](Node& self) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < an->value.size(); ++i)
+      an->grad[i] += self.grad[0] * 2.0f * an->value[i];
+  });
+  float total = 0.0f;
+  for (float v : an->value) total += v * v;
+  out.data()[0] = total;
+  return out;
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  CAUSER_CHECK(a.rows() == b.rows());
+  const int n = a.rows(), ma = a.cols(), mb = b.cols();
+  NodePtr an = a.node();
+  NodePtr bn = b.node();
+  Tensor out = MakeResult(n, ma + mb, {an, bn}, [an, bn, n, ma, mb](Node& self) {
+    if (an->requires_grad) an->EnsureGrad();
+    if (bn->requires_grad) bn->EnsureGrad();
+    for (int r = 0; r < n; ++r) {
+      const float* g = self.grad.data() + static_cast<size_t>(r) * (ma + mb);
+      if (an->requires_grad)
+        for (int c = 0; c < ma; ++c)
+          an->grad[static_cast<size_t>(r) * ma + c] += g[c];
+      if (bn->requires_grad)
+        for (int c = 0; c < mb; ++c)
+          bn->grad[static_cast<size_t>(r) * mb + c] += g[ma + c];
+    }
+  });
+  for (int r = 0; r < n; ++r) {
+    float* o = out.data().data() + static_cast<size_t>(r) * (ma + mb);
+    for (int c = 0; c < ma; ++c) o[c] = an->value[static_cast<size_t>(r) * ma + c];
+    for (int c = 0; c < mb; ++c) o[ma + c] = bn->value[static_cast<size_t>(r) * mb + c];
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  CAUSER_CHECK(!parts.empty());
+  const int m = parts[0].cols();
+  int total_rows = 0;
+  std::vector<NodePtr> nodes;
+  nodes.reserve(parts.size());
+  for (const auto& p : parts) {
+    CAUSER_CHECK(p.cols() == m);
+    total_rows += p.rows();
+    nodes.push_back(p.node());
+  }
+  Tensor out = MakeResult(total_rows, m, nodes, [nodes, m](Node& self) {
+    int row = 0;
+    for (const auto& p : nodes) {
+      if (p->requires_grad) {
+        p->EnsureGrad();
+        for (int r = 0; r < p->rows; ++r)
+          for (int c = 0; c < m; ++c)
+            p->grad[static_cast<size_t>(r) * m + c] +=
+                self.grad[static_cast<size_t>(row + r) * m + c];
+      }
+      row += p->rows;
+    }
+  });
+  int row = 0;
+  for (const auto& p : nodes) {
+    std::copy(p->value.begin(), p->value.end(),
+              out.data().begin() + static_cast<size_t>(row) * m);
+    row += p->rows;
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int start, int len) {
+  CAUSER_CHECK(start >= 0 && len > 0 && start + len <= a.rows());
+  const int m = a.cols();
+  NodePtr an = a.node();
+  Tensor out = MakeResult(len, m, {an}, [an, start, len, m](Node& self) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (int r = 0; r < len; ++r)
+      for (int c = 0; c < m; ++c)
+        an->grad[static_cast<size_t>(start + r) * m + c] +=
+            self.grad[static_cast<size_t>(r) * m + c];
+  });
+  std::copy(an->value.begin() + static_cast<size_t>(start) * m,
+            an->value.begin() + static_cast<size_t>(start + len) * m,
+            out.data().begin());
+  return out;
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
+  CAUSER_CHECK(!indices.empty());
+  const int m = a.cols();
+  const int k = static_cast<int>(indices.size());
+  NodePtr an = a.node();
+  for (int idx : indices) CAUSER_CHECK(idx >= 0 && idx < a.rows());
+  Tensor out = MakeResult(k, m, {an}, [an, indices, k, m](Node& self) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (int r = 0; r < k; ++r)
+      for (int c = 0; c < m; ++c)
+        an->grad[static_cast<size_t>(indices[r]) * m + c] +=
+            self.grad[static_cast<size_t>(r) * m + c];
+  });
+  for (int r = 0; r < k; ++r)
+    std::copy(an->value.begin() + static_cast<size_t>(indices[r]) * m,
+              an->value.begin() + static_cast<size_t>(indices[r] + 1) * m,
+              out.data().begin() + static_cast<size_t>(r) * m);
+  return out;
+}
+
+Tensor BceWithLogits(const Tensor& logits, const Tensor& targets,
+                     Reduction reduction) {
+  CAUSER_CHECK(logits.rows() == targets.rows() &&
+               logits.cols() == targets.cols());
+  NodePtr xn = logits.node();
+  NodePtr tn = targets.node();
+  const float scale =
+      reduction == Reduction::kMean ? 1.0f / logits.size() : 1.0f;
+  Tensor out = MakeResult(1, 1, {xn, tn}, [xn, tn, scale](Node& self) {
+    // d/dx = sigmoid(x) - t. Targets are treated as constants.
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    for (size_t i = 0; i < xn->value.size(); ++i) {
+      float x = xn->value[i];
+      float s = x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                          : std::exp(x) / (1.0f + std::exp(x));
+      xn->grad[i] += self.grad[0] * scale * (s - tn->value[i]);
+    }
+  });
+  float total = 0.0f;
+  for (size_t i = 0; i < xn->value.size(); ++i) {
+    float x = xn->value[i];
+    float t = tn->value[i];
+    total += std::max(x, 0.0f) - x * t + std::log1p(std::exp(-std::fabs(x)));
+  }
+  out.data()[0] = total * scale;
+  return out;
+}
+
+Tensor MseLoss(const Tensor& a, const Tensor& b, Reduction reduction) {
+  Tensor diff = Sub(a, b);
+  Tensor loss = SquaredNorm(diff);
+  if (reduction == Reduction::kMean) loss = ScalarMul(loss, 1.0f / a.size());
+  return loss;
+}
+
+}  // namespace causer::tensor

@@ -1,0 +1,109 @@
+#ifndef CAUSER_TENSOR_OPS_H_
+#define CAUSER_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace causer::tensor {
+
+/// Differentiable operations. All binary elementwise ops support NumPy-style
+/// broadcasting along either dimension when that dimension is 1 in one of
+/// the operands (e.g. [n,m]+[1,m] bias add, [T,d]*[T,1] row scaling).
+
+/// Elementwise a + b (broadcasting).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise a - b (broadcasting).
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise a * b (broadcasting).
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Elementwise a / b (broadcasting). Caller must ensure b != 0.
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/// -a.
+Tensor Neg(const Tensor& a);
+
+/// a * c for a compile-time constant scalar.
+Tensor ScalarMul(const Tensor& a, float c);
+
+/// a + c elementwise.
+Tensor AddScalar(const Tensor& a, float c);
+
+/// Matrix product [n,m] x [m,p] -> [n,p].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Transpose [n,m] -> [m,n].
+Tensor Transpose(const Tensor& a);
+
+/// Logistic sigmoid, elementwise.
+Tensor Sigmoid(const Tensor& a);
+
+/// Hyperbolic tangent, elementwise.
+Tensor Tanh(const Tensor& a);
+
+/// Rectified linear unit, elementwise.
+Tensor Relu(const Tensor& a);
+
+/// Exponential, elementwise.
+Tensor Exp(const Tensor& a);
+
+/// Natural log of max(a, eps) for numerical safety.
+Tensor Log(const Tensor& a, float eps = 1e-12f);
+
+/// Elementwise square root of max(a, 0).
+Tensor Sqrt(const Tensor& a);
+
+/// Row-wise softmax: each row of the result sums to 1.
+/// `temperature` divides the logits before exponentiation (paper's eta).
+Tensor SoftmaxRows(const Tensor& a, float temperature = 1.0f);
+
+/// Sum of all entries -> [1,1].
+Tensor Sum(const Tensor& a);
+
+/// Mean of all entries -> [1,1].
+Tensor Mean(const Tensor& a);
+
+/// Per-row sum across columns: [n,m] -> [n,1].
+Tensor SumRows(const Tensor& a);
+
+/// Per-column sum across rows: [n,m] -> [1,m].
+Tensor SumCols(const Tensor& a);
+
+/// Sum of absolute values -> [1,1] (L1; subgradient sign(x) at 0 -> 0).
+Tensor L1Norm(const Tensor& a);
+
+/// Sum of squares -> [1,1].
+Tensor SquaredNorm(const Tensor& a);
+
+/// Horizontal concatenation [n,m1],[n,m2] -> [n,m1+m2].
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+/// Vertical concatenation of equally wide tensors -> [sum rows, m].
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Row slice [start, start+len) -> [len, m] (differentiable view copy).
+Tensor SliceRows(const Tensor& a, int start, int len);
+
+/// Gathers rows by index: out[i] = a[indices[i]]. Backward scatter-adds,
+/// so repeated indices accumulate gradient (embedding lookup semantics).
+Tensor GatherRows(const Tensor& a, const std::vector<int>& indices);
+
+/// Reduction mode for loss ops.
+enum class Reduction { kSum, kMean };
+
+/// Numerically stable binary cross-entropy on logits:
+///   loss_i = max(x,0) - x*t + log(1 + exp(-|x|)).
+/// `logits` and `targets` must have identical shapes; targets in [0,1].
+Tensor BceWithLogits(const Tensor& logits, const Tensor& targets,
+                     Reduction reduction = Reduction::kSum);
+
+/// Sum of squared differences (optionally mean-reduced).
+Tensor MseLoss(const Tensor& a, const Tensor& b,
+               Reduction reduction = Reduction::kSum);
+
+}  // namespace causer::tensor
+
+#endif  // CAUSER_TENSOR_OPS_H_

@@ -1,0 +1,90 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace causer::tensor {
+namespace {
+
+thread_local int g_no_grad_depth = 0;
+
+std::shared_ptr<internal::Node> MakeLeaf(int rows, int cols,
+                                         bool requires_grad) {
+  CAUSER_CHECK(rows > 0 && cols > 0);
+  auto node = std::make_shared<internal::Node>();
+  node->rows = rows;
+  node->cols = cols;
+  node->value.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  node->requires_grad = requires_grad;
+  return node;
+}
+
+}  // namespace
+
+NoGradGuard::NoGradGuard() { ++g_no_grad_depth; }
+NoGradGuard::~NoGradGuard() { --g_no_grad_depth; }
+
+bool GradEnabled() { return g_no_grad_depth == 0; }
+
+Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
+  return Tensor(MakeLeaf(rows, cols, requires_grad));
+}
+
+Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
+  auto node = MakeLeaf(rows, cols, requires_grad);
+  std::fill(node->value.begin(), node->value.end(), value);
+  return Tensor(node);
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return Full(1, 1, value, requires_grad);
+}
+
+Tensor Tensor::FromData(int rows, int cols, std::vector<float> data,
+                        bool requires_grad) {
+  CAUSER_CHECK(static_cast<int>(data.size()) == rows * cols);
+  auto node = MakeLeaf(rows, cols, requires_grad);
+  node->value = std::move(data);
+  return Tensor(node);
+}
+
+Tensor Tensor::RandomUniform(int rows, int cols, float lo, float hi, Rng& rng,
+                             bool requires_grad) {
+  auto node = MakeLeaf(rows, cols, requires_grad);
+  for (auto& v : node->value) v = static_cast<float>(rng.Uniform(lo, hi));
+  return Tensor(node);
+}
+
+Tensor Tensor::RandomNormal(int rows, int cols, float stddev, Rng& rng,
+                            bool requires_grad) {
+  auto node = MakeLeaf(rows, cols, requires_grad);
+  for (auto& v : node->value) v = static_cast<float>(rng.Normal(0.0, stddev));
+  return Tensor(node);
+}
+
+Tensor Tensor::Clone(bool requires_grad) const {
+  CAUSER_CHECK(defined());
+  auto node = std::make_shared<internal::Node>();
+  node->rows = rows();
+  node->cols = cols();
+  node->value = node_->value;
+  node->requires_grad = requires_grad;
+  return Tensor(node);
+}
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor(null)";
+  std::ostringstream os;
+  os << "Tensor[" << rows() << "x" << cols() << "](";
+  for (int r = 0; r < rows(); ++r) {
+    os << (r == 0 ? "[" : ", [");
+    for (int c = 0; c < cols(); ++c) {
+      if (c) os << ", ";
+      os << At(r, c);
+    }
+    os << "]";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace causer::tensor

@@ -1,0 +1,158 @@
+#ifndef CAUSER_TENSOR_TENSOR_H_
+#define CAUSER_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace causer::tensor {
+
+/// All tensors in this library are dense, row-major, 2-D float matrices.
+/// Scalars are represented as [1,1] and row vectors as [1,n]. This keeps the
+/// autograd engine small while covering everything the recommender models
+/// need (per-step RNN math is [batch, dim] matmuls).
+class Tensor;
+
+namespace internal {
+
+/// Graph node holding the value, the gradient accumulator, and the backward
+/// closure that scatters this node's gradient into its parents.
+struct Node {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> value;
+  std::vector<float> grad;  // allocated lazily, same layout as value
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Propagates `grad` of this node into parents' grads. Null for leaves.
+  std::function<void(Node&)> backward_fn;
+  // Scratch marker used by the topological sort in Backward().
+  int visit_mark = 0;
+
+  int size() const { return rows * cols; }
+  void EnsureGrad() {
+    if (grad.empty()) grad.assign(value.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+/// Value-semantics handle to a shared autograd graph node.
+///
+/// Copying a Tensor aliases the same node (like a Python reference); use
+/// Clone() for a deep copy of the value.
+class Tensor {
+ public:
+  /// Empty (null) tensor; most operations on it are invalid.
+  Tensor() = default;
+
+  /// Wraps an existing node (library-internal).
+  explicit Tensor(std::shared_ptr<internal::Node> node)
+      : node_(std::move(node)) {}
+
+  // -- Factory functions ----------------------------------------------------
+
+  /// [rows, cols] tensor of zeros.
+  static Tensor Zeros(int rows, int cols, bool requires_grad = false);
+
+  /// [rows, cols] tensor filled with `value`.
+  static Tensor Full(int rows, int cols, float value,
+                     bool requires_grad = false);
+
+  /// [1,1] scalar.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  /// Tensor from explicit row-major data; `data.size()` must equal
+  /// rows*cols.
+  static Tensor FromData(int rows, int cols, std::vector<float> data,
+                         bool requires_grad = false);
+
+  /// Tensor with entries drawn i.i.d. uniform in [lo, hi).
+  static Tensor RandomUniform(int rows, int cols, float lo, float hi, Rng& rng,
+                              bool requires_grad = false);
+
+  /// Tensor with entries drawn i.i.d. N(0, stddev^2).
+  static Tensor RandomNormal(int rows, int cols, float stddev, Rng& rng,
+                             bool requires_grad = false);
+
+  // -- Introspection --------------------------------------------------------
+
+  bool defined() const { return node_ != nullptr; }
+  int rows() const { return node_->rows; }
+  int cols() const { return node_->cols; }
+  int size() const { return node_->size(); }
+  bool requires_grad() const { return node_->requires_grad; }
+
+  /// Mutable element access (modifying values of graph interior nodes after
+  /// building a graph is undefined; intended for leaves and results).
+  float& At(int r, int c) {
+    CAUSER_CHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+    return node_->value[static_cast<size_t>(r) * cols() + c];
+  }
+  float At(int r, int c) const {
+    CAUSER_CHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+    return node_->value[static_cast<size_t>(r) * cols() + c];
+  }
+
+  /// Scalar extraction; requires a [1,1] tensor.
+  float Item() const {
+    CAUSER_CHECK(size() == 1);
+    return node_->value[0];
+  }
+
+  /// Raw row-major value buffer.
+  std::vector<float>& data() { return node_->value; }
+  const std::vector<float>& data() const { return node_->value; }
+
+  /// Gradient buffer (empty until Backward() touched this node).
+  const std::vector<float>& grad() const { return node_->grad; }
+
+  /// Gradient element access; zero if no gradient was accumulated.
+  float GradAt(int r, int c) const {
+    if (node_->grad.empty()) return 0.0f;
+    return node_->grad[static_cast<size_t>(r) * cols() + c];
+  }
+
+  /// Clears accumulated gradients on this node.
+  void ZeroGrad() {
+    if (!node_->grad.empty())
+      std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
+  }
+
+  /// Deep copy of the value as a fresh leaf (no graph history).
+  Tensor Clone(bool requires_grad = false) const;
+
+  /// Leaf view of the same value buffer contents (copies data, drops graph).
+  Tensor Detach() const { return Clone(false); }
+
+  /// Human-readable dump (small tensors only; for debugging and tests).
+  std::string ToString() const;
+
+  /// Internal node accessor for the ops/autograd implementation.
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+/// RAII guard disabling graph construction (inference mode). While any guard
+/// is alive, newly created op results do not record parents/backward
+/// closures, which speeds up evaluation loops.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+};
+
+/// True when gradient recording is currently enabled.
+bool GradEnabled();
+
+}  // namespace causer::tensor
+
+#endif  // CAUSER_TENSOR_TENSOR_H_

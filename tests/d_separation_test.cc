@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "causal/d_separation.h"
+
+namespace causer::causal {
+namespace {
+
+Graph Chain3() {
+  Graph g(3);
+  g.SetEdge(0, 1);
+  g.SetEdge(1, 2);
+  return g;
+}
+
+TEST(DSeparationTest, ChainBlockedByMiddle) {
+  Graph g = Chain3();
+  EXPECT_FALSE(DSeparated(g, {0}, {2}, {}));
+  EXPECT_TRUE(DSeparated(g, {0}, {2}, {1}));
+}
+
+TEST(DSeparationTest, ForkBlockedByRoot) {
+  Graph g(3);
+  g.SetEdge(1, 0);
+  g.SetEdge(1, 2);
+  EXPECT_FALSE(DSeparated(g, {0}, {2}, {}));
+  EXPECT_TRUE(DSeparated(g, {0}, {2}, {1}));
+}
+
+TEST(DSeparationTest, ColliderBlocksUnlessObserved) {
+  Graph g(3);
+  g.SetEdge(0, 1);
+  g.SetEdge(2, 1);
+  EXPECT_TRUE(DSeparated(g, {0}, {2}, {}));       // collider blocks
+  EXPECT_FALSE(DSeparated(g, {0}, {2}, {1}));     // opens when observed
+}
+
+TEST(DSeparationTest, ColliderDescendantOpensPath) {
+  // 0 -> 1 <- 2, 1 -> 3. Conditioning on the descendant 3 opens the path.
+  Graph g(4);
+  g.SetEdge(0, 1);
+  g.SetEdge(2, 1);
+  g.SetEdge(1, 3);
+  EXPECT_TRUE(DSeparated(g, {0}, {2}, {}));
+  EXPECT_FALSE(DSeparated(g, {0}, {2}, {3}));
+}
+
+TEST(DSeparationTest, DisconnectedNodesSeparated) {
+  Graph g(4);
+  g.SetEdge(0, 1);
+  g.SetEdge(2, 3);
+  EXPECT_TRUE(DSeparated(g, {0, 1}, {2, 3}, {}));
+}
+
+TEST(DSeparationTest, SymmetricInArguments) {
+  Graph g = Chain3();
+  for (const std::vector<int>& cond : {std::vector<int>{}, {1}}) {
+    EXPECT_EQ(DSeparated(g, {0}, {2}, cond), DSeparated(g, {2}, {0}, cond));
+  }
+}
+
+TEST(DSeparationTest, MDiagramCase) {
+  // Classic M-structure: 0 -> 2 <- 1, 1 -> 3, plus independent source.
+  //   a=0, collider c=2, b=1, child d=3.
+  Graph g(4);
+  g.SetEdge(0, 2);
+  g.SetEdge(1, 2);
+  g.SetEdge(1, 3);
+  // 0 and 3 connected only through collider 2 / fork 1.
+  EXPECT_TRUE(DSeparated(g, {0}, {3}, {}));       // blocked at collider
+  EXPECT_FALSE(DSeparated(g, {0}, {3}, {2}));     // collider opened
+  EXPECT_TRUE(DSeparated(g, {0}, {3}, {2, 1}));   // re-blocked at fork 1
+}
+
+TEST(DSeparationTest, LongChainConditioning) {
+  Graph g(5);
+  for (int i = 0; i + 1 < 5; ++i) g.SetEdge(i, i + 1);
+  EXPECT_FALSE(DSeparated(g, {0}, {4}, {}));
+  for (int mid = 1; mid < 4; ++mid) {
+    EXPECT_TRUE(DSeparated(g, {0}, {4}, {mid})) << "mid " << mid;
+  }
+}
+
+TEST(ReachableTest, SourcesReachableWhenUnobserved) {
+  Graph g = Chain3();
+  auto r = ReachableViaActiveTrail(g, {0}, {});
+  EXPECT_TRUE(std::find(r.begin(), r.end(), 0) != r.end());
+  EXPECT_TRUE(std::find(r.begin(), r.end(), 2) != r.end());
+}
+
+TEST(ReachableTest, BlockedNodesExcluded) {
+  Graph g = Chain3();
+  auto r = ReachableViaActiveTrail(g, {0}, {1});
+  EXPECT_TRUE(std::find(r.begin(), r.end(), 2) == r.end());
+}
+
+}  // namespace
+}  // namespace causer::causal

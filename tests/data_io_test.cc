@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/generator.h"
+#include "data/io.h"
+#include "data/stats.h"
+
+namespace causer::data {
+namespace {
+
+std::string TempDir() { return ::testing::TempDir(); }
+
+TEST(DataIoTest, RoundTripPreservesEverything) {
+  Dataset original = MakeDataset(TinySpec());
+  ASSERT_TRUE(SaveDataset(original, TempDir()));
+  Dataset loaded;
+  ASSERT_TRUE(LoadDataset(TempDir(), &loaded));
+
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.num_users, original.num_users);
+  EXPECT_EQ(loaded.num_items, original.num_items);
+  EXPECT_EQ(loaded.feature_dim, original.feature_dim);
+  EXPECT_EQ(loaded.basket_mode, original.basket_mode);
+  EXPECT_EQ(loaded.item_true_cluster, original.item_true_cluster);
+  EXPECT_TRUE(loaded.true_cluster_graph == original.true_cluster_graph);
+
+  ASSERT_EQ(loaded.sequences.size(), original.sequences.size());
+  for (size_t u = 0; u < original.sequences.size(); ++u) {
+    const auto& a = original.sequences[u];
+    const auto& b = loaded.sequences[u];
+    ASSERT_EQ(a.steps.size(), b.steps.size()) << "user " << u;
+    for (size_t t = 0; t < a.steps.size(); ++t) {
+      EXPECT_EQ(a.steps[t].items, b.steps[t].items);
+      EXPECT_EQ(a.steps[t].cause_step, b.steps[t].cause_step);
+      EXPECT_EQ(a.steps[t].cause_item, b.steps[t].cause_item);
+    }
+  }
+  for (int i = 0; i < original.num_items; ++i) {
+    ASSERT_EQ(loaded.item_features[i].size(),
+              original.item_features[i].size());
+    for (size_t f = 0; f < original.item_features[i].size(); ++f)
+      EXPECT_NEAR(loaded.item_features[i][f], original.item_features[i][f],
+                  1e-4);
+  }
+}
+
+TEST(DataIoTest, RoundTripPreservesStats) {
+  Dataset original = MakeDataset(TinySpec());
+  ASSERT_TRUE(SaveDataset(original, TempDir()));
+  Dataset loaded;
+  ASSERT_TRUE(LoadDataset(TempDir(), &loaded));
+  auto a = ComputeStats(original);
+  auto b = ComputeStats(loaded);
+  EXPECT_EQ(a.num_interactions, b.num_interactions);
+  EXPECT_DOUBLE_EQ(a.avg_seq_len, b.avg_seq_len);
+  EXPECT_DOUBLE_EQ(a.sparsity, b.sparsity);
+}
+
+TEST(DataIoTest, MissingDirectoryFails) {
+  Dataset loaded;
+  EXPECT_FALSE(LoadDataset("/nonexistent/path", &loaded));
+}
+
+TEST(DataIoTest, CorruptMetaFails) {
+  std::string dir = TempDir();
+  Dataset original = MakeDataset(TinySpec());
+  ASSERT_TRUE(SaveDataset(original, dir));
+  {
+    std::FILE* f = std::fopen((dir + "/meta.tsv").c_str(), "w");
+    std::fputs("num_users\t0\n", f);
+    std::fclose(f);
+  }
+  Dataset loaded;
+  EXPECT_FALSE(LoadDataset(dir, &loaded));
+}
+
+TEST(DataIoTest, OutOfRangeItemFails) {
+  std::string dir = TempDir();
+  Dataset original = MakeDataset(TinySpec());
+  ASSERT_TRUE(SaveDataset(original, dir));
+  {
+    std::FILE* f = std::fopen((dir + "/interactions.tsv").c_str(), "a");
+    std::fputs("0\t0\t999999\t-1\t-1\n", f);
+    std::fclose(f);
+  }
+  Dataset loaded;
+  EXPECT_FALSE(LoadDataset(dir, &loaded));
+}
+
+}  // namespace
+}  // namespace causer::data

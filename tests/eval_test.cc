@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generator.h"
+#include "data/split.h"
+#include "eval/evaluator.h"
+#include "eval/explanation_eval.h"
+#include "eval/metrics.h"
+#include "eval/significance.h"
+
+namespace causer::eval {
+namespace {
+
+TEST(TopKTest, OrdersByScore) {
+  std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.7f};
+  EXPECT_EQ(TopK(scores, 2), (std::vector<int>{1, 3}));
+  EXPECT_EQ(TopK(scores, 4), (std::vector<int>{1, 3, 2, 0}));
+}
+
+TEST(TopKTest, TiesBrokenByIndex) {
+  std::vector<float> scores = {0.5f, 0.5f, 0.5f};
+  EXPECT_EQ(TopK(scores, 2), (std::vector<int>{0, 1}));
+}
+
+TEST(TopKTest, KLargerThanSize) {
+  std::vector<float> scores = {1.0f, 2.0f};
+  EXPECT_EQ(TopK(scores, 10).size(), 2u);
+}
+
+TEST(MetricsTest, PrecisionRecallF1HandComputed) {
+  std::vector<int> ranked = {1, 2, 3, 4, 5};
+  std::vector<int> relevant = {2, 5, 9};
+  EXPECT_DOUBLE_EQ(Precision(ranked, relevant), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(Recall(ranked, relevant), 2.0 / 3.0);
+  double p = 0.4, r = 2.0 / 3.0;
+  EXPECT_NEAR(F1(ranked, relevant), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(MetricsTest, PerfectAndZeroF1) {
+  EXPECT_DOUBLE_EQ(F1({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(F1({3, 4}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(F1({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(F1({1}, {}), 0.0);
+}
+
+TEST(MetricsTest, NdcgHandComputed) {
+  // Hits at positions 1 and 3 (1-indexed), 2 relevant items.
+  std::vector<int> ranked = {7, 8, 9};
+  std::vector<int> relevant = {7, 9};
+  double dcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(4.0);
+  double idcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(Ndcg(ranked, relevant), dcg / idcg, 1e-12);
+}
+
+TEST(MetricsTest, NdcgPerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(Ndcg({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Ndcg({1, 9, 8}, {1}), 1.0);
+}
+
+TEST(MetricsTest, NdcgRewardsEarlierHits) {
+  std::vector<int> relevant = {5};
+  EXPECT_GT(Ndcg({5, 1, 2}, relevant), Ndcg({1, 2, 5}, relevant));
+}
+
+TEST(MetricsTest, NdcgEmptyRelevantIsZero) {
+  EXPECT_DOUBLE_EQ(Ndcg({1, 2}, {}), 0.0);
+}
+
+TEST(EvaluatorTest, AveragesOverInstances) {
+  data::EvalInstance good;
+  good.target_items = {0};
+  data::EvalInstance bad;
+  bad.target_items = {3};
+  // Scorer always ranks item 0 first.
+  Scorer scorer = [](const data::EvalInstance&) {
+    return std::vector<float>{10.0f, 1.0f, 0.5f, 0.1f};
+  };
+  EvalResult r = Evaluate(scorer, {good, bad}, 1);
+  EXPECT_EQ(r.per_instance_f1.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.per_instance_f1[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.per_instance_f1[1], 0.0);
+  EXPECT_DOUBLE_EQ(r.f1, 0.5);
+  EXPECT_DOUBLE_EQ(r.ndcg, 0.5);
+}
+
+TEST(EvaluatorTest, EmptyInstancesGiveZero) {
+  Scorer scorer = [](const data::EvalInstance&) {
+    return std::vector<float>{1.0f};
+  };
+  EvalResult r = Evaluate(scorer, {}, 5);
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+  EXPECT_TRUE(r.per_instance_ndcg.empty());
+}
+
+TEST(TTestTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  TTestResult r = PairedTTest(a, a);
+  EXPECT_DOUBLE_EQ(r.t_statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(TTestTest, LargeConsistentDifferenceSignificant) {
+  std::vector<double> a, b;
+  Rng rng(8);
+  for (int i = 0; i < 30; ++i) {
+    double base = rng.Uniform();
+    b.push_back(base);
+    a.push_back(base + 1.0 + 0.1 * rng.Normal());
+  }
+  TTestResult r = PairedTTest(a, b);
+  EXPECT_GT(r.t_statistic, 10.0);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_GT(r.mean_difference, 0.9);
+}
+
+TEST(TTestTest, NoisyEqualMeansNotSignificant) {
+  std::vector<double> a, b;
+  Rng rng(9);
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(rng.Normal());
+    b.push_back(rng.Normal());
+  }
+  TTestResult r = PairedTTest(a, b);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(TTestTest, KnownTDistributionValue) {
+  // For t = 2.776 with df = 4, two-sided p = 0.05 (classic table value).
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.776, 4), 0.05, 1e-3);
+  // t = 0 is always p = 1.
+  EXPECT_NEAR(StudentTTwoSidedPValue(0.0, 10), 1.0, 1e-9);
+}
+
+TEST(TTestTest, SymmetricInSign) {
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.0, 7), StudentTTwoSidedPValue(-2.0, 7),
+              1e-12);
+}
+
+TEST(ExplanationSetTest, BuiltFromCausalTargetsOnly) {
+  data::Dataset d = data::MakeDataset(data::TinySpec());
+  data::Split split = data::LeaveLastOut(d);
+  Rng rng(10);
+  auto examples = BuildExplanationSet(split.test, d, 100, rng);
+  EXPECT_FALSE(examples.empty());
+  for (const auto& ex : examples) {
+    EXPECT_FALSE(ex.true_cause_positions.empty());
+    for (int pos : ex.true_cause_positions) {
+      EXPECT_GE(pos, 0);
+      EXPECT_LT(pos, static_cast<int>(ex.instance->history.size()));
+    }
+  }
+}
+
+TEST(ExplanationSetTest, RespectsMaxExamples) {
+  data::Dataset d = data::MakeDataset(data::TinySpec());
+  data::Split split = data::LeaveLastOut(d);
+  Rng rng(11);
+  auto examples = BuildExplanationSet(split.test, d, 5, rng);
+  EXPECT_LE(examples.size(), 5u);
+}
+
+TEST(ExplanationEvalTest, OracleExplainerScoresPerfectly) {
+  data::Dataset d = data::MakeDataset(data::TinySpec());
+  data::Split split = data::LeaveLastOut(d);
+  Rng rng(12);
+  auto examples = BuildExplanationSet(split.test, d, 50, rng);
+  ASSERT_FALSE(examples.empty());
+  // Oracle: looks up the true causes (via the matching example).
+  Explainer oracle = [&](const data::EvalInstance& inst, int item) {
+    std::vector<double> scores(inst.history.size(), 0.0);
+    for (const auto& ex : examples) {
+      if (ex.instance == &inst && ex.target_item == item) {
+        for (int pos : ex.true_cause_positions) scores[pos] = 1.0;
+      }
+    }
+    return scores;
+  };
+  ExplanationResult r = EvaluateExplanations(oracle, examples, 3);
+  EXPECT_GT(r.ndcg, 0.95);
+  EXPECT_GT(r.f1, 0.6);  // F1@3 is capped when there are < 3 true causes
+  EXPECT_EQ(r.num_examples, static_cast<int>(examples.size()));
+  EXPECT_GE(r.avg_causes_per_example, 1.0);
+}
+
+TEST(ExplanationEvalTest, RandomWorseThanOracle) {
+  data::Dataset d = data::MakeDataset(data::TinySpec());
+  data::Split split = data::LeaveLastOut(d);
+  Rng rng(13);
+  auto examples = BuildExplanationSet(split.test, d, 50, rng);
+  ASSERT_FALSE(examples.empty());
+  Rng noise(14);
+  Explainer random_explainer = [&](const data::EvalInstance& inst, int) {
+    std::vector<double> scores(inst.history.size());
+    for (auto& s : scores) s = noise.Uniform();
+    return scores;
+  };
+  Explainer oracle = [&](const data::EvalInstance& inst, int item) {
+    std::vector<double> scores(inst.history.size(), 0.0);
+    for (const auto& ex : examples) {
+      if (ex.instance == &inst && ex.target_item == item) {
+        for (int pos : ex.true_cause_positions) scores[pos] = 1.0;
+      }
+    }
+    return scores;
+  };
+  double random_ndcg = EvaluateExplanations(random_explainer, examples, 3).ndcg;
+  double oracle_ndcg = EvaluateExplanations(oracle, examples, 3).ndcg;
+  EXPECT_LT(random_ndcg, oracle_ndcg);
+}
+
+}  // namespace
+}  // namespace causer::eval

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace causer {
+namespace {
+
+Flags ParseList(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags::Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = ParseList({"--name=value", "--n=42"});
+  EXPECT_EQ(f.GetString("name"), "value");
+  EXPECT_EQ(f.GetInt("n", 0), 42);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags f = ParseList({"--name", "value", "--x", "1.5"});
+  EXPECT_EQ(f.GetString("name"), "value");
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 0), 1.5);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags f = ParseList({"--verbose"});
+  EXPECT_TRUE(f.Has("verbose"));
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_FALSE(f.GetBool("quiet"));
+}
+
+TEST(FlagsTest, BoolValues) {
+  Flags f = ParseList({"--a=true", "--b=0", "--c=off", "--d=yes"});
+  EXPECT_TRUE(f.GetBool("a"));
+  EXPECT_FALSE(f.GetBool("b"));
+  EXPECT_FALSE(f.GetBool("c"));
+  EXPECT_TRUE(f.GetBool("d"));
+}
+
+TEST(FlagsTest, PositionalCollected) {
+  Flags f = ParseList({"cmd", "--k=v", "file.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "cmd");
+  EXPECT_EQ(f.positional()[1], "file.txt");
+}
+
+TEST(FlagsTest, LaterOverridesEarlier) {
+  Flags f = ParseList({"--n=1", "--n=2"});
+  EXPECT_EQ(f.GetInt("n", 0), 2);
+}
+
+TEST(FlagsTest, MalformedNumbersFallBack) {
+  Flags f = ParseList({"--n=abc", "--x=1.2.3"});
+  EXPECT_EQ(f.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 0.5), 0.5);
+}
+
+TEST(FlagsTest, FlagFollowedByFlagHasEmptyValue) {
+  Flags f = ParseList({"--a", "--b=1"});
+  EXPECT_TRUE(f.Has("a"));
+  EXPECT_TRUE(f.GetBool("a"));
+  EXPECT_EQ(f.GetInt("b", 0), 1);
+}
+
+TEST(FlagsTest, NegativeNumbersAsValues) {
+  Flags f = ParseList({"--n=-5", "--x=-0.25"});
+  EXPECT_EQ(f.GetInt("n", 0), -5);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 0), -0.25);
+}
+
+}  // namespace
+}  // namespace causer

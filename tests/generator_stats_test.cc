@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/generator.h"
+#include "data/stats.h"
+
+// Statistical properties of the synthetic generator beyond structural
+// validity: popularity skew (Zipf), user affinity concentration, sibling
+// co-occurrence (the paper's printer -> {paper, ink} confound), and spec
+// knob monotonicity.
+
+namespace causer::data {
+namespace {
+
+DatasetSpec BigTiny() {
+  DatasetSpec spec = TinySpec();
+  spec.num_users = 300;
+  spec.num_items = 60;
+  spec.min_len = 5;
+  spec.max_len = 12;
+  return spec;
+}
+
+std::vector<int> ItemCounts(const Dataset& d) {
+  std::vector<int> counts(d.num_items, 0);
+  for (const auto& seq : d.sequences)
+    for (const auto& step : seq.steps)
+      for (int item : step.items) ++counts[item];
+  return counts;
+}
+
+TEST(GeneratorStatsTest, PopularityIsSkewed) {
+  Dataset d = MakeDataset(BigTiny());
+  auto counts = ItemCounts(d);
+  std::sort(counts.begin(), counts.end(), std::greater<int>());
+  int top_decile = 0, bottom_half = 0;
+  int top_n = d.num_items / 10, bottom_n = d.num_items / 2;
+  for (int i = 0; i < top_n; ++i) top_decile += counts[i];
+  for (int i = d.num_items - bottom_n; i < d.num_items; ++i)
+    bottom_half += counts[i];
+  // Zipf-weighted sampling concentrates mass on a few items per cluster.
+  EXPECT_GT(top_decile, bottom_half)
+      << "top 10% items should out-pull the bottom 50%";
+}
+
+TEST(GeneratorStatsTest, HigherZipfExponentMoreSkew) {
+  DatasetSpec flat = BigTiny();
+  flat.zipf_exponent = 0.0;
+  DatasetSpec steep = BigTiny();
+  steep.zipf_exponent = 2.0;
+  auto gini = [](std::vector<int> counts) {
+    std::sort(counts.begin(), counts.end());
+    double total = 0, weighted = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      total += counts[i];
+      weighted += (2.0 * (i + 1) - counts.size() - 1) * counts[i];
+    }
+    return total > 0 ? weighted / (counts.size() * total) : 0.0;
+  };
+  double g_flat = gini(ItemCounts(MakeDataset(flat)));
+  double g_steep = gini(ItemCounts(MakeDataset(steep)));
+  EXPECT_GT(g_steep, g_flat);
+}
+
+TEST(GeneratorStatsTest, CausalProbControlsCausalFraction) {
+  DatasetSpec low = BigTiny();
+  low.causal_prob = 0.1;
+  DatasetSpec high = BigTiny();
+  high.causal_prob = 0.9;
+  auto causal_fraction = [](const Dataset& d) {
+    int causal = 0, total = 0;
+    for (const auto& seq : d.sequences)
+      for (const auto& step : seq.steps)
+        for (int cs : step.cause_step) {
+          ++total;
+          causal += cs >= 0;
+        }
+    return static_cast<double>(causal) / total;
+  };
+  EXPECT_LT(causal_fraction(MakeDataset(low)),
+            causal_fraction(MakeDataset(high)));
+}
+
+TEST(GeneratorStatsTest, SiblingConfoundCreatesCoOccurrence) {
+  // With sibling emission on, pairs of items from *different* child
+  // clusters of a common parent co-occur in adjacent steps far more often
+  // than under sibling_prob = 0.
+  // Needs a DAG where some cluster has >= 2 children, else the sibling
+  // mechanism never fires; a dense 6-cluster DAG guarantees it.
+  DatasetSpec base = BigTiny();
+  base.num_clusters = 6;
+  base.cluster_edge_prob = 0.7;
+  base.seed = 99;
+  DatasetSpec with = base;
+  with.sibling_prob = 0.6;
+  DatasetSpec without = base;
+  without.sibling_prob = 0.0;
+  {
+    Dataset probe = MakeDataset(base);
+    bool multi_child = false;
+    for (int c = 0; c < probe.true_cluster_graph.n(); ++c) {
+      multi_child =
+          multi_child || probe.true_cluster_graph.Children(c).size() >= 2;
+    }
+    ASSERT_TRUE(multi_child) << "spec must admit sibling emissions";
+  }
+  auto shared_cause_adjacent = [](const Dataset& d) {
+    int hits = 0;
+    for (const auto& seq : d.sequences) {
+      for (size_t t = 1; t < seq.steps.size(); ++t) {
+        // Same recorded cause item in consecutive steps = sibling effect.
+        for (size_t a = 0; a < seq.steps[t - 1].cause_item.size(); ++a) {
+          for (size_t b = 0; b < seq.steps[t].cause_item.size(); ++b) {
+            if (seq.steps[t - 1].cause_item[a] >= 0 &&
+                seq.steps[t - 1].cause_item[a] ==
+                    seq.steps[t].cause_item[b] &&
+                seq.steps[t - 1].cause_step[a] ==
+                    seq.steps[t].cause_step[b]) {
+              ++hits;
+            }
+          }
+        }
+      }
+    }
+    return hits;
+  };
+  EXPECT_GT(shared_cause_adjacent(MakeDataset(with)),
+            2 * shared_cause_adjacent(MakeDataset(without)));
+}
+
+TEST(GeneratorStatsTest, AffinityConcentratesUsersOnClusters) {
+  DatasetSpec strong = BigTiny();
+  strong.user_affinity_concentration = 3.0;
+  DatasetSpec weak = BigTiny();
+  weak.user_affinity_concentration = 0.0;
+  auto per_user_cluster_entropy = [](const Dataset& d) {
+    double total_entropy = 0.0;
+    for (const auto& seq : d.sequences) {
+      std::map<int, int> counts;
+      int n = 0;
+      for (const auto& step : seq.steps)
+        for (int item : step.items) {
+          counts[d.item_true_cluster[item]]++;
+          ++n;
+        }
+      double h = 0.0;
+      for (const auto& [c, k] : counts) {
+        double p = static_cast<double>(k) / n;
+        h -= p * std::log(p);
+      }
+      total_entropy += h;
+    }
+    return total_entropy / d.sequences.size();
+  };
+  EXPECT_LT(per_user_cluster_entropy(MakeDataset(strong)),
+            per_user_cluster_entropy(MakeDataset(weak)));
+}
+
+TEST(GeneratorStatsTest, LenStopProbControlsLength) {
+  DatasetSpec quick = BigTiny();
+  quick.len_stop_prob = 0.8;
+  DatasetSpec slow = BigTiny();
+  slow.len_stop_prob = 0.05;
+  EXPECT_LT(MakeDataset(quick).AvgSequenceLength(),
+            MakeDataset(slow).AvgSequenceLength());
+}
+
+TEST(GeneratorStatsTest, FeatureNoiseControlsSeparability) {
+  auto separability = [](const Dataset& d) {
+    // Ratio of mean cross-cluster to mean within-cluster distance.
+    double same = 0, cross = 0;
+    int same_n = 0, cross_n = 0;
+    for (int a = 0; a < d.num_items; ++a) {
+      for (int b = a + 1; b < d.num_items; ++b) {
+        double dist = 0;
+        for (size_t f = 0; f < d.item_features[a].size(); ++f) {
+          double diff = d.item_features[a][f] - d.item_features[b][f];
+          dist += diff * diff;
+        }
+        if (d.item_true_cluster[a] == d.item_true_cluster[b]) {
+          same += dist;
+          ++same_n;
+        } else {
+          cross += dist;
+          ++cross_n;
+        }
+      }
+    }
+    return (cross / cross_n) / (same / same_n);
+  };
+  DatasetSpec clean = BigTiny();
+  clean.feature_noise = 0.05;
+  DatasetSpec noisy = BigTiny();
+  noisy.feature_noise = 1.5;
+  EXPECT_GT(separability(MakeDataset(clean)),
+            separability(MakeDataset(noisy)));
+}
+
+}  // namespace
+}  // namespace causer::data

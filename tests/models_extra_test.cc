@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generator.h"
+#include "data/split.h"
+#include "models/bpr.h"
+#include "models/gru4rec.h"
+#include "models/mmsarec.h"
+#include "models/narm.h"
+#include "models/sasrec.h"
+#include "models/stamp.h"
+#include "models/vtrnn.h"
+
+// Behavioural contracts of the baseline models beyond the smoke checks of
+// models_test: seed determinism, capacity (overfit a deterministic
+// pattern), feature sensitivity of the side-information models, and the
+// evaluation-protocol interplay.
+
+namespace causer::models {
+namespace {
+
+const data::Dataset& TinyData() {
+  static data::Dataset d = data::MakeDataset(data::TinySpec());
+  return d;
+}
+
+ModelConfig TinyConfig(uint64_t seed = 7) {
+  ModelConfig c;
+  c.num_users = TinyData().num_users;
+  c.num_items = TinyData().num_items;
+  c.item_features = &TinyData().item_features;
+  c.embedding_dim = 8;
+  c.hidden_dim = 8;
+  c.seed = seed;
+  return c;
+}
+
+TEST(DeterminismTest, SameSeedSameTraining) {
+  data::Split split = data::LeaveLastOut(TinyData());
+  Gru4Rec a(TinyConfig(11)), b(TinyConfig(11));
+  double la = a.TrainEpoch(split.train);
+  double lb = b.TrainEpoch(split.train);
+  EXPECT_DOUBLE_EQ(la, lb);
+  const auto& inst = split.test[0];
+  EXPECT_EQ(a.ScoreAll(inst.user, inst.history),
+            b.ScoreAll(inst.user, inst.history));
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  data::Split split = data::LeaveLastOut(TinyData());
+  Gru4Rec a(TinyConfig(11)), b(TinyConfig(12));
+  a.TrainEpoch(split.train);
+  b.TrainEpoch(split.train);
+  const auto& inst = split.test[0];
+  EXPECT_NE(a.ScoreAll(inst.user, inst.history),
+            b.ScoreAll(inst.user, inst.history));
+}
+
+TEST(CapacityTest, Gru4RecOverfitsDeterministicChain) {
+  // All users repeat the same chain 0 -> 1 -> 2; after the first item the
+  // model must put the true successor on top.
+  data::Dataset d;
+  d.name = "chain";
+  d.num_users = 30;
+  d.num_items = 6;
+  for (int u = 0; u < d.num_users; ++u) {
+    data::Sequence seq;
+    seq.user = u;
+    for (int item : {0, 1, 2}) {
+      seq.steps.push_back({{item}, {-1}, {-1}});
+    }
+    d.sequences.push_back(seq);
+  }
+  ModelConfig cfg;
+  cfg.num_users = d.num_users;
+  cfg.num_items = d.num_items;
+  cfg.embedding_dim = 8;
+  cfg.hidden_dim = 8;
+  Gru4Rec model(cfg);
+  for (int e = 0; e < 30; ++e) model.TrainEpoch(d.sequences);
+  std::vector<data::Step> history = {{{0}, {-1}, {-1}}};
+  auto scores = model.ScoreAll(0, history);
+  int best = 0;
+  for (int i = 1; i < d.num_items; ++i)
+    if (scores[i] > scores[best]) best = i;
+  EXPECT_EQ(best, 1) << "after item 0 the chain always continues with 1";
+}
+
+TEST(FeatureModelsTest, VtrnnReactsToFeatures) {
+  // Two items with identical interaction roles but different features
+  // must produce different step inputs for VTRNN.
+  data::Split split = data::LeaveLastOut(TinyData());
+  Vtrnn model(TinyConfig());
+  model.TrainEpoch(split.train);
+  std::vector<data::Step> h1 = {{{0}, {-1}, {-1}}};
+  std::vector<data::Step> h2 = {{{1}, {-1}, {-1}}};
+  EXPECT_NE(model.ScoreAll(0, h1), model.ScoreAll(0, h2));
+}
+
+TEST(FeatureModelsTest, ConstructionRequiresFeatures) {
+  ModelConfig cfg = TinyConfig();
+  cfg.item_features = nullptr;
+  EXPECT_DEATH({ Vtrnn model(cfg); }, "item_features");
+  EXPECT_DEATH({ MmsaRec model(cfg); }, "item_features");
+}
+
+TEST(ProtocolTest, EmptyHistoryNeutralScores) {
+  Gru4Rec model(TinyConfig());
+  auto scores = model.ScoreAll(0, {});
+  for (float s : scores) EXPECT_EQ(s, 0.0f);
+}
+
+TEST(ProtocolTest, BasketStepAveragesEmbeddings) {
+  // A basket of identical items must equal the single-item step.
+  SasRec model(TinyConfig());
+  std::vector<data::Step> single = {{{3}, {-1}, {-1}}};
+  std::vector<data::Step> tripled = {{{3, 3, 3}, {-1, -1, -1}, {-1, -1, -1}}};
+  // Generator never emits duplicate items, but the model must handle them
+  // gracefully (mean of identical rows = the row, up to float rounding).
+  auto a = model.ScoreAll(0, single);
+  auto b = model.ScoreAll(0, tripled);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-4);
+}
+
+TEST(ProtocolTest, StampUsesLastStepStrongly) {
+  data::Split split = data::LeaveLastOut(TinyData());
+  Stamp model(TinyConfig());
+  for (int e = 0; e < 3; ++e) model.TrainEpoch(split.train);
+  std::vector<data::Step> h1 = {{{1}, {-1}, {-1}}, {{2}, {-1}, {-1}}};
+  std::vector<data::Step> h2 = {{{1}, {-1}, {-1}}, {{9}, {-1}, {-1}}};
+  EXPECT_NE(model.ScoreAll(0, h1), model.ScoreAll(0, h2));
+}
+
+TEST(ProtocolTest, BprIgnoresSeedOfHistoryButNotUser) {
+  data::Split split = data::LeaveLastOut(TinyData());
+  Bpr model(TinyConfig());
+  model.TrainEpoch(split.train);
+  std::vector<data::Step> h = {{{1}, {-1}, {-1}}};
+  EXPECT_NE(model.ScoreAll(0, h), model.ScoreAll(1, h))
+      << "BPR personalizes by user";
+}
+
+}  // namespace
+}  // namespace causer::models

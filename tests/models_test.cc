@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "data/generator.h"
+#include "data/split.h"
+#include "models/bpr.h"
+#include "models/fpmc.h"
+#include "models/gru4rec.h"
+#include "models/mmsarec.h"
+#include "models/narm.h"
+#include "models/ncf.h"
+#include "models/sasrec.h"
+#include "models/stamp.h"
+#include "models/vtrnn.h"
+
+namespace causer::models {
+namespace {
+
+const data::Dataset& TinyData() {
+  static data::Dataset d = data::MakeDataset(data::TinySpec());
+  return d;
+}
+
+ModelConfig TinyConfig() {
+  ModelConfig c;
+  c.num_users = TinyData().num_users;
+  c.num_items = TinyData().num_items;
+  c.item_features = &TinyData().item_features;
+  c.embedding_dim = 8;
+  c.hidden_dim = 8;
+  return c;
+}
+
+using Factory = std::function<std::unique_ptr<SequentialRecommender>()>;
+
+struct NamedFactory {
+  const char* label;
+  Factory make;
+};
+
+const NamedFactory kFactories[] = {
+    {"BPR", [] { return std::unique_ptr<SequentialRecommender>(new Bpr(TinyConfig())); }},
+    {"NCF", [] { return std::unique_ptr<SequentialRecommender>(new Ncf(TinyConfig())); }},
+    {"FPMC", [] { return std::unique_ptr<SequentialRecommender>(new Fpmc(TinyConfig())); }},
+    {"GRU4Rec", [] { return std::unique_ptr<SequentialRecommender>(new Gru4Rec(TinyConfig())); }},
+    {"NARM", [] { return std::unique_ptr<SequentialRecommender>(new Narm(TinyConfig())); }},
+    {"STAMP", [] { return std::unique_ptr<SequentialRecommender>(new Stamp(TinyConfig())); }},
+    {"SASRec", [] { return std::unique_ptr<SequentialRecommender>(new SasRec(TinyConfig())); }},
+    {"VTRNN", [] { return std::unique_ptr<SequentialRecommender>(new Vtrnn(TinyConfig())); }},
+    {"MMSARec", [] { return std::unique_ptr<SequentialRecommender>(new MmsaRec(TinyConfig())); }},
+};
+
+class AllModelsTest : public ::testing::TestWithParam<NamedFactory> {};
+
+TEST_P(AllModelsTest, NameMatches) {
+  auto model = GetParam().make();
+  EXPECT_EQ(model->name(), GetParam().label);
+}
+
+TEST_P(AllModelsTest, HasParameters) {
+  auto model = GetParam().make();
+  EXPECT_GT(model->NumParameters(), 100);
+}
+
+TEST_P(AllModelsTest, ScoreAllShapeAndFinite) {
+  auto model = GetParam().make();
+  const auto& seq = TinyData().sequences[0];
+  std::vector<data::Step> history(seq.steps.begin(), seq.steps.end() - 1);
+  auto scores = model->ScoreAll(seq.user, history);
+  EXPECT_EQ(static_cast<int>(scores.size()), TinyData().num_items);
+  for (float s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST_P(AllModelsTest, TrainingReducesLoss) {
+  auto model = GetParam().make();
+  data::Split split = data::LeaveLastOut(TinyData());
+  double first = model->TrainEpoch(split.train);
+  double last = first;
+  for (int e = 0; e < 4; ++e) last = model->TrainEpoch(split.train);
+  EXPECT_LT(last, first);
+}
+
+TEST_P(AllModelsTest, FitBeatsUntrainedModel) {
+  data::Split split = data::LeaveLastOut(TinyData());
+  auto untrained = GetParam().make();
+  double before =
+      eval::Evaluate(MakeScorer(*untrained), split.test, 5).ndcg;
+  auto model = GetParam().make();
+  Fit(*model, split, {.max_epochs = 6, .patience = 2});
+  double after = eval::Evaluate(MakeScorer(*model), split.test, 5).ndcg;
+  EXPECT_GT(after, before);
+}
+
+TEST_P(AllModelsTest, ScoringDeterministicAfterTraining) {
+  auto model = GetParam().make();
+  data::Split split = data::LeaveLastOut(TinyData());
+  model->TrainEpoch(split.train);
+  const auto& inst = split.test[0];
+  auto a = model->ScoreAll(inst.user, inst.history);
+  auto b = model->ScoreAll(inst.user, inst.history);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, AllModelsTest, ::testing::ValuesIn(kFactories),
+    [](const ::testing::TestParamInfo<NamedFactory>& info) {
+      return std::string(info.param.label);
+    });
+
+TEST(SequentialModelsTest, HistoryChangesSequentialScores) {
+  // Sequential models must react to the history; BPR must not.
+  data::Split split = data::LeaveLastOut(TinyData());
+  std::vector<data::Step> h1 = {{{1}, {-1}, {-1}}, {{2}, {-1}, {-1}}};
+  std::vector<data::Step> h2 = {{{5}, {-1}, {-1}}, {{9}, {-1}, {-1}}};
+
+  Gru4Rec gru(TinyConfig());
+  gru.TrainEpoch(split.train);
+  EXPECT_NE(gru.ScoreAll(0, h1), gru.ScoreAll(0, h2));
+
+  Bpr bpr(TinyConfig());
+  bpr.TrainEpoch(split.train);
+  EXPECT_EQ(bpr.ScoreAll(0, h1), bpr.ScoreAll(0, h2));
+}
+
+TEST(FpmcTest, LastBasketDrivesTransition) {
+  data::Split split = data::LeaveLastOut(TinyData());
+  Fpmc fpmc(TinyConfig());
+  for (int e = 0; e < 3; ++e) fpmc.TrainEpoch(split.train);
+  std::vector<data::Step> h1 = {{{1}, {-1}, {-1}}, {{2}, {-1}, {-1}}};
+  std::vector<data::Step> h2 = {{{1}, {-1}, {-1}}, {{9}, {-1}, {-1}}};
+  EXPECT_NE(fpmc.ScoreAll(0, h1), fpmc.ScoreAll(0, h2));
+  // FPMC is first-order Markov: only the last basket matters.
+  std::vector<data::Step> h3 = {{{7}, {-1}, {-1}}, {{2}, {-1}, {-1}}};
+  EXPECT_EQ(fpmc.ScoreAll(0, h1), fpmc.ScoreAll(0, h3));
+}
+
+TEST(NarmTest, AttentionWeightsFormDistribution) {
+  data::Split split = data::LeaveLastOut(TinyData());
+  Narm narm(TinyConfig());
+  narm.TrainEpoch(split.train);
+  const auto& inst = split.test[0];
+  auto weights = narm.AttentionWeights(inst);
+  ASSERT_EQ(weights.size(), inst.history.size());
+  double total = 0;
+  for (double w : weights) {
+    EXPECT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-4);
+}
+
+TEST(FitTest, EarlyStoppingRespectsPatience) {
+  data::Split split = data::LeaveLastOut(TinyData());
+  Gru4Rec model(TinyConfig());
+  FitResult r = Fit(model, split, {.max_epochs = 30, .patience = 0});
+  EXPECT_LT(r.epochs_run, 30);
+  EXPECT_EQ(static_cast<int>(r.epoch_losses.size()), r.epochs_run);
+}
+
+TEST(FitTest, BestValidationReported) {
+  data::Split split = data::LeaveLastOut(TinyData());
+  Gru4Rec model(TinyConfig());
+  FitResult r = Fit(model, split, {.max_epochs = 4, .patience = 4});
+  EXPECT_GE(r.best_validation_ndcg, 0.0);
+  EXPECT_LE(r.best_validation_ndcg, 1.0);
+  double current = eval::Evaluate(MakeScorer(model),
+                                  split.validation, 5).ndcg;
+  // Fit restores the best snapshot, so re-evaluating must reproduce it.
+  EXPECT_NEAR(current, r.best_validation_ndcg, 1e-9);
+}
+
+TEST(TruncationTest, MaxHistoryRespected) {
+  ModelConfig cfg = TinyConfig();
+  cfg.max_history = 2;
+  Gru4Rec model(cfg);
+  // 3-step histories whose old steps differ must score identically.
+  std::vector<data::Step> h1 = {{{1}, {-1}, {-1}},
+                                {{2}, {-1}, {-1}},
+                                {{3}, {-1}, {-1}}};
+  std::vector<data::Step> h2 = {{{9}, {-1}, {-1}},
+                                {{2}, {-1}, {-1}},
+                                {{3}, {-1}, {-1}}};
+  EXPECT_EQ(model.ScoreAll(0, h1), model.ScoreAll(0, h2));
+}
+
+}  // namespace
+}  // namespace causer::models

@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/init.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/rnn_cells.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace causer::nn {
+namespace {
+
+using tensor::Backward;
+using tensor::Tensor;
+
+Rng& TestRng() {
+  static Rng rng(999);
+  return rng;
+}
+
+TEST(InitTest, XavierBounds) {
+  Rng rng(1);
+  Tensor w = XavierUniform(10, 20, rng);
+  float bound = std::sqrt(6.0f / 30.0f);
+  for (float v : w.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+  EXPECT_TRUE(w.requires_grad());
+}
+
+TEST(InitTest, ZeroParam) {
+  Tensor b = ZeroParam(1, 5);
+  for (float v : b.data()) EXPECT_EQ(v, 0.0f);
+  EXPECT_TRUE(b.requires_grad());
+}
+
+TEST(ModuleTest, ParameterAggregation) {
+  Linear a(3, 4, TestRng());
+  Linear b(4, 2, TestRng(), /*with_bias=*/false);
+  EXPECT_EQ(a.Parameters().size(), 2u);  // weight + bias
+  EXPECT_EQ(b.Parameters().size(), 1u);
+  EXPECT_EQ(a.NumParameters(), 3 * 4 + 4);
+  EXPECT_EQ(b.NumParameters(), 4 * 2);
+}
+
+TEST(ModuleTest, ZeroGradClears) {
+  Linear lin(2, 2, TestRng());
+  Tensor x = Tensor::Full(1, 2, 1.0f);
+  Backward(tensor::SquaredNorm(lin.Forward(x)));
+  bool any = false;
+  for (float g : lin.weight().grad()) any = any || g != 0.0f;
+  EXPECT_TRUE(any);
+  lin.ZeroGrad();
+  for (float g : lin.weight().grad()) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(LinearTest, ForwardMatchesManual) {
+  Rng rng(2);
+  Linear lin(2, 3, rng);
+  Tensor x = Tensor::FromData(1, 2, {1.0f, -2.0f});
+  Tensor y = lin.Forward(x);
+  for (int c = 0; c < 3; ++c) {
+    float expected = lin.weight().At(0, c) * 1.0f +
+                     lin.weight().At(1, c) * -2.0f + lin.bias().At(0, c);
+    EXPECT_NEAR(y.At(0, c), expected, 1e-5);
+  }
+}
+
+TEST(LinearTest, BatchForward) {
+  Linear lin(3, 2, TestRng());
+  Tensor x = Tensor::Zeros(5, 3);
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 2);
+}
+
+TEST(MlpTest, ForwardShapeAndGrad) {
+  Mlp mlp({4, 8, 2}, Mlp::Activation::kSigmoid, TestRng());
+  Tensor x = Tensor::Full(3, 4, 0.5f);
+  Tensor y = mlp.Forward(x);
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_EQ(y.cols(), 2);
+  Backward(tensor::SquaredNorm(y));
+  for (const auto& p : mlp.Parameters()) {
+    EXPECT_FALSE(p.grad().empty());
+  }
+}
+
+TEST(EmbeddingTest, RowLookup) {
+  Embedding emb(5, 3, TestRng());
+  Tensor row = emb.Row(2);
+  EXPECT_EQ(row.rows(), 1);
+  for (int c = 0; c < 3; ++c) EXPECT_EQ(row.At(0, c), emb.weight().At(2, c));
+}
+
+TEST(EmbeddingTest, GradientOnlyOnLookedUpRows) {
+  Embedding emb(4, 2, TestRng());
+  Backward(tensor::SquaredNorm(emb.Forward({1, 3})));
+  const auto& g = emb.weight().grad();
+  EXPECT_EQ(g[0 * 2], 0.0f);
+  EXPECT_EQ(g[2 * 2], 0.0f);
+  bool row1 = g[1 * 2] != 0.0f || g[1 * 2 + 1] != 0.0f;
+  bool row3 = g[3 * 2] != 0.0f || g[3 * 2 + 1] != 0.0f;
+  EXPECT_TRUE(row1);
+  EXPECT_TRUE(row3);
+}
+
+TEST(GruCellTest, OutputShapeAndRange) {
+  GruCell cell(3, 4, TestRng());
+  Tensor x = Tensor::Full(1, 3, 0.5f);
+  Tensor h = cell.InitialState();
+  h = cell.Forward(x, h);
+  EXPECT_EQ(h.rows(), 1);
+  EXPECT_EQ(h.cols(), 4);
+  for (float v : h.data()) {
+    EXPECT_GT(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(GruCellTest, ZeroStatePersistsWithZeroInput) {
+  GruCell cell(2, 3, TestRng());
+  Tensor x = Tensor::Zeros(1, 2);
+  Tensor h = cell.Forward(x, cell.InitialState());
+  // With zero biases the candidate is tanh(0)=0, so the state stays 0.
+  for (float v : h.data()) EXPECT_NEAR(v, 0.0f, 1e-6);
+}
+
+TEST(GruCellTest, GradientsFlowThroughTime) {
+  GruCell cell(2, 3, TestRng());
+  Tensor x = Tensor::Full(1, 2, 0.7f);
+  Tensor h = cell.InitialState();
+  for (int t = 0; t < 5; ++t) h = cell.Forward(x, h);
+  Backward(tensor::SquaredNorm(h));
+  int with_grad = 0;
+  for (const auto& p : cell.Parameters()) {
+    for (float g : p.grad()) {
+      if (g != 0.0f) {
+        ++with_grad;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_grad, 5);
+}
+
+TEST(LstmCellTest, ShapesAndGradients) {
+  LstmCell cell(3, 4, TestRng());
+  LstmState s = cell.InitialState();
+  Tensor x = Tensor::Full(1, 3, 0.3f);
+  for (int t = 0; t < 4; ++t) s = cell.Forward(x, s);
+  EXPECT_EQ(s.h.cols(), 4);
+  EXPECT_EQ(s.c.cols(), 4);
+  Backward(tensor::SquaredNorm(s.h));
+  EXPECT_FALSE(cell.Parameters()[0].grad().empty());
+}
+
+TEST(LstmCellTest, BatchedState) {
+  LstmCell cell(2, 3, TestRng());
+  LstmState s = cell.InitialState(4);
+  EXPECT_EQ(s.h.rows(), 4);
+  Tensor x = Tensor::Zeros(4, 2);
+  s = cell.Forward(x, s);
+  EXPECT_EQ(s.h.rows(), 4);
+}
+
+TEST(BilinearAttentionTest, WeightsFormDistribution) {
+  BilinearAttention att(4, TestRng());
+  Rng rng(3);
+  Tensor h = Tensor::RandomNormal(6, 4, 1.0f, rng);
+  Tensor q = Tensor::RandomNormal(1, 4, 1.0f, rng);
+  Tensor w = att.Weights(h, q);
+  EXPECT_EQ(w.rows(), 6);
+  EXPECT_EQ(w.cols(), 1);
+  float total = 0.0f;
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_GT(w.At(r, 0), 0.0f);
+    total += w.At(r, 0);
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-5);
+}
+
+TEST(BilinearAttentionTest, PoolIsConvexCombination) {
+  BilinearAttention att(3, TestRng());
+  Tensor h = Tensor::Full(4, 3, 0.6f);
+  Tensor q = Tensor::Full(1, 3, 0.2f);
+  Tensor pooled = att.Pool(h, q);
+  for (int c = 0; c < 3; ++c) EXPECT_NEAR(pooled.At(0, c), 0.6f, 1e-5);
+}
+
+TEST(CausalSelfAttentionTest, OutputShape) {
+  CausalSelfAttention att(4, TestRng());
+  Rng rng(4);
+  Tensor x = Tensor::RandomNormal(5, 4, 1.0f, rng);
+  Tensor y = att.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 4);
+}
+
+TEST(CausalSelfAttentionTest, MaskPreventsFutureLeakage) {
+  CausalSelfAttention att(3, TestRng());
+  Rng rng(5);
+  Tensor x1 = Tensor::RandomNormal(4, 3, 1.0f, rng);
+  Tensor x2 = x1.Clone();
+  x2.At(3, 0) += 10.0f;  // change only the last position
+  Tensor y1 = att.Forward(x1);
+  Tensor y2 = att.Forward(x2);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_NEAR(y1.At(r, c), y2.At(r, c), 1e-5);
+  }
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  LayerNorm norm(4);
+  Rng rng(31);
+  Tensor x = Tensor::RandomNormal(3, 4, 5.0f, rng);
+  Tensor y = norm.Forward(x);
+  // With gamma = 1, beta = 0 each output row has mean ~0 and variance ~1.
+  for (int r = 0; r < 3; ++r) {
+    float mean = 0.0f, var = 0.0f;
+    for (int c = 0; c < 4; ++c) mean += y.At(r, c);
+    mean /= 4;
+    for (int c = 0; c < 4; ++c) {
+      float d = y.At(r, c) - mean;
+      var += d * d;
+    }
+    var /= 4;
+    EXPECT_NEAR(mean, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, AffineParametersApplied) {
+  LayerNorm norm(2);
+  // gamma and beta are the first two registered parameters.
+  auto params = norm.Parameters();
+  params[0].At(0, 0) = 3.0f;  // gamma
+  params[1].At(0, 1) = 7.0f;  // beta
+  Tensor x = Tensor::FromData(1, 2, {1.0f, -1.0f});
+  Tensor y = norm.Forward(x);
+  // Normalized row is (1, -1); gamma scales col 0 by 3, beta shifts col 1.
+  EXPECT_NEAR(y.At(0, 0), 3.0f, 1e-3);
+  EXPECT_NEAR(y.At(0, 1), 6.0f, 1e-3);
+}
+
+TEST(LayerNormTest, GradientsFlow) {
+  LayerNorm norm(3);
+  Rng rng(32);
+  Tensor x = Tensor::RandomNormal(2, 3, 1.0f, rng, /*requires_grad=*/true);
+  tensor::Backward(tensor::SquaredNorm(norm.Forward(x)));
+  EXPECT_FALSE(x.grad().empty());
+  for (const auto& p : norm.Parameters()) EXPECT_FALSE(p.grad().empty());
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::Full(1, 1, 5.0f, true);
+  Sgd opt({x}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    opt.ZeroGrad();
+    Backward(tensor::SquaredNorm(x));
+    opt.Step();
+  }
+  EXPECT_NEAR(x.Item(), 0.0f, 1e-4);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  Tensor a = Tensor::Full(1, 1, 5.0f, true);
+  Tensor b = Tensor::Full(1, 1, 5.0f, true);
+  Sgd plain({a}, 0.01f);
+  Sgd momentum({b}, 0.01f, 0.9f);
+  for (int i = 0; i < 50; ++i) {
+    plain.ZeroGrad();
+    Backward(tensor::SquaredNorm(a));
+    plain.Step();
+    momentum.ZeroGrad();
+    Backward(tensor::SquaredNorm(b));
+    momentum.Step();
+  }
+  EXPECT_LT(std::fabs(b.Item()), std::fabs(a.Item()));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::Full(1, 2, 3.0f, true);
+  Adam opt({x}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    opt.ZeroGrad();
+    Backward(tensor::SquaredNorm(x));
+    opt.Step();
+  }
+  EXPECT_NEAR(x.At(0, 0), 0.0f, 1e-3);
+  EXPECT_NEAR(x.At(0, 1), 0.0f, 1e-3);
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrad) {
+  Tensor x = Tensor::Full(1, 1, 1.0f, true);
+  Adam opt({x}, 0.1f);
+  opt.Step();  // no Backward happened; must not crash or move x
+  EXPECT_EQ(x.Item(), 1.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormScales) {
+  Tensor x = Tensor::FromData(1, 2, {3.0f, 4.0f}, true);
+  Sgd opt({x}, 1.0f);
+  Backward(tensor::Sum(tensor::Mul(x, Tensor::FromData(1, 2, {3.0f, 4.0f}))));
+  double norm = opt.ClipGradNorm(1.0);  // grad = (3, 4), norm 5
+  EXPECT_NEAR(norm, 5.0, 1e-5);
+  EXPECT_NEAR(x.GradAt(0, 0), 0.6f, 1e-5);
+  EXPECT_NEAR(x.GradAt(0, 1), 0.8f, 1e-5);
+}
+
+TEST(OptimizerTest, ClipLeavesSmallGradientsAlone) {
+  Tensor x = Tensor::FromData(1, 1, {1.0f}, true);
+  Sgd opt({x}, 1.0f);
+  Backward(tensor::ScalarMul(x, 0.5f));
+  opt.ClipGradNorm(10.0);
+  EXPECT_NEAR(x.GradAt(0, 0), 0.5f, 1e-6);
+}
+
+TEST(TrainingTest, LinearRegressionLearned) {
+  // y = 2x - 1 learned by a Linear layer via Adam.
+  Rng rng(6);
+  Linear lin(1, 1, rng);
+  Adam opt(lin.Parameters(), 0.05f);
+  for (int step = 0; step < 400; ++step) {
+    float xv = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    Tensor x = Tensor::FromData(1, 1, {xv});
+    Tensor target = Tensor::FromData(1, 1, {2.0f * xv - 1.0f});
+    Tensor loss = tensor::MseLoss(lin.Forward(x), target);
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(lin.weight().At(0, 0), 2.0f, 0.1f);
+  EXPECT_NEAR(lin.bias().At(0, 0), -1.0f, 0.1f);
+}
+
+TEST(TrainingTest, GruLearnsToDiscriminateSequences) {
+  // Two input sequences with different targets; the GRU + readout should
+  // fit both (tiny-capacity sanity check of BPTT end-to-end).
+  Rng rng(7);
+  GruCell cell(1, 4, rng);
+  Linear readout(4, 1, rng);
+  std::vector<Tensor> params = cell.Parameters();
+  auto rp = readout.Parameters();
+  params.insert(params.end(), rp.begin(), rp.end());
+  Adam opt(params, 0.05f);
+
+  auto run = [&](const std::vector<float>& xs) {
+    Tensor h = cell.InitialState();
+    for (float v : xs) h = cell.Forward(Tensor::FromData(1, 1, {v}), h);
+    return readout.Forward(h);
+  };
+  for (int step = 0; step < 300; ++step) {
+    Tensor loss = tensor::Add(
+        tensor::MseLoss(run({1, 0, 1}), Tensor::Scalar(1.0f)),
+        tensor::MseLoss(run({0, 1, 0}), Tensor::Scalar(-1.0f)));
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(run({1, 0, 1}).Item(), 1.0f, 0.2f);
+  EXPECT_NEAR(run({0, 1, 0}).Item(), -1.0f, 0.2f);
+}
+
+}  // namespace
+}  // namespace causer::nn

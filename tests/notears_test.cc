@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "causal/markov_equivalence.h"
+#include "causal/notears.h"
+
+namespace causer::causal {
+namespace {
+
+TEST(SimulateSemTest, ShapeAndDeterminism) {
+  Rng rng1(9), rng2(9);
+  Graph g(3);
+  g.SetEdge(0, 1);
+  g.SetEdge(1, 2);
+  Dense w1, w2;
+  Dense x1 = SimulateLinearSem(g, 50, 0.5, 2.0, rng1, &w1);
+  Dense x2 = SimulateLinearSem(g, 50, 0.5, 2.0, rng2, &w2);
+  EXPECT_EQ(x1.rows(), 50);
+  EXPECT_EQ(x1.cols(), 3);
+  for (size_t i = 0; i < x1.data().size(); ++i)
+    EXPECT_DOUBLE_EQ(x1.data()[i], x2.data()[i]);
+  EXPECT_DOUBLE_EQ(w1(0, 1), w2(0, 1));
+}
+
+TEST(SimulateSemTest, WeightsOnlyOnEdges) {
+  Rng rng(10);
+  Graph g(4);
+  g.SetEdge(0, 2);
+  Dense w;
+  SimulateLinearSem(g, 10, 0.5, 2.0, rng, &w);
+  EXPECT_NE(w(0, 2), 0.0);
+  EXPECT_GE(std::fabs(w(0, 2)), 0.5);
+  EXPECT_LE(std::fabs(w(0, 2)), 2.0);
+  EXPECT_EQ(w(2, 0), 0.0);
+  EXPECT_EQ(w(1, 3), 0.0);
+}
+
+TEST(SimulateSemTest, ChildVarianceExceedsNoise) {
+  // x1 = w*x0 + e with |w| >= 1 -> var(x1) >= 2 approx.
+  Rng rng(11);
+  Graph g(2);
+  g.SetEdge(0, 1);
+  Dense x = SimulateLinearSem(g, 4000, 1.0, 1.5, rng);
+  double var = 0.0, mean = 0.0;
+  for (int i = 0; i < x.rows(); ++i) mean += x(i, 1);
+  mean /= x.rows();
+  for (int i = 0; i < x.rows(); ++i) var += (x(i, 1) - mean) * (x(i, 1) - mean);
+  var /= x.rows();
+  EXPECT_GT(var, 1.5);
+}
+
+TEST(NotearsTest, TwoVariableEdgeRecovered) {
+  Rng rng(21);
+  Graph truth(2);
+  truth.SetEdge(0, 1);
+  Dense x = SimulateLinearSem(truth, 500, 1.0, 1.5, rng);
+  NotearsResult result = NotearsLinear(x);
+  EXPECT_TRUE(result.graph.Edge(0, 1));
+  EXPECT_FALSE(result.graph.Edge(1, 0));
+  EXPECT_TRUE(result.graph.IsDag());
+  EXPECT_LT(result.final_h, 1e-6);
+}
+
+TEST(NotearsTest, ChainRecoveredToSkeleton) {
+  Rng rng(22);
+  Graph truth(4);
+  truth.SetEdge(0, 1);
+  truth.SetEdge(1, 2);
+  truth.SetEdge(2, 3);
+  Dense x = SimulateLinearSem(truth, 800, 1.0, 1.8, rng);
+  NotearsResult result = NotearsLinear(x);
+  EXPECT_TRUE(result.graph.IsDag());
+  EXPECT_LE(StructuralHammingDistance(result.graph, truth), 1);
+}
+
+TEST(NotearsTest, IndependentVariablesGiveEmptyGraph) {
+  Rng rng(23);
+  Graph truth(4);  // no edges
+  Dense x = SimulateLinearSem(truth, 600, 1.0, 1.5, rng);
+  NotearsResult result = NotearsLinear(x);
+  EXPECT_EQ(result.graph.NumEdges(), 0);
+}
+
+TEST(NotearsTest, ErdosRenyiGraphLowShd) {
+  Rng rng(24);
+  Graph truth = RandomDag(6, 0.35, rng);
+  Dense x = SimulateLinearSem(truth, 1200, 1.0, 2.0, rng);
+  NotearsResult result = NotearsLinear(x);
+  EXPECT_TRUE(result.graph.IsDag());
+  // Allow a small recovery error; the point is closeness, not perfection.
+  EXPECT_LE(StructuralHammingDistance(result.graph, truth), 2)
+      << "true edges " << truth.NumEdges() << " learned "
+      << result.graph.NumEdges();
+}
+
+TEST(NotearsTest, OutputAlwaysDagEvenWithFewIterations) {
+  Rng rng(25);
+  Graph truth = RandomDag(5, 0.5, rng);
+  Dense x = SimulateLinearSem(truth, 200, 1.0, 2.0, rng);
+  NotearsOptions opts;
+  opts.max_outer_iterations = 2;
+  opts.inner_iterations = 20;
+  NotearsResult result = NotearsLinear(x, opts);
+  EXPECT_TRUE(result.graph.IsDag());
+}
+
+TEST(NotearsTest, StrongerL1GivesSparserGraph) {
+  Rng rng(26);
+  Graph truth = RandomDag(5, 0.4, rng);
+  Dense x = SimulateLinearSem(truth, 400, 0.7, 1.2, rng);
+  NotearsOptions weak;
+  weak.lambda1 = 0.01;
+  NotearsOptions strong;
+  strong.lambda1 = 0.3;
+  int weak_edges = NotearsLinear(x, weak).graph.NumEdges();
+  int strong_edges = NotearsLinear(x, strong).graph.NumEdges();
+  EXPECT_LE(strong_edges, weak_edges);
+}
+
+TEST(NotearsTest, ConvergedFlagMatchesResidual) {
+  Rng rng(27);
+  Graph truth(3);
+  truth.SetEdge(0, 1);
+  Dense x = SimulateLinearSem(truth, 300, 1.0, 1.5, rng);
+  NotearsResult result = NotearsLinear(x);
+  EXPECT_EQ(result.converged, result.final_h <= NotearsOptions{}.h_tolerance);
+  EXPECT_GE(result.outer_iterations, 1);
+}
+
+}  // namespace
+}  // namespace causer::causal

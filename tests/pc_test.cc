@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "causal/notears.h"
+#include "causal/pc.h"
+
+namespace causer::causal {
+namespace {
+
+TEST(CorrelationTest, IdentityForIndependentColumns) {
+  Rng rng(3);
+  Dense x(2000, 3);
+  for (auto& v : x.data()) v = rng.Normal();
+  Dense c = CorrelationMatrix(x);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(c(i, i), 1.0, 1e-9);
+    for (int j = 0; j < 3; ++j) {
+      if (i != j) EXPECT_NEAR(c(i, j), 0.0, 0.08);
+    }
+  }
+}
+
+TEST(CorrelationTest, PerfectlyCorrelatedColumns) {
+  Dense x(100, 2);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    x(i, 0) = rng.Normal();
+    x(i, 1) = 2.0 * x(i, 0) + 1.0;
+  }
+  Dense c = CorrelationMatrix(x);
+  EXPECT_NEAR(c(0, 1), 1.0, 1e-9);
+}
+
+TEST(CiTest, MarginalDependenceDetected) {
+  Rng rng(5);
+  Graph g(2);
+  g.SetEdge(0, 1);
+  Dense x = SimulateLinearSem(g, 500, 1.0, 1.5, rng);
+  Dense corr = CorrelationMatrix(x);
+  EXPECT_FALSE(GaussianCiTest(corr, 500, 0, 1, {}, 0.01));
+}
+
+TEST(CiTest, ChainConditionalIndependence) {
+  // 0 -> 1 -> 2: 0 ⟂ 2 | 1, but 0 and 2 marginally dependent.
+  Rng rng(6);
+  Graph g(3);
+  g.SetEdge(0, 1);
+  g.SetEdge(1, 2);
+  Dense x = SimulateLinearSem(g, 1500, 1.0, 1.5, rng);
+  Dense corr = CorrelationMatrix(x);
+  EXPECT_FALSE(GaussianCiTest(corr, 1500, 0, 2, {}, 0.01));
+  EXPECT_TRUE(GaussianCiTest(corr, 1500, 0, 2, {1}, 0.01));
+}
+
+TEST(CiTest, ColliderConditionalDependence) {
+  // 0 -> 2 <- 1: 0 ⟂ 1 marginally but dependent given 2.
+  Rng rng(7);
+  Graph g(3);
+  g.SetEdge(0, 2);
+  g.SetEdge(1, 2);
+  Dense x = SimulateLinearSem(g, 1500, 1.0, 1.5, rng);
+  Dense corr = CorrelationMatrix(x);
+  EXPECT_TRUE(GaussianCiTest(corr, 1500, 0, 1, {}, 0.01));
+  EXPECT_FALSE(GaussianCiTest(corr, 1500, 0, 1, {2}, 0.01));
+}
+
+TEST(CiTest, TooFewSamplesNeverRejects) {
+  Dense corr = Dense::Identity(4);
+  corr(0, 1) = corr(1, 0) = 0.9;
+  EXPECT_TRUE(GaussianCiTest(corr, 4, 0, 1, {2, 3}, 0.01));
+}
+
+TEST(PcTest, RecoversColliderExactly) {
+  Rng rng(8);
+  Graph g(3);
+  g.SetEdge(0, 2);
+  g.SetEdge(1, 2);
+  Dense x = SimulateLinearSem(g, 2000, 1.0, 1.8, rng);
+  PcResult result = PcAlgorithm(x);
+  EXPECT_TRUE(result.cpdag.HasDirected(0, 2));
+  EXPECT_TRUE(result.cpdag.HasDirected(1, 2));
+  EXPECT_FALSE(result.cpdag.Adjacent(0, 1));
+  EXPECT_GT(result.num_tests, 0);
+}
+
+TEST(PcTest, ChainLeftUndirected) {
+  // A chain has no v-structure, so its CPDAG is fully undirected.
+  Rng rng(9);
+  Graph g(3);
+  g.SetEdge(0, 1);
+  g.SetEdge(1, 2);
+  Dense x = SimulateLinearSem(g, 2000, 1.0, 1.8, rng);
+  PcResult result = PcAlgorithm(x);
+  EXPECT_TRUE(result.cpdag.HasUndirected(0, 1));
+  EXPECT_TRUE(result.cpdag.HasUndirected(1, 2));
+  EXPECT_FALSE(result.cpdag.Adjacent(0, 2));
+}
+
+TEST(PcTest, MatchesTrueCpdagOnRandomDag) {
+  Rng rng(10);
+  Graph truth = RandomDag(5, 0.4, rng);
+  Dense x = SimulateLinearSem(truth, 4000, 1.0, 2.0, rng);
+  PcResult result = PcAlgorithm(x);
+  Pdag expected = Cpdag(truth);
+  int mismatches = 0;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      bool got_dir = result.cpdag.HasDirected(i, j);
+      bool want_dir = expected.HasDirected(i, j);
+      bool got_und = result.cpdag.HasUndirected(i, j);
+      bool want_und = expected.HasUndirected(i, j);
+      mismatches += (got_dir != want_dir) + (got_und != want_und);
+    }
+  }
+  EXPECT_LE(mismatches, 2) << "PC deviates from the true CPDAG";
+}
+
+TEST(PcTest, IndependentDataGivesEmptyGraph) {
+  Rng rng(11);
+  Dense x(800, 4);
+  for (auto& v : x.data()) v = rng.Normal();
+  PcResult result = PcAlgorithm(x);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) EXPECT_FALSE(result.cpdag.Adjacent(i, j));
+}
+
+TEST(MeekRulesTest, RuleOneFires) {
+  Pdag p(3);
+  p.SetDirected(0, 1);
+  p.SetUndirected(1, 2);
+  // 0 and 2 non-adjacent -> orient 1 -> 2.
+  ApplyMeekRules(p);
+  EXPECT_TRUE(p.HasDirected(1, 2));
+}
+
+TEST(MeekRulesTest, NoSpuriousOrientation) {
+  Pdag p(3);
+  p.SetUndirected(0, 1);
+  p.SetUndirected(1, 2);
+  ApplyMeekRules(p);
+  EXPECT_TRUE(p.HasUndirected(0, 1));
+  EXPECT_TRUE(p.HasUndirected(1, 2));
+}
+
+}  // namespace
+}  // namespace causer::causal

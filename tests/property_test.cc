@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "causal/acyclicity.h"
+#include "causal/d_separation.h"
+#include "causal/markov_equivalence.h"
+#include "causal/matrix_exp.h"
+#include "causal/notears.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "tensor/ops.h"
+
+// Property-style sweeps over random seeds: each TEST_P instance checks an
+// invariant on freshly sampled inputs.
+
+namespace causer {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST_P(SeededProperty, SoftmaxRowsAlwaysDistribution) {
+  Rng rng(GetParam());
+  int rows = 1 + rng.UniformInt(6);
+  int cols = 2 + rng.UniformInt(8);
+  auto t = tensor::Tensor::RandomNormal(rows, cols, 3.0f, rng);
+  auto s = tensor::SoftmaxRows(t, 0.1f + static_cast<float>(rng.Uniform()));
+  for (int r = 0; r < rows; ++r) {
+    float total = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      EXPECT_GE(s.At(r, c), 0.0f);
+      total += s.At(r, c);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-4);
+  }
+}
+
+TEST_P(SeededProperty, MatMulAssociativeWithIdentity) {
+  Rng rng(GetParam());
+  int n = 2 + rng.UniformInt(5);
+  auto a = tensor::Tensor::RandomNormal(n, n, 1.0f, rng);
+  auto eye = tensor::Tensor::Zeros(n, n);
+  for (int i = 0; i < n; ++i) eye.At(i, i) = 1.0f;
+  auto left = tensor::MatMul(eye, a);
+  auto right = tensor::MatMul(a, eye);
+  for (int i = 0; i < n * n; ++i) {
+    EXPECT_NEAR(left.data()[i], a.data()[i], 1e-5);
+    EXPECT_NEAR(right.data()[i], a.data()[i], 1e-5);
+  }
+}
+
+TEST_P(SeededProperty, TransposeIsInvolution) {
+  Rng rng(GetParam());
+  auto a = tensor::Tensor::RandomNormal(2 + rng.UniformInt(5),
+                                        2 + rng.UniformInt(5), 1.0f, rng);
+  auto tt = tensor::Transpose(tensor::Transpose(a));
+  EXPECT_EQ(tt.rows(), a.rows());
+  for (int i = 0; i < a.size(); ++i)
+    EXPECT_FLOAT_EQ(tt.data()[i], a.data()[i]);
+}
+
+TEST_P(SeededProperty, RandomDagIsAlwaysAcyclicWithZeroResidual) {
+  Rng rng(GetParam());
+  int n = 3 + rng.UniformInt(10);
+  causal::Graph g = causal::RandomDag(n, rng.Uniform(), rng);
+  EXPECT_TRUE(g.IsDag());
+  EXPECT_NEAR(causal::AcyclicityValue(causal::ToDense(g)), 0.0, 1e-6);
+}
+
+TEST_P(SeededProperty, AcyclicityNonNegative) {
+  Rng rng(GetParam());
+  int n = 2 + rng.UniformInt(6);
+  causal::Dense w(n, n);
+  for (auto& v : w.data()) v = rng.Normal();
+  EXPECT_GE(causal::AcyclicityValue(w), -1e-9);
+}
+
+TEST_P(SeededProperty, MatrixExpOfTransposeIsTransposeOfExp) {
+  Rng rng(GetParam());
+  int n = 2 + rng.UniformInt(4);
+  causal::Dense a(n, n);
+  for (auto& v : a.data()) v = rng.Normal(0.0, 0.5);
+  causal::Dense e1 = causal::MatrixExponential(a.Transposed());
+  causal::Dense e2 = causal::MatrixExponential(a).Transposed();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) EXPECT_NEAR(e1(i, j), e2(i, j), 1e-8);
+}
+
+TEST_P(SeededProperty, DagIsAlwaysMarkovEquivalentToItself) {
+  Rng rng(GetParam());
+  causal::Graph g = causal::RandomDag(8, 0.3, rng);
+  EXPECT_TRUE(causal::SameMarkovEquivalenceClass(g, g));
+  EXPECT_EQ(causal::StructuralHammingDistance(g, g), 0);
+  EXPECT_TRUE(causal::Cpdag(g) == causal::Cpdag(g));
+}
+
+TEST_P(SeededProperty, EquivalentDagsHaveEqualCpdags) {
+  // Reversing a "covered" edge (same parent sets modulo the edge) keeps
+  // the MEC; the CPDAGs must match.
+  Rng rng(GetParam());
+  causal::Graph g = causal::RandomDag(7, 0.35, rng);
+  // Find a covered edge x -> y: parents(y) = parents(x) + {x}.
+  for (int x = 0; x < g.n(); ++x) {
+    for (int y = 0; y < g.n(); ++y) {
+      if (!g.Edge(x, y)) continue;
+      auto px = g.Parents(x);
+      auto py = g.Parents(y);
+      px.push_back(x);
+      std::sort(px.begin(), px.end());
+      std::sort(py.begin(), py.end());
+      if (px != py) continue;
+      causal::Graph reversed = g;
+      reversed.SetEdge(x, y, false);
+      reversed.SetEdge(y, x, true);
+      ASSERT_TRUE(reversed.IsDag());
+      EXPECT_TRUE(causal::SameMarkovEquivalenceClass(g, reversed));
+      EXPECT_TRUE(causal::Cpdag(g) == causal::Cpdag(reversed));
+      return;  // one covered edge per seed suffices
+    }
+  }
+}
+
+TEST_P(SeededProperty, DSeparationSymmetric) {
+  Rng rng(GetParam());
+  causal::Graph g = causal::RandomDag(8, 0.3, rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    int a = rng.UniformInt(8), b = rng.UniformInt(8);
+    if (a == b) continue;
+    std::vector<int> cond;
+    for (int c = 0; c < 8; ++c) {
+      if (c != a && c != b && rng.Bernoulli(0.3)) cond.push_back(c);
+    }
+    EXPECT_EQ(causal::DSeparated(g, {a}, {b}, cond),
+              causal::DSeparated(g, {b}, {a}, cond));
+  }
+}
+
+TEST_P(SeededProperty, NonAdjacentNodesSeparableByParents) {
+  // Classic property: a node is d-separated from its non-descendant,
+  // non-adjacent nodes given its parents (local Markov condition).
+  Rng rng(GetParam());
+  causal::Graph g = causal::RandomDag(7, 0.3, rng);
+  for (int v = 0; v < g.n(); ++v) {
+    auto parents = g.Parents(v);
+    auto desc = g.Descendants(v);
+    std::vector<int> nondesc;
+    for (int u = 0; u < g.n(); ++u) {
+      if (u == v) continue;
+      if (std::find(desc.begin(), desc.end(), u) != desc.end()) continue;
+      if (std::find(parents.begin(), parents.end(), u) != parents.end())
+        continue;
+      nondesc.push_back(u);
+    }
+    if (nondesc.empty()) continue;
+    EXPECT_TRUE(causal::DSeparated(g, {v}, nondesc, parents))
+        << "node " << v;
+  }
+}
+
+TEST_P(SeededProperty, MetricsBounded) {
+  Rng rng(GetParam());
+  std::vector<float> scores(20);
+  for (auto& s : scores) s = static_cast<float>(rng.Normal());
+  auto ranked = eval::TopK(scores, 5);
+  std::vector<int> relevant;
+  for (int i = 0; i < 20; ++i)
+    if (rng.Bernoulli(0.2)) relevant.push_back(i);
+  double f1 = eval::F1(ranked, relevant);
+  double ndcg = eval::Ndcg(ranked, relevant);
+  EXPECT_GE(f1, 0.0);
+  EXPECT_LE(f1, 1.0);
+  EXPECT_GE(ndcg, 0.0);
+  EXPECT_LE(ndcg, 1.0);
+  // Precision and recall bound F1 from above.
+  EXPECT_LE(f1, std::max(eval::Precision(ranked, relevant),
+                         eval::Recall(ranked, relevant)) +
+                    1e-12);
+}
+
+TEST_P(SeededProperty, GeneratedDatasetInvariants) {
+  data::DatasetSpec spec = data::TinySpec();
+  spec.seed = GetParam();
+  spec.basket_extend_prob = GetParam() % 2 == 0 ? 0.3 : 0.0;
+  data::Dataset d = data::MakeDataset(spec);
+  EXPECT_TRUE(d.true_cluster_graph.IsDag());
+  EXPECT_EQ(static_cast<int>(d.sequences.size()), spec.num_users);
+  for (const auto& seq : d.sequences) {
+    for (size_t t = 0; t < seq.steps.size(); ++t) {
+      const auto& step = seq.steps[t];
+      EXPECT_FALSE(step.items.empty());
+      EXPECT_EQ(step.items.size(), step.cause_step.size());
+      for (size_t k = 0; k < step.items.size(); ++k) {
+        EXPECT_GE(step.items[k], 0);
+        EXPECT_LT(step.items[k], spec.num_items);
+        EXPECT_LT(step.cause_step[k], static_cast<int>(t));
+      }
+    }
+  }
+  data::Split s = data::LeaveLastOut(d);
+  EXPECT_EQ(s.test.size(), d.sequences.size());  // min_len >= 3
+}
+
+TEST_P(SeededProperty, NotearsOutputAlwaysDag) {
+  Rng rng(GetParam());
+  causal::Graph truth = causal::RandomDag(5, 0.4, rng);
+  causal::Dense x = causal::SimulateLinearSem(truth, 150, 0.8, 1.6, rng);
+  causal::NotearsOptions opts;
+  opts.max_outer_iterations = 6;
+  opts.inner_iterations = 80;
+  causal::NotearsResult r = causal::NotearsLinear(x, opts);
+  EXPECT_TRUE(r.graph.IsDag());
+  EXPECT_GE(r.final_h, 0.0);
+}
+
+}  // namespace
+}  // namespace causer

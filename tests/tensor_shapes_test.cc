@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+// Parameterized shape sweeps: the same algebraic identities must hold for
+// every (rows, cols) combination, including degenerate 1-row/1-col cases.
+
+namespace causer::tensor {
+namespace {
+
+class ShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  int rows() const { return std::get<0>(GetParam()); }
+  int cols() const { return std::get<1>(GetParam()); }
+  Rng rng_{static_cast<uint64_t>(rows() * 100 + cols())};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShapeSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 16),
+                       ::testing::Values(1, 2, 5, 8, 17)));
+
+TEST_P(ShapeSweep, AddCommutes) {
+  Tensor a = Tensor::RandomNormal(rows(), cols(), 1.0f, rng_);
+  Tensor b = Tensor::RandomNormal(rows(), cols(), 1.0f, rng_);
+  Tensor ab = Add(a, b);
+  Tensor ba = Add(b, a);
+  for (int i = 0; i < ab.size(); ++i)
+    EXPECT_FLOAT_EQ(ab.data()[i], ba.data()[i]);
+}
+
+TEST_P(ShapeSweep, MulDistributesOverAdd) {
+  Tensor a = Tensor::RandomNormal(rows(), cols(), 1.0f, rng_);
+  Tensor b = Tensor::RandomNormal(rows(), cols(), 1.0f, rng_);
+  Tensor c = Tensor::RandomNormal(rows(), cols(), 1.0f, rng_);
+  Tensor lhs = Mul(a, Add(b, c));
+  Tensor rhs = Add(Mul(a, b), Mul(a, c));
+  for (int i = 0; i < lhs.size(); ++i)
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-4);
+}
+
+TEST_P(ShapeSweep, TransposeShapeAndInvolution) {
+  Tensor a = Tensor::RandomNormal(rows(), cols(), 1.0f, rng_);
+  Tensor t = Transpose(a);
+  EXPECT_EQ(t.rows(), cols());
+  EXPECT_EQ(t.cols(), rows());
+  Tensor tt = Transpose(t);
+  for (int i = 0; i < a.size(); ++i)
+    EXPECT_FLOAT_EQ(tt.data()[i], a.data()[i]);
+}
+
+TEST_P(ShapeSweep, SumEqualsChainedReductions) {
+  Tensor a = Tensor::RandomNormal(rows(), cols(), 1.0f, rng_);
+  float direct = Sum(a).Item();
+  float via_rows = Sum(SumRows(a)).Item();
+  float via_cols = Sum(SumCols(a)).Item();
+  EXPECT_NEAR(direct, via_rows, 1e-3);
+  EXPECT_NEAR(direct, via_cols, 1e-3);
+}
+
+TEST_P(ShapeSweep, SoftmaxRowsNormalized) {
+  Tensor a = Tensor::RandomNormal(rows(), cols(), 2.0f, rng_);
+  Tensor s = SoftmaxRows(a);
+  for (int r = 0; r < rows(); ++r) {
+    float total = 0.0f;
+    for (int c = 0; c < cols(); ++c) total += s.At(r, c);
+    EXPECT_NEAR(total, 1.0f, 1e-5);
+  }
+}
+
+TEST_P(ShapeSweep, SliceConcatRoundTrip) {
+  if (rows() < 2) GTEST_SKIP();
+  Tensor a = Tensor::RandomNormal(rows(), cols(), 1.0f, rng_);
+  int split = rows() / 2;
+  Tensor top = SliceRows(a, 0, split);
+  Tensor bottom = SliceRows(a, split, rows() - split);
+  Tensor back = ConcatRows({top, bottom});
+  for (int i = 0; i < a.size(); ++i)
+    EXPECT_FLOAT_EQ(back.data()[i], a.data()[i]);
+}
+
+TEST_P(ShapeSweep, GatherAllRowsIsIdentity) {
+  Tensor a = Tensor::RandomNormal(rows(), cols(), 1.0f, rng_);
+  std::vector<int> all(rows());
+  for (int i = 0; i < rows(); ++i) all[i] = i;
+  Tensor g = GatherRows(a, all);
+  for (int i = 0; i < a.size(); ++i)
+    EXPECT_FLOAT_EQ(g.data()[i], a.data()[i]);
+}
+
+TEST_P(ShapeSweep, MatMulWithIdentityPreserves) {
+  Tensor a = Tensor::RandomNormal(rows(), cols(), 1.0f, rng_);
+  Tensor eye = Tensor::Zeros(cols(), cols());
+  for (int i = 0; i < cols(); ++i) eye.At(i, i) = 1.0f;
+  Tensor p = MatMul(a, eye);
+  for (int i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(p.data()[i], a.data()[i], 1e-5);
+}
+
+TEST_P(ShapeSweep, GradientOfSumIsOnes) {
+  Tensor a = Tensor::RandomNormal(rows(), cols(), 1.0f, rng_,
+                                  /*requires_grad=*/true);
+  Backward(Sum(a));
+  for (int r = 0; r < rows(); ++r)
+    for (int c = 0; c < cols(); ++c) EXPECT_FLOAT_EQ(a.GradAt(r, c), 1.0f);
+}
+
+TEST_P(ShapeSweep, BroadcastAddMatchesManual) {
+  Tensor a = Tensor::RandomNormal(rows(), cols(), 1.0f, rng_);
+  Tensor bias = Tensor::RandomNormal(1, cols(), 1.0f, rng_);
+  Tensor out = Add(a, bias);
+  for (int r = 0; r < rows(); ++r)
+    for (int c = 0; c < cols(); ++c)
+      EXPECT_FLOAT_EQ(out.At(r, c), a.At(r, c) + bias.At(0, c));
+}
+
+TEST_P(ShapeSweep, BceNonNegative) {
+  Tensor x = Tensor::RandomNormal(rows(), cols(), 2.0f, rng_);
+  Tensor t = Tensor::Zeros(rows(), cols());
+  for (auto& v : t.data()) v = rng_.Bernoulli(0.5) ? 1.0f : 0.0f;
+  EXPECT_GE(BceWithLogits(x, t).Item(), 0.0f);
+}
+
+}  // namespace
+}  // namespace causer::tensor

@@ -1,0 +1,210 @@
+// causer_cli: command-line front end to the library.
+//
+// Subcommands:
+//   generate  --spec=<tiny|epinions|foursquare|patio|baby|video>
+//             --out=<dir> [--seed=N]
+//     Generates a synthetic causal dataset and saves it as TSV.
+//
+//   train     --data=<dir> --model-out=<file>
+//             [--backbone=gru|lstm] [--epochs=N] [--clusters=K]
+//             [--epsilon=X] [--eta=X] [--lambda=X] [--seed=N]
+//     Trains Causer on a saved dataset and writes the weights.
+//
+//   evaluate  --data=<dir> --model=<file> [--backbone=...] [--clusters=K]
+//             [--epsilon=X] [--eta=X] [--z=5]
+//     Evaluates a trained model on the leave-last-out test split.
+//
+//   explain   --data=<dir> --model=<file> --user=U [--top=3] [...]
+//     Prints the user's recommendation with per-step causal explanation.
+//
+// Model files carry only weights; the architecture flags at evaluate /
+// explain time must match those used at training time.
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "core/explainer.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "data/split.h"
+#include "data/stats.h"
+#include "eval/metrics.h"
+#include "nn/serialization.h"
+
+namespace {
+
+using namespace causer;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: causer_cli <generate|train|evaluate|explain> "
+               "[--flags]\n(see the header of tools/causer_cli.cc)\n");
+  return 2;
+}
+
+data::DatasetSpec SpecByName(const std::string& name, uint64_t seed) {
+  data::DatasetSpec spec;
+  if (name == "tiny") {
+    spec = data::TinySpec();
+  } else if (name == "epinions") {
+    spec = data::SpecFor(data::PaperDataset::kEpinions);
+  } else if (name == "foursquare") {
+    spec = data::SpecFor(data::PaperDataset::kFoursquare);
+  } else if (name == "patio") {
+    spec = data::SpecFor(data::PaperDataset::kPatio);
+  } else if (name == "baby") {
+    spec = data::SpecFor(data::PaperDataset::kBaby);
+  } else if (name == "video") {
+    spec = data::SpecFor(data::PaperDataset::kVideo);
+  } else {
+    std::fprintf(stderr, "unknown spec '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  if (seed != 0) spec.seed = seed;
+  return spec;
+}
+
+core::CauserConfig ConfigFromFlags(const Flags& flags,
+                                   const data::Dataset& dataset) {
+  auto backbone = flags.GetString("backbone", "gru") == "lstm"
+                      ? core::Backbone::kLstm
+                      : core::Backbone::kGru;
+  core::CauserConfig config = core::DefaultCauserConfig(
+      dataset, backbone, static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  config.num_clusters = flags.GetInt("clusters", config.num_clusters);
+  config.epsilon =
+      static_cast<float>(flags.GetDouble("epsilon", config.epsilon));
+  config.eta = static_cast<float>(flags.GetDouble("eta", config.eta));
+  config.lambda =
+      static_cast<float>(flags.GetDouble("lambda", config.lambda));
+  return config;
+}
+
+int CmdGenerate(const Flags& flags) {
+  std::string out = flags.GetString("out");
+  if (out.empty()) return Usage();
+  auto spec = SpecByName(flags.GetString("spec", "tiny"),
+                         static_cast<uint64_t>(flags.GetInt("seed", 0)));
+  data::Dataset dataset = data::MakeDataset(spec);
+  if (!data::SaveDataset(dataset, out)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  auto stats = data::ComputeStats(dataset);
+  std::printf("%s: %d users, %d items, %d interactions -> %s\n",
+              stats.name.c_str(), stats.num_users, stats.num_items,
+              stats.num_interactions, out.c_str());
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  std::string data_dir = flags.GetString("data");
+  std::string model_out = flags.GetString("model-out");
+  if (data_dir.empty() || model_out.empty()) return Usage();
+  data::Dataset dataset;
+  if (!data::LoadDataset(data_dir, &dataset)) {
+    std::fprintf(stderr, "failed to load dataset from %s\n",
+                 data_dir.c_str());
+    return 1;
+  }
+  data::Split split = data::LeaveLastOut(dataset);
+  core::CauserModel model(ConfigFromFlags(flags, dataset));
+  models::TrainConfig tc;
+  tc.max_epochs = flags.GetInt("epochs", 12);
+  tc.patience = flags.GetInt("patience", 3);
+  tc.verbose = flags.GetBool("verbose", false);
+  auto result = core::TrainCauser(model, split, tc);
+  std::printf("trained %s for %d epochs, best validation NDCG@5 %.4f\n",
+              model.name().c_str(), result.fit.epochs_run,
+              result.fit.best_validation_ndcg);
+  std::printf("learned cluster graph: %d edges, h(W^c) = %.2e\n",
+              result.learned_cluster_graph.NumEdges(),
+              result.final_acyclicity);
+  if (!nn::SaveParameters(model, model_out)) {
+    std::fprintf(stderr, "failed to write %s\n", model_out.c_str());
+    return 1;
+  }
+  std::printf("weights -> %s\n", model_out.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  std::string data_dir = flags.GetString("data");
+  std::string model_path = flags.GetString("model");
+  if (data_dir.empty() || model_path.empty()) return Usage();
+  data::Dataset dataset;
+  if (!data::LoadDataset(data_dir, &dataset)) return 1;
+  data::Split split = data::LeaveLastOut(dataset);
+  core::CauserModel model(ConfigFromFlags(flags, dataset));
+  if (!nn::LoadParameters(model, model_path)) {
+    std::fprintf(stderr,
+                 "failed to load %s (architecture flags must match "
+                 "training)\n",
+                 model_path.c_str());
+    return 1;
+  }
+  model.OnParametersRestored();
+  int z = flags.GetInt("z", 5);
+  auto result = eval::Evaluate(models::MakeScorer(model), split.test, z);
+  std::printf("test F1@%d %.4f   NDCG@%d %.4f   (%zu instances)\n", z,
+              result.f1, z, result.ndcg, split.test.size());
+  return 0;
+}
+
+int CmdExplain(const Flags& flags) {
+  std::string data_dir = flags.GetString("data");
+  std::string model_path = flags.GetString("model");
+  if (data_dir.empty() || model_path.empty()) return Usage();
+  data::Dataset dataset;
+  if (!data::LoadDataset(data_dir, &dataset)) return 1;
+  data::Split split = data::LeaveLastOut(dataset);
+  core::CauserModel model(ConfigFromFlags(flags, dataset));
+  if (!nn::LoadParameters(model, model_path)) return 1;
+  model.OnParametersRestored();
+
+  int user = flags.GetInt("user", 0);
+  int top = flags.GetInt("top", 3);
+  const data::EvalInstance* instance = nullptr;
+  for (const auto& inst : split.test) {
+    if (inst.user == user) {
+      instance = &inst;
+      break;
+    }
+  }
+  if (instance == nullptr) {
+    std::fprintf(stderr, "user %d has no test instance\n", user);
+    return 1;
+  }
+  auto scores = model.ScoreAll(user, instance->history);
+  auto ranked = eval::TopK(scores, top);
+  std::printf("user %d history:\n", user);
+  for (size_t t = 0; t < instance->history.size(); ++t) {
+    std::printf("  step %zu:", t);
+    for (int item : instance->history[t].items) std::printf(" %d", item);
+    std::printf("\n");
+  }
+  for (int item : ranked) {
+    auto why = model.ExplainScores(*instance, item, core::ExplainMode::kFull);
+    int best = 0;
+    for (size_t t = 1; t < why.size(); ++t)
+      if (why[t] > why[best]) best = static_cast<int>(t);
+    std::printf("recommend item %d (score %.3f) because of step %d\n", item,
+                scores[item], best);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  causer::Flags flags = causer::Flags::Parse(argc - 1, argv + 1);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "explain") return CmdExplain(flags);
+  return Usage();
+}
