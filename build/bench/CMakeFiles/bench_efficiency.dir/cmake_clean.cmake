@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_efficiency.dir/bench_efficiency.cc.o"
+  "CMakeFiles/bench_efficiency.dir/bench_efficiency.cc.o.d"
+  "bench_efficiency"
+  "bench_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

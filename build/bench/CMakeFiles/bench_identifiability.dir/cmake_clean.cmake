@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_identifiability.dir/bench_identifiability.cc.o"
+  "CMakeFiles/bench_identifiability.dir/bench_identifiability.cc.o.d"
+  "bench_identifiability"
+  "bench_identifiability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_identifiability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_seqlen_dist.dir/fig3_seqlen_dist.cc.o"
+  "CMakeFiles/fig3_seqlen_dist.dir/fig3_seqlen_dist.cc.o.d"
+  "fig3_seqlen_dist"
+  "fig3_seqlen_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_seqlen_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

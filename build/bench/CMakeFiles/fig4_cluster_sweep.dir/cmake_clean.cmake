@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cluster_sweep.dir/fig4_cluster_sweep.cc.o"
+  "CMakeFiles/fig4_cluster_sweep.dir/fig4_cluster_sweep.cc.o.d"
+  "fig4_cluster_sweep"
+  "fig4_cluster_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cluster_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_cluster_sweep.
+# This may be replaced when dependencies are built.

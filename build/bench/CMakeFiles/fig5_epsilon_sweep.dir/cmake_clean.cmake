@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_epsilon_sweep.dir/fig5_epsilon_sweep.cc.o"
+  "CMakeFiles/fig5_epsilon_sweep.dir/fig5_epsilon_sweep.cc.o.d"
+  "fig5_epsilon_sweep"
+  "fig5_epsilon_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_epsilon_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

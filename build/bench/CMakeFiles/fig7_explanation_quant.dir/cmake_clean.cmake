@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_explanation_quant.dir/fig7_explanation_quant.cc.o"
+  "CMakeFiles/fig7_explanation_quant.dir/fig7_explanation_quant.cc.o.d"
+  "fig7_explanation_quant"
+  "fig7_explanation_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_explanation_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

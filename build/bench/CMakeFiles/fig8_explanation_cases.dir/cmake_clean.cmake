@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_explanation_cases.dir/fig8_explanation_cases.cc.o"
+  "CMakeFiles/fig8_explanation_cases.dir/fig8_explanation_cases.cc.o.d"
+  "fig8_explanation_cases"
+  "fig8_explanation_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_explanation_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dataset_stats.dir/table2_dataset_stats.cc.o"
+  "CMakeFiles/table2_dataset_stats.dir/table2_dataset_stats.cc.o.d"
+  "table2_dataset_stats"
+  "table2_dataset_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dataset_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_tuning_ranges.dir/table3_tuning_ranges.cc.o"
+  "CMakeFiles/table3_tuning_ranges.dir/table3_tuning_ranges.cc.o.d"
+  "table3_tuning_ranges"
+  "table3_tuning_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_tuning_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_overall.dir/table4_overall.cc.o"
+  "CMakeFiles/table4_overall.dir/table4_overall.cc.o.d"
+  "table4_overall"
+  "table4_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_ablation.dir/table5_ablation.cc.o"
+  "CMakeFiles/table5_ablation.dir/table5_ablation.cc.o.d"
+  "table5_ablation"
+  "table5_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_causal_discovery.dir/causal_discovery.cpp.o"
+  "CMakeFiles/example_causal_discovery.dir/causal_discovery.cpp.o.d"
+  "example_causal_discovery"
+  "example_causal_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_causal_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

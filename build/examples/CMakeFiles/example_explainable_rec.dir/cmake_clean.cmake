@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_explainable_rec.dir/explainable_rec.cpp.o"
+  "CMakeFiles/example_explainable_rec.dir/explainable_rec.cpp.o.d"
+  "example_explainable_rec"
+  "example_explainable_rec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_explainable_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_persistence.dir/model_persistence.cpp.o"
+  "CMakeFiles/example_model_persistence.dir/model_persistence.cpp.o.d"
+  "example_model_persistence"
+  "example_model_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

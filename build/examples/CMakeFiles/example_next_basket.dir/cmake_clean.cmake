@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_next_basket.dir/next_basket.cpp.o"
+  "CMakeFiles/example_next_basket.dir/next_basket.cpp.o.d"
+  "example_next_basket"
+  "example_next_basket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_next_basket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

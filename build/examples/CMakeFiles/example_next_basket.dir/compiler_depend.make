@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_next_basket.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/causal/acyclicity.cc" "src/CMakeFiles/causer_causal.dir/causal/acyclicity.cc.o" "gcc" "src/CMakeFiles/causer_causal.dir/causal/acyclicity.cc.o.d"
+  "/root/repo/src/causal/d_separation.cc" "src/CMakeFiles/causer_causal.dir/causal/d_separation.cc.o" "gcc" "src/CMakeFiles/causer_causal.dir/causal/d_separation.cc.o.d"
+  "/root/repo/src/causal/ges.cc" "src/CMakeFiles/causer_causal.dir/causal/ges.cc.o" "gcc" "src/CMakeFiles/causer_causal.dir/causal/ges.cc.o.d"
+  "/root/repo/src/causal/graph.cc" "src/CMakeFiles/causer_causal.dir/causal/graph.cc.o" "gcc" "src/CMakeFiles/causer_causal.dir/causal/graph.cc.o.d"
+  "/root/repo/src/causal/markov_equivalence.cc" "src/CMakeFiles/causer_causal.dir/causal/markov_equivalence.cc.o" "gcc" "src/CMakeFiles/causer_causal.dir/causal/markov_equivalence.cc.o.d"
+  "/root/repo/src/causal/matrix_exp.cc" "src/CMakeFiles/causer_causal.dir/causal/matrix_exp.cc.o" "gcc" "src/CMakeFiles/causer_causal.dir/causal/matrix_exp.cc.o.d"
+  "/root/repo/src/causal/notears.cc" "src/CMakeFiles/causer_causal.dir/causal/notears.cc.o" "gcc" "src/CMakeFiles/causer_causal.dir/causal/notears.cc.o.d"
+  "/root/repo/src/causal/pc.cc" "src/CMakeFiles/causer_causal.dir/causal/pc.cc.o" "gcc" "src/CMakeFiles/causer_causal.dir/causal/pc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/causer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causer_causal.dir/causal/acyclicity.cc.o"
+  "CMakeFiles/causer_causal.dir/causal/acyclicity.cc.o.d"
+  "CMakeFiles/causer_causal.dir/causal/d_separation.cc.o"
+  "CMakeFiles/causer_causal.dir/causal/d_separation.cc.o.d"
+  "CMakeFiles/causer_causal.dir/causal/ges.cc.o"
+  "CMakeFiles/causer_causal.dir/causal/ges.cc.o.d"
+  "CMakeFiles/causer_causal.dir/causal/graph.cc.o"
+  "CMakeFiles/causer_causal.dir/causal/graph.cc.o.d"
+  "CMakeFiles/causer_causal.dir/causal/markov_equivalence.cc.o"
+  "CMakeFiles/causer_causal.dir/causal/markov_equivalence.cc.o.d"
+  "CMakeFiles/causer_causal.dir/causal/matrix_exp.cc.o"
+  "CMakeFiles/causer_causal.dir/causal/matrix_exp.cc.o.d"
+  "CMakeFiles/causer_causal.dir/causal/notears.cc.o"
+  "CMakeFiles/causer_causal.dir/causal/notears.cc.o.d"
+  "CMakeFiles/causer_causal.dir/causal/pc.cc.o"
+  "CMakeFiles/causer_causal.dir/causal/pc.cc.o.d"
+  "libcauser_causal.a"
+  "libcauser_causal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causer_causal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

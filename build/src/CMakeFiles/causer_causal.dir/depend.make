@@ -1,0 +1,2 @@
+# Empty dependencies file for causer_causal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/causer_common.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/causer_common.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/causer_common.dir/common/log.cc.o" "gcc" "src/CMakeFiles/causer_common.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/causer_common.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/causer_common.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/causer_common.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/causer_common.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/causer_common.dir/common/table.cc.o" "gcc" "src/CMakeFiles/causer_common.dir/common/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causer_common.dir/common/flags.cc.o"
+  "CMakeFiles/causer_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/causer_common.dir/common/log.cc.o"
+  "CMakeFiles/causer_common.dir/common/log.cc.o.d"
+  "CMakeFiles/causer_common.dir/common/rng.cc.o"
+  "CMakeFiles/causer_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/causer_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/causer_common.dir/common/stopwatch.cc.o.d"
+  "CMakeFiles/causer_common.dir/common/table.cc.o"
+  "CMakeFiles/causer_common.dir/common/table.cc.o.d"
+  "libcauser_common.a"
+  "libcauser_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causer_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

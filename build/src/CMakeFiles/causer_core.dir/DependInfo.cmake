@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/causer_model.cc" "src/CMakeFiles/causer_core.dir/core/causer_model.cc.o" "gcc" "src/CMakeFiles/causer_core.dir/core/causer_model.cc.o.d"
+  "/root/repo/src/core/cluster_graph.cc" "src/CMakeFiles/causer_core.dir/core/cluster_graph.cc.o" "gcc" "src/CMakeFiles/causer_core.dir/core/cluster_graph.cc.o.d"
+  "/root/repo/src/core/clustering.cc" "src/CMakeFiles/causer_core.dir/core/clustering.cc.o" "gcc" "src/CMakeFiles/causer_core.dir/core/clustering.cc.o.d"
+  "/root/repo/src/core/explainer.cc" "src/CMakeFiles/causer_core.dir/core/explainer.cc.o" "gcc" "src/CMakeFiles/causer_core.dir/core/explainer.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/causer_core.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/causer_core.dir/core/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/causer_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_causal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

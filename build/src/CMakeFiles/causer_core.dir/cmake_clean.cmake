@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causer_core.dir/core/causer_model.cc.o"
+  "CMakeFiles/causer_core.dir/core/causer_model.cc.o.d"
+  "CMakeFiles/causer_core.dir/core/cluster_graph.cc.o"
+  "CMakeFiles/causer_core.dir/core/cluster_graph.cc.o.d"
+  "CMakeFiles/causer_core.dir/core/clustering.cc.o"
+  "CMakeFiles/causer_core.dir/core/clustering.cc.o.d"
+  "CMakeFiles/causer_core.dir/core/explainer.cc.o"
+  "CMakeFiles/causer_core.dir/core/explainer.cc.o.d"
+  "CMakeFiles/causer_core.dir/core/trainer.cc.o"
+  "CMakeFiles/causer_core.dir/core/trainer.cc.o.d"
+  "libcauser_core.a"
+  "libcauser_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

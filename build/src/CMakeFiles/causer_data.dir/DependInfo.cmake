@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/causer_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/causer_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/causer_data.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/causer_data.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/causer_data.dir/data/io.cc.o" "gcc" "src/CMakeFiles/causer_data.dir/data/io.cc.o.d"
+  "/root/repo/src/data/sampler.cc" "src/CMakeFiles/causer_data.dir/data/sampler.cc.o" "gcc" "src/CMakeFiles/causer_data.dir/data/sampler.cc.o.d"
+  "/root/repo/src/data/specs.cc" "src/CMakeFiles/causer_data.dir/data/specs.cc.o" "gcc" "src/CMakeFiles/causer_data.dir/data/specs.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/causer_data.dir/data/split.cc.o" "gcc" "src/CMakeFiles/causer_data.dir/data/split.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/CMakeFiles/causer_data.dir/data/stats.cc.o" "gcc" "src/CMakeFiles/causer_data.dir/data/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/causer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_causal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causer_data.dir/data/dataset.cc.o"
+  "CMakeFiles/causer_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/causer_data.dir/data/generator.cc.o"
+  "CMakeFiles/causer_data.dir/data/generator.cc.o.d"
+  "CMakeFiles/causer_data.dir/data/io.cc.o"
+  "CMakeFiles/causer_data.dir/data/io.cc.o.d"
+  "CMakeFiles/causer_data.dir/data/sampler.cc.o"
+  "CMakeFiles/causer_data.dir/data/sampler.cc.o.d"
+  "CMakeFiles/causer_data.dir/data/specs.cc.o"
+  "CMakeFiles/causer_data.dir/data/specs.cc.o.d"
+  "CMakeFiles/causer_data.dir/data/split.cc.o"
+  "CMakeFiles/causer_data.dir/data/split.cc.o.d"
+  "CMakeFiles/causer_data.dir/data/stats.cc.o"
+  "CMakeFiles/causer_data.dir/data/stats.cc.o.d"
+  "libcauser_data.a"
+  "libcauser_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causer_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/analysis.cc" "src/CMakeFiles/causer_eval.dir/eval/analysis.cc.o" "gcc" "src/CMakeFiles/causer_eval.dir/eval/analysis.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/causer_eval.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/causer_eval.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/explanation_eval.cc" "src/CMakeFiles/causer_eval.dir/eval/explanation_eval.cc.o" "gcc" "src/CMakeFiles/causer_eval.dir/eval/explanation_eval.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/causer_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/causer_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/significance.cc" "src/CMakeFiles/causer_eval.dir/eval/significance.cc.o" "gcc" "src/CMakeFiles/causer_eval.dir/eval/significance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/causer_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_causal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

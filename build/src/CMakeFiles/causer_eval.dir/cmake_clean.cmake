@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causer_eval.dir/eval/analysis.cc.o"
+  "CMakeFiles/causer_eval.dir/eval/analysis.cc.o.d"
+  "CMakeFiles/causer_eval.dir/eval/evaluator.cc.o"
+  "CMakeFiles/causer_eval.dir/eval/evaluator.cc.o.d"
+  "CMakeFiles/causer_eval.dir/eval/explanation_eval.cc.o"
+  "CMakeFiles/causer_eval.dir/eval/explanation_eval.cc.o.d"
+  "CMakeFiles/causer_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/causer_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/causer_eval.dir/eval/significance.cc.o"
+  "CMakeFiles/causer_eval.dir/eval/significance.cc.o.d"
+  "libcauser_eval.a"
+  "libcauser_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causer_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bpr.cc" "src/CMakeFiles/causer_models.dir/models/bpr.cc.o" "gcc" "src/CMakeFiles/causer_models.dir/models/bpr.cc.o.d"
+  "/root/repo/src/models/fpmc.cc" "src/CMakeFiles/causer_models.dir/models/fpmc.cc.o" "gcc" "src/CMakeFiles/causer_models.dir/models/fpmc.cc.o.d"
+  "/root/repo/src/models/gru4rec.cc" "src/CMakeFiles/causer_models.dir/models/gru4rec.cc.o" "gcc" "src/CMakeFiles/causer_models.dir/models/gru4rec.cc.o.d"
+  "/root/repo/src/models/mmsarec.cc" "src/CMakeFiles/causer_models.dir/models/mmsarec.cc.o" "gcc" "src/CMakeFiles/causer_models.dir/models/mmsarec.cc.o.d"
+  "/root/repo/src/models/narm.cc" "src/CMakeFiles/causer_models.dir/models/narm.cc.o" "gcc" "src/CMakeFiles/causer_models.dir/models/narm.cc.o.d"
+  "/root/repo/src/models/ncf.cc" "src/CMakeFiles/causer_models.dir/models/ncf.cc.o" "gcc" "src/CMakeFiles/causer_models.dir/models/ncf.cc.o.d"
+  "/root/repo/src/models/recommender.cc" "src/CMakeFiles/causer_models.dir/models/recommender.cc.o" "gcc" "src/CMakeFiles/causer_models.dir/models/recommender.cc.o.d"
+  "/root/repo/src/models/sasrec.cc" "src/CMakeFiles/causer_models.dir/models/sasrec.cc.o" "gcc" "src/CMakeFiles/causer_models.dir/models/sasrec.cc.o.d"
+  "/root/repo/src/models/stamp.cc" "src/CMakeFiles/causer_models.dir/models/stamp.cc.o" "gcc" "src/CMakeFiles/causer_models.dir/models/stamp.cc.o.d"
+  "/root/repo/src/models/vtrnn.cc" "src/CMakeFiles/causer_models.dir/models/vtrnn.cc.o" "gcc" "src/CMakeFiles/causer_models.dir/models/vtrnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/causer_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_causal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causer_models.dir/models/bpr.cc.o"
+  "CMakeFiles/causer_models.dir/models/bpr.cc.o.d"
+  "CMakeFiles/causer_models.dir/models/fpmc.cc.o"
+  "CMakeFiles/causer_models.dir/models/fpmc.cc.o.d"
+  "CMakeFiles/causer_models.dir/models/gru4rec.cc.o"
+  "CMakeFiles/causer_models.dir/models/gru4rec.cc.o.d"
+  "CMakeFiles/causer_models.dir/models/mmsarec.cc.o"
+  "CMakeFiles/causer_models.dir/models/mmsarec.cc.o.d"
+  "CMakeFiles/causer_models.dir/models/narm.cc.o"
+  "CMakeFiles/causer_models.dir/models/narm.cc.o.d"
+  "CMakeFiles/causer_models.dir/models/ncf.cc.o"
+  "CMakeFiles/causer_models.dir/models/ncf.cc.o.d"
+  "CMakeFiles/causer_models.dir/models/recommender.cc.o"
+  "CMakeFiles/causer_models.dir/models/recommender.cc.o.d"
+  "CMakeFiles/causer_models.dir/models/sasrec.cc.o"
+  "CMakeFiles/causer_models.dir/models/sasrec.cc.o.d"
+  "CMakeFiles/causer_models.dir/models/stamp.cc.o"
+  "CMakeFiles/causer_models.dir/models/stamp.cc.o.d"
+  "CMakeFiles/causer_models.dir/models/vtrnn.cc.o"
+  "CMakeFiles/causer_models.dir/models/vtrnn.cc.o.d"
+  "libcauser_models.a"
+  "libcauser_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causer_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/causer_nn.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/causer_nn.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/causer_nn.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/causer_nn.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/causer_nn.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/causer_nn.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/CMakeFiles/causer_nn.dir/nn/layer_norm.cc.o" "gcc" "src/CMakeFiles/causer_nn.dir/nn/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/causer_nn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/causer_nn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/causer_nn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/causer_nn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/causer_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/causer_nn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/rnn_cells.cc" "src/CMakeFiles/causer_nn.dir/nn/rnn_cells.cc.o" "gcc" "src/CMakeFiles/causer_nn.dir/nn/rnn_cells.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/CMakeFiles/causer_nn.dir/nn/serialization.cc.o" "gcc" "src/CMakeFiles/causer_nn.dir/nn/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/causer_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

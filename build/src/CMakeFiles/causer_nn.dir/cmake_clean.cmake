@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causer_nn.dir/nn/attention.cc.o"
+  "CMakeFiles/causer_nn.dir/nn/attention.cc.o.d"
+  "CMakeFiles/causer_nn.dir/nn/embedding.cc.o"
+  "CMakeFiles/causer_nn.dir/nn/embedding.cc.o.d"
+  "CMakeFiles/causer_nn.dir/nn/init.cc.o"
+  "CMakeFiles/causer_nn.dir/nn/init.cc.o.d"
+  "CMakeFiles/causer_nn.dir/nn/layer_norm.cc.o"
+  "CMakeFiles/causer_nn.dir/nn/layer_norm.cc.o.d"
+  "CMakeFiles/causer_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/causer_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/causer_nn.dir/nn/module.cc.o"
+  "CMakeFiles/causer_nn.dir/nn/module.cc.o.d"
+  "CMakeFiles/causer_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/causer_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/causer_nn.dir/nn/rnn_cells.cc.o"
+  "CMakeFiles/causer_nn.dir/nn/rnn_cells.cc.o.d"
+  "CMakeFiles/causer_nn.dir/nn/serialization.cc.o"
+  "CMakeFiles/causer_nn.dir/nn/serialization.cc.o.d"
+  "libcauser_nn.a"
+  "libcauser_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causer_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

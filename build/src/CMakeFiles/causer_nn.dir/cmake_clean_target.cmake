@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcauser_nn.a"
+)

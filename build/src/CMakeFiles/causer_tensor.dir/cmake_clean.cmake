@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causer_tensor.dir/tensor/autograd.cc.o"
+  "CMakeFiles/causer_tensor.dir/tensor/autograd.cc.o.d"
+  "CMakeFiles/causer_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/causer_tensor.dir/tensor/ops.cc.o.d"
+  "CMakeFiles/causer_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/causer_tensor.dir/tensor/tensor.cc.o.d"
+  "libcauser_tensor.a"
+  "libcauser_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causer_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_graph_test.dir/causal_graph_test.cc.o"
+  "CMakeFiles/causal_graph_test.dir/causal_graph_test.cc.o.d"
+  "causal_graph_test"
+  "causal_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

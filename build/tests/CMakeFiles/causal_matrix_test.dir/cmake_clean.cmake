@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_matrix_test.dir/causal_matrix_test.cc.o"
+  "CMakeFiles/causal_matrix_test.dir/causal_matrix_test.cc.o.d"
+  "causal_matrix_test"
+  "causal_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

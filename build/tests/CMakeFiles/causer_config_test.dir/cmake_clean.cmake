@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causer_config_test.dir/causer_config_test.cc.o"
+  "CMakeFiles/causer_config_test.dir/causer_config_test.cc.o.d"
+  "causer_config_test"
+  "causer_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causer_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/causer_model_test.cc" "tests/CMakeFiles/causer_model_test.dir/causer_model_test.cc.o" "gcc" "tests/CMakeFiles/causer_model_test.dir/causer_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/causer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_causal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/causer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causer_model_test.dir/causer_model_test.cc.o"
+  "CMakeFiles/causer_model_test.dir/causer_model_test.cc.o.d"
+  "causer_model_test"
+  "causer_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causer_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

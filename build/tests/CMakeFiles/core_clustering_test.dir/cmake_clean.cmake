@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_clustering_test.dir/core_clustering_test.cc.o"
+  "CMakeFiles/core_clustering_test.dir/core_clustering_test.cc.o.d"
+  "core_clustering_test"
+  "core_clustering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_graph_test.dir/core_graph_test.cc.o"
+  "CMakeFiles/core_graph_test.dir/core_graph_test.cc.o.d"
+  "core_graph_test"
+  "core_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

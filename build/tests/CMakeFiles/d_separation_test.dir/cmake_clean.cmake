@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d_separation_test.dir/d_separation_test.cc.o"
+  "CMakeFiles/d_separation_test.dir/d_separation_test.cc.o.d"
+  "d_separation_test"
+  "d_separation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d_separation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

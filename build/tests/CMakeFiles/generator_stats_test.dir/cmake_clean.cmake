@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_stats_test.dir/generator_stats_test.cc.o"
+  "CMakeFiles/generator_stats_test.dir/generator_stats_test.cc.o.d"
+  "generator_stats_test"
+  "generator_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ges_test.dir/ges_test.cc.o"
+  "CMakeFiles/ges_test.dir/ges_test.cc.o.d"
+  "ges_test"
+  "ges_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_equivalence_test.dir/markov_equivalence_test.cc.o"
+  "CMakeFiles/markov_equivalence_test.dir/markov_equivalence_test.cc.o.d"
+  "markov_equivalence_test"
+  "markov_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

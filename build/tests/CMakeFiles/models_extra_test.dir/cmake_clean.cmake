@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_extra_test.dir/models_extra_test.cc.o"
+  "CMakeFiles/models_extra_test.dir/models_extra_test.cc.o.d"
+  "models_extra_test"
+  "models_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notears_test.dir/notears_test.cc.o"
+  "CMakeFiles/notears_test.dir/notears_test.cc.o.d"
+  "notears_test"
+  "notears_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notears_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_test.dir/pc_test.cc.o"
+  "CMakeFiles/pc_test.dir/pc_test.cc.o.d"
+  "pc_test"
+  "pc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

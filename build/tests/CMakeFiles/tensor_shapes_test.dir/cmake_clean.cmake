@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_shapes_test.dir/tensor_shapes_test.cc.o"
+  "CMakeFiles/tensor_shapes_test.dir/tensor_shapes_test.cc.o.d"
+  "tensor_shapes_test"
+  "tensor_shapes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causer_cli.dir/causer_cli.cc.o"
+  "CMakeFiles/causer_cli.dir/causer_cli.cc.o.d"
+  "causer_cli"
+  "causer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
