@@ -124,6 +124,69 @@ inline void PrintHeader(const std::string& title, const std::string& paper) {
   std::printf("==================================================\n");
 }
 
+/// Tiny insertion-ordered JSON object builder for the BENCH_*.json reports.
+/// Only what the benches need: flat scalars plus raw nested values.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return SetRaw(key, buf);
+  }
+  JsonObject& Set(const std::string& key, int v) {
+    return SetRaw(key, std::to_string(v));
+  }
+  JsonObject& Set(const std::string& key, bool v) {
+    return SetRaw(key, v ? "true" : "false");
+  }
+  JsonObject& Set(const std::string& key, const std::string& v) {
+    return SetRaw(key, Quote(v));
+  }
+  /// Inserts `raw` verbatim — pass an already-serialized object or array.
+  JsonObject& SetRaw(const std::string& key, const std::string& raw) {
+    fields_.push_back({key, raw});
+    return *this;
+  }
+  std::string Str() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+inline std::string JsonArray(const std::vector<std::string>& elements) {
+  std::string out = "[";
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += elements[i];
+  }
+  return out + "]";
+}
+
+inline bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace causer::bench
 
 #endif  // CAUSER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,129 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "common/flags.h"
+#include "common/log.h"
+
+namespace causer {
+namespace {
+
+/// Set on pool workers for their whole lifetime, and on the calling thread
+/// while it runs its shard of a region. Nested ParallelFor calls from such
+/// threads run inline.
+thread_local bool tl_in_region = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::InParallelRegion() { return tl_in_region; }
+
+void ThreadPool::RunShard(const Region& region, int shard) {
+  if (shard >= region.shards) return;
+  const int64_t n = region.end - region.begin;
+  const int lo = region.begin + static_cast<int>(n * shard / region.shards);
+  const int hi =
+      region.begin + static_cast<int>(n * (shard + 1) / region.shards);
+  if (lo < hi) (*region.body)(lo, hi);
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  tl_in_region = true;
+  uint64_t seen = 0;
+  for (;;) {
+    Region region;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      region = region_;
+    }
+    // Worker i owns shard i + 1; shard 0 belongs to the calling thread.
+    RunShard(region, worker_index + 1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --remaining_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(int begin, int end,
+                             const std::function<void(int, int)>& body) {
+  if (begin >= end) return;
+  const int n = end - begin;
+  const int shards = std::min(num_threads_, n);
+  if (shards <= 1 || tl_in_region) {
+    body(begin, end);
+    return;
+  }
+  Region region{&body, begin, end, shards};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    region_ = region;
+    ++epoch_;
+    remaining_ = num_threads_ - 1;
+  }
+  work_cv_.notify_all();
+  tl_in_region = true;
+  RunShard(region, 0);
+  tl_in_region = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+}
+
+namespace {
+
+std::atomic<int> g_default_threads{1};
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+int DefaultThreads() { return g_default_threads.load(std::memory_order_relaxed); }
+
+void SetDefaultThreads(int n) {
+  if (n < 1) n = 1;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool && g_pool->num_threads() != n) g_pool.reset();
+  g_default_threads.store(n, std::memory_order_relaxed);
+}
+
+ThreadPool& DefaultPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  const int n = g_default_threads.load(std::memory_order_relaxed);
+  if (!g_pool || g_pool->num_threads() != n) {
+    g_pool = std::make_unique<ThreadPool>(n);
+  }
+  return *g_pool;
+}
+
+void ConfigureThreadsFromFlags(const Flags& flags) {
+  int fallback = 1;
+  if (const char* env = std::getenv("CAUSER_THREADS")) {
+    fallback = std::atoi(env);
+    if (fallback < 1) fallback = 1;
+  }
+  SetDefaultThreads(flags.GetInt("threads", fallback));
+}
+
+}  // namespace causer

@@ -1,0 +1,92 @@
+#ifndef CAUSER_COMMON_THREAD_POOL_H_
+#define CAUSER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace causer {
+
+class Flags;
+
+/// Fixed-size fork-join thread pool (no work stealing). A pool of size N
+/// keeps N-1 persistent worker threads; the calling thread executes shard 0
+/// of every parallel region, so `ThreadPool(1)` spawns nothing and runs
+/// everything inline.
+///
+/// ParallelFor partitions an index range into at most N contiguous shards
+/// (static, deterministic partitioning: shard s covers
+/// [begin + n*s/S, begin + n*(s+1)/S)), hands one shard to each thread, and
+/// blocks until all shards finish. Because the partition depends only on
+/// (range, shard count), results of any race-free body are reproducible for
+/// a fixed pool size.
+///
+/// Nested parallelism is flattened: a ParallelFor issued from inside a pool
+/// thread (or from the calling thread while it is executing its own shard)
+/// runs the whole range inline on that thread. This keeps the kernels free
+/// to call ParallelFor unconditionally without deadlock or oversubscription.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(shard_begin, shard_end) over a partition of [begin, end).
+  /// Blocks until every shard completed. Safe to call with an empty range.
+  void ParallelFor(int begin, int end,
+                   const std::function<void(int, int)>& body);
+
+  /// True when the current thread is a pool worker or is executing its
+  /// shard of an active ParallelFor region.
+  static bool InParallelRegion();
+
+ private:
+  struct Region {
+    const std::function<void(int, int)>* body = nullptr;
+    int begin = 0;
+    int end = 0;
+    int shards = 0;
+  };
+
+  void WorkerLoop(int worker_index);
+  static void RunShard(const Region& region, int shard);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Region region_;
+  uint64_t epoch_ = 0;  // bumped once per region; workers wait on it
+  int remaining_ = 0;   // workers still inside the current region
+  bool stop_ = false;
+};
+
+/// Process-wide worker count used by the parallel kernels (blocked matmul,
+/// sharded evaluation, batched training). Defaults to 1, which keeps every
+/// code path bit-identical to the sequential implementation.
+int DefaultThreads();
+
+/// Sets the process-wide worker count (clamped to >= 1). The shared pool is
+/// rebuilt lazily on the next DefaultPool() call. Must not be called while
+/// a parallel region is running.
+void SetDefaultThreads(int n);
+
+/// The shared pool, sized to DefaultThreads(). Lazily (re)constructed.
+ThreadPool& DefaultPool();
+
+/// Installs --threads=N from the command line (fallback: the CAUSER_THREADS
+/// environment variable, else 1) as the default worker count.
+void ConfigureThreadsFromFlags(const Flags& flags);
+
+}  // namespace causer
+
+#endif  // CAUSER_COMMON_THREAD_POOL_H_

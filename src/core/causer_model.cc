@@ -203,6 +203,9 @@ void CauserModel::FitClusterGraph() {
 }
 
 void CauserModel::EnsureCaches() {
+  // Serialized so the parallel evaluator's concurrent first ScoreAll calls
+  // cannot refresh the caches twice; once fresh, callers only read them.
+  std::lock_guard<std::mutex> lock(cache_mu_);
   if (caches_stale_ || w_cache_.empty()) RefreshCaches();
 }
 

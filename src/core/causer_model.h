@@ -2,6 +2,7 @@
 #define CAUSER_CORE_CAUSER_MODEL_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -202,6 +203,10 @@ class CauserModel : public models::SequentialRecommender {
   void FitClusterGraph();
 
   bool graph_frozen_ = false;
+  /// Guards the cache refresh when ScoreAll runs concurrently on the
+  /// parallel evaluator's workers (training itself stays single-threaded
+  /// at the example level for Causer).
+  std::mutex cache_mu_;
   bool caches_stale_ = true;
   std::vector<float> w_cache_;       // item-level W, row-major [V * V]
   std::vector<float> assign_cache_;  // soft assignments, row-major [V * K]

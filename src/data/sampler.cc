@@ -1,6 +1,7 @@
 #include "data/sampler.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/log.h"
 
@@ -9,16 +10,20 @@ namespace causer::data {
 std::vector<int> SampleNegatives(int num_items,
                                  const std::vector<int>& positives, int k,
                                  Rng& rng) {
-  CAUSER_CHECK(k + static_cast<int>(positives.size()) <= num_items);
+  // Dedupe the positives first: baskets can repeat an item, and counting
+  // duplicates both miscounts the capacity check (rejecting feasible
+  // requests) and makes the rejection scan O(k * (k + |positives|)).
+  std::unordered_set<int> excluded(positives.begin(), positives.end());
+  CAUSER_CHECK(k + static_cast<int>(excluded.size()) <= num_items);
   std::vector<int> out;
   out.reserve(k);
+  std::unordered_set<int> taken;
+  taken.reserve(k);
   while (static_cast<int>(out.size()) < k) {
     int candidate = rng.UniformInt(num_items);
-    if (std::find(positives.begin(), positives.end(), candidate) !=
-        positives.end()) {
+    if (excluded.count(candidate) != 0 || taken.count(candidate) != 0)
       continue;
-    }
-    if (std::find(out.begin(), out.end(), candidate) != out.end()) continue;
+    taken.insert(candidate);
     out.push_back(candidate);
   }
   return out;

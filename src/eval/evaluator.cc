@@ -1,27 +1,60 @@
 #include "eval/evaluator.h"
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 #include "eval/metrics.h"
 
 namespace causer::eval {
 
 EvalResult Evaluate(const Scorer& scorer,
-                    const std::vector<data::EvalInstance>& instances, int z) {
+                    const std::vector<data::EvalInstance>& instances, int z,
+                    int threads) {
   CAUSER_CHECK(z > 0);
+  if (threads <= 0) threads = DefaultThreads();
+  const int n = static_cast<int>(instances.size());
+
   EvalResult result;
-  for (const auto& inst : instances) {
-    std::vector<float> scores = scorer(inst);
-    std::vector<int> ranked = TopK(scores, z);
-    double f1 = F1(ranked, inst.target_items);
-    double ndcg = Ndcg(ranked, inst.target_items);
-    result.per_instance_f1.push_back(f1);
-    result.per_instance_ndcg.push_back(ndcg);
-    result.f1 += f1;
-    result.ndcg += ndcg;
+  result.per_instance_f1.resize(n, 0.0);
+  result.per_instance_ndcg.resize(n, 0.0);
+
+  // Each instance is scored independently: shard them across the pool with
+  // every worker writing only its own slots. The scorer must be safe to
+  // call concurrently when threads > 1 (model scorers are: scoring runs
+  // under NoGradGuard and only reads parameters).
+  auto score_range = [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      const auto& inst = instances[i];
+      std::vector<float> scores = scorer(inst);
+      if (scores.empty()) continue;  // no catalog to rank: count as a miss
+      // TopK clamps z to the catalog size, so z > num_items degrades to
+      // ranking the whole catalog instead of reading out of bounds.
+      std::vector<int> ranked = TopK(scores, z);
+      result.per_instance_f1[i] = F1(ranked, inst.target_items);
+      result.per_instance_ndcg[i] = Ndcg(ranked, inst.target_items);
+    }
+  };
+  if (threads > 1 && n > 1) {
+    // A dedicated pool of the requested size when it differs from the
+    // shared one; otherwise reuse the shared pool.
+    if (threads == DefaultThreads()) {
+      DefaultPool().ParallelFor(0, n, score_range);
+    } else {
+      ThreadPool pool(threads);
+      pool.ParallelFor(0, n, score_range);
+    }
+  } else {
+    score_range(0, n);
   }
-  if (!instances.empty()) {
-    result.f1 /= instances.size();
-    result.ndcg /= instances.size();
+
+  // Merge in instance order, so the aggregate sums are bit-identical to the
+  // sequential evaluator for every thread count.
+  for (int i = 0; i < n; ++i) {
+    result.f1 += result.per_instance_f1[i];
+    result.ndcg += result.per_instance_ndcg[i];
+  }
+  if (n > 0) {
+    result.f1 /= n;
+    result.ndcg /= n;
   }
   return result;
 }

@@ -24,8 +24,16 @@ struct EvalResult {
 
 /// Ranks all items per instance with `scorer` and averages F1@Z / NDCG@Z,
 /// following the paper's protocol (Z = 5 in the experiments).
+///
+/// `threads` shards the instances across that many workers (0 = use the
+/// process-wide DefaultThreads(), which defaults to 1 = sequential). The
+/// per-shard sums are merged in instance order, so the returned metrics are
+/// bit-identical for every thread count; the scorer must be callable from
+/// multiple threads concurrently when threads > 1. Z larger than the
+/// catalog ranks the whole catalog; an empty score vector counts as a miss.
 EvalResult Evaluate(const Scorer& scorer,
-                    const std::vector<data::EvalInstance>& instances, int z);
+                    const std::vector<data::EvalInstance>& instances, int z,
+                    int threads = 0);
 
 }  // namespace causer::eval
 

@@ -7,7 +7,8 @@ namespace causer::eval {
 
 std::vector<int> TopK(const std::vector<float>& scores, int k) {
   const int n = static_cast<int>(scores.size());
-  k = std::min(k, n);
+  k = std::max(0, std::min(k, n));
+  if (k == 0) return {};
   std::vector<int> order(n);
   for (int i = 0; i < n; ++i) order[i] = i;
   std::partial_sort(order.begin(), order.begin() + k, order.end(),

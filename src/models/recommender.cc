@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 #include "data/sampler.h"
 #include "tensor/autograd.h"
 #include "tensor/ops.h"
@@ -56,6 +57,7 @@ double RepresentationModel::TrainEpoch(
   CAUSER_CHECK(optimizer_ != nullptr);
   auto examples = data::EnumerateExamples(train);
   rng_.Shuffle(examples);
+  if (config_.batch_size > 1) return TrainEpochBatched(examples);
 
   double total_loss = 0.0;
   int count = 0;
@@ -89,6 +91,115 @@ double RepresentationModel::TrainEpoch(
     optimizer_->Step();
     total_loss += loss.Item();
     ++count;
+  }
+  return count > 0 ? total_loss / count : 0.0;
+}
+
+double RepresentationModel::TrainEpochBatched(
+    const std::vector<data::TrainExample>& examples) {
+  struct Prepared {
+    int user = 0;
+    std::vector<data::Step> history;
+    std::vector<int> ids;
+    std::vector<float> labels;
+  };
+
+  auto params = Parameters();
+  ThreadPool& pool = DefaultPool();
+  const int max_shards = pool.num_threads();
+  // One private parameter copy per shard — the per-worker gradient buffers.
+  // Allocated lazily on first use and refreshed (values + zeroed grads)
+  // before every batch, since Step() changes the parameters in between.
+  std::vector<std::vector<Tensor>> shadows(max_shards);
+  std::vector<double> shard_loss(max_shards, 0.0);
+
+  double total_loss = 0.0;
+  int count = 0;
+  std::vector<Prepared> batch;
+  batch.reserve(config_.batch_size);
+  size_t next = 0;
+  while (next < examples.size()) {
+    // Preparation (history truncation + negative sampling) stays on the
+    // calling thread, consuming rng_ in example order: the random stream is
+    // independent of the worker count.
+    batch.clear();
+    while (static_cast<int>(batch.size()) < config_.batch_size &&
+           next < examples.size()) {
+      const auto& ex = examples[next++];
+      const auto& steps = ex.sequence->steps;
+      std::vector<data::Step> history(steps.begin(),
+                                      steps.begin() + ex.target_step);
+      history = Truncate(history);
+      if (history.empty()) continue;
+      const auto& positives = steps[ex.target_step].items;
+      int available = config_.num_items - static_cast<int>(positives.size());
+      int num_neg = std::min(config_.num_negatives, std::max(0, available));
+      Prepared p;
+      p.user = ex.sequence->user;
+      p.ids = positives;
+      std::vector<int> negatives =
+          data::SampleNegatives(config_.num_items, positives, num_neg, rng_);
+      p.ids.insert(p.ids.end(), negatives.begin(), negatives.end());
+      p.labels.assign(p.ids.size(), 0.0f);
+      for (size_t i = 0; i < positives.size(); ++i) p.labels[i] = 1.0f;
+      p.history = std::move(history);
+      batch.push_back(std::move(p));
+    }
+    if (batch.empty()) continue;
+    const int bsz = static_cast<int>(batch.size());
+    const int shards = std::min(max_shards, bsz);
+
+    optimizer_->ZeroGrad();
+    pool.ParallelFor(0, shards, [&](int shard_begin, int shard_end) {
+      for (int s = shard_begin; s < shard_end; ++s) {
+        const int lo = bsz * s / shards;
+        const int hi = bsz * (s + 1) / shards;
+        auto& shadow = shadows[s];
+        if (shadow.empty()) {
+          shadow.reserve(params.size());
+          for (const auto& p : params)
+            shadow.push_back(p.Clone(/*requires_grad=*/true));
+        } else {
+          for (size_t i = 0; i < params.size(); ++i) {
+            shadow[i].data() = params[i].data();
+            shadow[i].ZeroGrad();
+          }
+        }
+        tensor::ParamSubstitutionScope scope(params, shadow);
+        double loss_sum = 0.0;
+        for (int e = lo; e < hi; ++e) {
+          const Prepared& p = batch[e];
+          Tensor rep = Represent(p.user, p.history);            // [1, d]
+          Tensor cand = out_items_->Forward(p.ids);             // [n, d]
+          Tensor logits =
+              tensor::MatMul(cand, tensor::Transpose(rep));     // [n, 1]
+          Tensor targets = Tensor::FromData(
+              static_cast<int>(p.ids.size()), 1, p.labels);
+          Tensor loss = tensor::BceWithLogits(logits, targets);
+          tensor::Backward(loss);
+          loss_sum += loss.Item();
+        }
+        shard_loss[s] = loss_sum;
+      }
+    });
+
+    // Reduce the per-shard gradients into the parameters in shard order
+    // (deterministic for a fixed thread count), averaging over the batch,
+    // then take one clipped step for the whole batch.
+    const float inv_batch = 1.0f / static_cast<float>(bsz);
+    for (size_t i = 0; i < params.size(); ++i) {
+      auto& node = *params[i].node();
+      for (int s = 0; s < shards; ++s) {
+        const auto& g = shadows[s][i].grad();
+        if (g.empty()) continue;
+        node.EnsureGrad();
+        for (size_t j = 0; j < g.size(); ++j) node.grad[j] += g[j] * inv_batch;
+      }
+    }
+    optimizer_->ClipGradNorm(config_.grad_clip);
+    optimizer_->Step();
+    for (int s = 0; s < shards; ++s) total_loss += shard_loss[s];
+    count += bsz;
   }
   return count > 0 ? total_loss / count : 0.0;
 }

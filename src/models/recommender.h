@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "data/dataset.h"
+#include "data/sampler.h"
 #include "data/split.h"
 #include "eval/evaluator.h"
 #include "nn/embedding.h"
@@ -29,6 +30,14 @@ struct ModelConfig {
   int max_history = 12;
   float learning_rate = 0.01f;
   float grad_clip = 5.0f;
+  /// Examples per optimizer step. 1 (the default) runs the legacy
+  /// sequential loop — one forward/backward/clip/step per example,
+  /// bit-identical to earlier releases under a fixed seed. Larger values
+  /// accumulate the mean gradient of up to `batch_size` examples (scored
+  /// concurrently on the shared pool when DefaultThreads() > 1, each worker
+  /// backpropagating into a private parameter copy) before a single
+  /// ClipGradNorm + Step.
+  int batch_size = 1;
   uint64_t seed = 7;
   /// Item raw features (needed by VTRNN / MMSARec / Causer); may be null.
   const std::vector<std::vector<float>>* item_features = nullptr;
@@ -99,6 +108,12 @@ class RepresentationModel : public SequentialRecommender {
   std::unique_ptr<nn::Embedding> out_items_;
 
  private:
+  /// Mini-batch gradient-accumulation epoch (config_.batch_size > 1):
+  /// shards each batch across the shared pool, every worker building
+  /// forward/backward graphs against a private parameter copy, then reduces
+  /// the per-worker gradients deterministically and takes one step.
+  double TrainEpochBatched(const std::vector<data::TrainExample>& examples);
+
   std::unique_ptr<nn::Adam> optimizer_;
 };
 

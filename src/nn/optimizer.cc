@@ -70,8 +70,15 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
 
 void Adam::Step() {
   ++step_count_;
-  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
-  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  // Bias corrections in double: float pow both loses the low bits of
+  // beta^t at moderate t and truncates step_count_ itself once it exceeds
+  // 2^24, which can snap the corrections to exactly 0/1 too early.
+  const double bc1 =
+      1.0 - std::pow(static_cast<double>(beta1_),
+                     static_cast<double>(step_count_));
+  const double bc2 =
+      1.0 - std::pow(static_cast<double>(beta2_),
+                     static_cast<double>(step_count_));
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& node = *params_[i].node();
     if (node.grad.empty()) continue;
@@ -79,8 +86,8 @@ void Adam::Step() {
       float g = node.grad[j];
       m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
       v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
-      float mhat = m_[i][j] / bc1;
-      float vhat = v_[i][j] / bc2;
+      float mhat = static_cast<float>(m_[i][j] / bc1);
+      float vhat = static_cast<float>(v_[i][j] / bc2);
       node.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }

@@ -74,6 +74,12 @@ bool LoadParameters(Module& module, const std::string& path) {
       return false;
     }
   }
+  // The last tensor must end exactly at EOF: trailing bytes mean a
+  // concatenated, wrong-architecture, or otherwise garbled checkpoint, and
+  // loading a prefix of it silently would half-match some other model.
+  unsigned char extra = 0;
+  if (std::fread(&extra, 1, 1, f.get()) == 1) return false;
+  if (std::feof(f.get()) == 0) return false;
   for (size_t i = 0; i < params.size(); ++i) params[i].data() = staged[i];
   return true;
 }

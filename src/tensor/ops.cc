@@ -1,13 +1,21 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
+
+#include "common/thread_pool.h"
 
 namespace causer::tensor {
 namespace {
 
 using internal::Node;
 using NodePtr = std::shared_ptr<Node>;
+
+/// Every op input resolves through the thread's active
+/// ParamSubstitutionScope, so worker threads transparently build their
+/// graphs against private parameter copies.
+NodePtr Res(const Tensor& t) { return internal::Resolve(t.node()); }
 
 /// Creates the result node of an op. Parents and the backward closure are
 /// only recorded when gradients are globally enabled and at least one parent
@@ -49,8 +57,8 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b,
   CAUSER_CHECK(BroadcastCompatible(a.cols(), b.cols()));
   const int rows = std::max(a.rows(), b.rows());
   const int cols = std::max(a.cols(), b.cols());
-  NodePtr an = a.node();
-  NodePtr bn = b.node();
+  NodePtr an = Res(a);
+  NodePtr bn = Res(b);
 
   auto index = [](const NodePtr& n, int r, int c) {
     int rr = n->rows == 1 ? 0 : r;
@@ -87,7 +95,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b,
 Tensor UnaryOp(const Tensor& a, float (*fwd)(float),
                float (*dfn)(float, float, float)) {
   CAUSER_CHECK(a.defined());
-  NodePtr an = a.node();
+  NodePtr an = Res(a);
   Tensor out = MakeResult(a.rows(), a.cols(), {an}, [an, dfn](Node& self) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
@@ -101,10 +109,13 @@ Tensor UnaryOp(const Tensor& a, float (*fwd)(float),
   return out;
 }
 
-/// c[n,p] += a[n,m] * b[m,p] on raw buffers (ikj loop order).
-void RawMatMulAdd(const float* a, const float* b, float* c, int n, int m,
-                  int p, bool transpose_a, bool transpose_b) {
-  for (int i = 0; i < n; ++i) {
+/// c[n,p] += a[n,m] * b[m,p] for the row block [row_begin, row_end) of the
+/// output, ikj loop order. Blocks write disjoint rows of c, so the blocked
+/// dispatch below is race-free and bit-exact for any block partition.
+void MatMulAddRows(const float* a, const float* b, float* c, int row_begin,
+                   int row_end, int n, int m, int p, bool transpose_a,
+                   bool transpose_b) {
+  for (int i = row_begin; i < row_end; ++i) {
     for (int k = 0; k < m; ++k) {
       float av = transpose_a ? a[static_cast<size_t>(k) * n + i]
                              : a[static_cast<size_t>(i) * m + k];
@@ -121,6 +132,29 @@ void RawMatMulAdd(const float* a, const float* b, float* c, int n, int m,
       }
     }
   }
+}
+
+/// Below this many multiply-adds the pool dispatch overhead dominates and
+/// the product stays on the calling thread.
+constexpr int64_t kParallelMatMulMinOps = 1 << 15;
+
+/// c[n,p] += a[n,m] * b[m,p] on raw buffers. Large products are tiled over
+/// row blocks of c and the blocks dispatched to the shared pool; each block
+/// computes exactly the sequential per-element sums, so the result is
+/// bit-identical for every thread count (threads=1 runs inline).
+void RawMatMulAdd(const float* a, const float* b, float* c, int n, int m,
+                  int p, bool transpose_a, bool transpose_b) {
+  const int64_t total_ops =
+      static_cast<int64_t>(n) * m * static_cast<int64_t>(p);
+  if (DefaultThreads() > 1 && n > 1 && total_ops >= kParallelMatMulMinOps &&
+      !ThreadPool::InParallelRegion()) {
+    DefaultPool().ParallelFor(0, n, [&](int row_begin, int row_end) {
+      MatMulAddRows(a, b, c, row_begin, row_end, n, m, p, transpose_a,
+                    transpose_b);
+    });
+    return;
+  }
+  MatMulAddRows(a, b, c, 0, n, n, m, p, transpose_a, transpose_b);
 }
 
 }  // namespace
@@ -156,7 +190,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 Tensor Neg(const Tensor& a) { return ScalarMul(a, -1.0f); }
 
 Tensor ScalarMul(const Tensor& a, float c) {
-  NodePtr an = a.node();
+  NodePtr an = Res(a);
   Tensor out = MakeResult(a.rows(), a.cols(), {an}, [an, c](Node& self) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
@@ -168,7 +202,7 @@ Tensor ScalarMul(const Tensor& a, float c) {
 }
 
 Tensor AddScalar(const Tensor& a, float c) {
-  NodePtr an = a.node();
+  NodePtr an = Res(a);
   Tensor out = MakeResult(a.rows(), a.cols(), {an}, [an](Node& self) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
@@ -181,8 +215,8 @@ Tensor AddScalar(const Tensor& a, float c) {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   CAUSER_CHECK(a.cols() == b.rows());
   const int n = a.rows(), m = a.cols(), p = b.cols();
-  NodePtr an = a.node();
-  NodePtr bn = b.node();
+  NodePtr an = Res(a);
+  NodePtr bn = Res(b);
   Tensor out = MakeResult(n, p, {an, bn}, [an, bn, n, m, p](Node& self) {
     if (an->requires_grad) {
       an->EnsureGrad();
@@ -204,7 +238,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor Transpose(const Tensor& a) {
   const int n = a.rows(), m = a.cols();
-  NodePtr an = a.node();
+  NodePtr an = Res(a);
   Tensor out = MakeResult(m, n, {an}, [an, n, m](Node& self) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
@@ -246,7 +280,7 @@ Tensor Exp(const Tensor& a) {
 }
 
 Tensor Log(const Tensor& a, float eps) {
-  NodePtr an = a.node();
+  NodePtr an = Res(a);
   Tensor out = MakeResult(a.rows(), a.cols(), {an}, [an, eps](Node& self) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
@@ -271,7 +305,7 @@ Tensor Sqrt(const Tensor& a) {
 Tensor SoftmaxRows(const Tensor& a, float temperature) {
   CAUSER_CHECK(temperature > 0.0f);
   const int n = a.rows(), m = a.cols();
-  NodePtr an = a.node();
+  NodePtr an = Res(a);
   Tensor out =
       MakeResult(n, m, {an}, [an, n, m, temperature](Node& self) {
         if (!an->requires_grad) return;
@@ -302,7 +336,7 @@ Tensor SoftmaxRows(const Tensor& a, float temperature) {
 }
 
 Tensor Sum(const Tensor& a) {
-  NodePtr an = a.node();
+  NodePtr an = Res(a);
   Tensor out = MakeResult(1, 1, {an}, [an](Node& self) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
@@ -318,7 +352,7 @@ Tensor Mean(const Tensor& a) { return ScalarMul(Sum(a), 1.0f / a.size()); }
 
 Tensor SumRows(const Tensor& a) {
   const int n = a.rows(), m = a.cols();
-  NodePtr an = a.node();
+  NodePtr an = Res(a);
   Tensor out = MakeResult(n, 1, {an}, [an, n, m](Node& self) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
@@ -336,7 +370,7 @@ Tensor SumRows(const Tensor& a) {
 
 Tensor SumCols(const Tensor& a) {
   const int n = a.rows(), m = a.cols();
-  NodePtr an = a.node();
+  NodePtr an = Res(a);
   Tensor out = MakeResult(1, m, {an}, [an, n, m](Node& self) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
@@ -353,7 +387,7 @@ Tensor SumCols(const Tensor& a) {
 }
 
 Tensor L1Norm(const Tensor& a) {
-  NodePtr an = a.node();
+  NodePtr an = Res(a);
   Tensor out = MakeResult(1, 1, {an}, [an](Node& self) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
@@ -370,7 +404,7 @@ Tensor L1Norm(const Tensor& a) {
 }
 
 Tensor SquaredNorm(const Tensor& a) {
-  NodePtr an = a.node();
+  NodePtr an = Res(a);
   Tensor out = MakeResult(1, 1, {an}, [an](Node& self) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
@@ -386,8 +420,8 @@ Tensor SquaredNorm(const Tensor& a) {
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   CAUSER_CHECK(a.rows() == b.rows());
   const int n = a.rows(), ma = a.cols(), mb = b.cols();
-  NodePtr an = a.node();
-  NodePtr bn = b.node();
+  NodePtr an = Res(a);
+  NodePtr bn = Res(b);
   Tensor out = MakeResult(n, ma + mb, {an, bn}, [an, bn, n, ma, mb](Node& self) {
     if (an->requires_grad) an->EnsureGrad();
     if (bn->requires_grad) bn->EnsureGrad();
@@ -418,7 +452,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
   for (const auto& p : parts) {
     CAUSER_CHECK(p.cols() == m);
     total_rows += p.rows();
-    nodes.push_back(p.node());
+    nodes.push_back(Res(p));
   }
   Tensor out = MakeResult(total_rows, m, nodes, [nodes, m](Node& self) {
     int row = 0;
@@ -445,7 +479,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
 Tensor SliceRows(const Tensor& a, int start, int len) {
   CAUSER_CHECK(start >= 0 && len > 0 && start + len <= a.rows());
   const int m = a.cols();
-  NodePtr an = a.node();
+  NodePtr an = Res(a);
   Tensor out = MakeResult(len, m, {an}, [an, start, len, m](Node& self) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
@@ -464,7 +498,7 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
   CAUSER_CHECK(!indices.empty());
   const int m = a.cols();
   const int k = static_cast<int>(indices.size());
-  NodePtr an = a.node();
+  NodePtr an = Res(a);
   for (int idx : indices) CAUSER_CHECK(idx >= 0 && idx < a.rows());
   Tensor out = MakeResult(k, m, {an}, [an, indices, k, m](Node& self) {
     if (!an->requires_grad) return;
@@ -485,8 +519,8 @@ Tensor BceWithLogits(const Tensor& logits, const Tensor& targets,
                      Reduction reduction) {
   CAUSER_CHECK(logits.rows() == targets.rows() &&
                logits.cols() == targets.cols());
-  NodePtr xn = logits.node();
-  NodePtr tn = targets.node();
+  NodePtr xn = Res(logits);
+  NodePtr tn = Res(targets);
   const float scale =
       reduction == Reduction::kMean ? 1.0f / logits.size() : 1.0f;
   Tensor out = MakeResult(1, 1, {xn, tn}, [xn, tn, scale](Node& self) {

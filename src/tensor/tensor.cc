@@ -1,11 +1,19 @@
 #include "tensor/tensor.h"
 
 #include <sstream>
+#include <unordered_map>
 
 namespace causer::tensor {
 namespace {
 
 thread_local int g_no_grad_depth = 0;
+
+using SubstitutionMap =
+    std::unordered_map<const internal::Node*, std::shared_ptr<internal::Node>>;
+
+/// Active substitution table of the current thread (ParamSubstitutionScope),
+/// or null. Thread-local so worker threads redirect independently.
+thread_local SubstitutionMap* g_substitutions = nullptr;
 
 std::shared_ptr<internal::Node> MakeLeaf(int rows, int cols,
                                          bool requires_grad) {
@@ -19,6 +27,37 @@ std::shared_ptr<internal::Node> MakeLeaf(int rows, int cols,
 }
 
 }  // namespace
+
+namespace internal {
+
+std::shared_ptr<Node> Resolve(const std::shared_ptr<Node>& node) {
+  if (g_substitutions != nullptr) {
+    auto it = g_substitutions->find(node.get());
+    if (it != g_substitutions->end()) return it->second;
+  }
+  return node;
+}
+
+}  // namespace internal
+
+ParamSubstitutionScope::ParamSubstitutionScope(const std::vector<Tensor>& from,
+                                               const std::vector<Tensor>& to) {
+  CAUSER_CHECK(from.size() == to.size());
+  CAUSER_CHECK(g_substitutions == nullptr);  // scopes do not nest
+  auto* map = new SubstitutionMap();
+  map->reserve(from.size());
+  for (size_t i = 0; i < from.size(); ++i) {
+    CAUSER_CHECK(from[i].rows() == to[i].rows() &&
+                 from[i].cols() == to[i].cols());
+    map->emplace(from[i].node().get(), to[i].node());
+  }
+  g_substitutions = map;
+}
+
+ParamSubstitutionScope::~ParamSubstitutionScope() {
+  delete g_substitutions;
+  g_substitutions = nullptr;
+}
 
 NoGradGuard::NoGradGuard() { ++g_no_grad_depth; }
 NoGradGuard::~NoGradGuard() { --g_no_grad_depth; }

@@ -19,6 +19,14 @@ class Tensor;
 
 namespace internal {
 
+struct Node;
+
+/// Resolves `node` through the thread's active ParamSubstitutionScope (if
+/// any): returns the registered shadow node, or `node` itself. Ops resolve
+/// every input through this, so a scope transparently redirects graph
+/// construction onto private parameter copies.
+std::shared_ptr<Node> Resolve(const std::shared_ptr<Node>& node);
+
 /// Graph node holding the value, the gradient accumulator, and the backward
 /// closure that scatters this node's gradient into its parents.
 struct Node {
@@ -137,6 +145,22 @@ class Tensor {
 
  private:
   std::shared_ptr<internal::Node> node_;
+};
+
+/// Thread-local substitution of parameter tensors for the duration of the
+/// scope: while active, every op building a graph node on this thread
+/// resolves inputs whose node appears in `from` to the corresponding node
+/// in `to`. The batched trainer uses this to give each worker thread a
+/// private copy of the parameters (same values, separate gradient buffers),
+/// so concurrent Backward() calls never touch shared state. Scopes do not
+/// nest; `from[i]` and `to[i]` must have identical shapes.
+class ParamSubstitutionScope {
+ public:
+  ParamSubstitutionScope(const std::vector<Tensor>& from,
+                         const std::vector<Tensor>& to);
+  ~ParamSubstitutionScope();
+  ParamSubstitutionScope(const ParamSubstitutionScope&) = delete;
+  ParamSubstitutionScope& operator=(const ParamSubstitutionScope&) = delete;
 };
 
 /// RAII guard disabling graph construction (inference mode). While any guard

@@ -292,6 +292,24 @@ TEST(SamplerTest, ExhaustiveSampling) {
   EXPECT_EQ(unique, (std::set<int>{1, 2, 3, 4}));
 }
 
+TEST(SamplerTest, DuplicatedPositivesDoNotShrinkCapacity) {
+  // Multi-hot steps can repeat an item, so the positives list may contain
+  // duplicates. Capacity is bounded by the number of *distinct* positives:
+  // with 2 distinct positives in a 100-item catalog, k = 98 must succeed
+  // (a naive size() check would see 5 positives and reject it).
+  Rng rng(6);
+  auto negs = SampleNegatives(100, {1, 1, 1, 2, 2}, 98, rng);
+  ASSERT_EQ(negs.size(), 98u);
+  std::set<int> unique(negs.begin(), negs.end());
+  EXPECT_EQ(unique.size(), 98u);  // all distinct
+  EXPECT_EQ(unique.count(1), 0u);
+  EXPECT_EQ(unique.count(2), 0u);
+  for (int n : negs) {
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, 100);
+  }
+}
+
 TEST(SamplerTest, EnumerateExamplesSkipsFirstStep) {
   Dataset d = TinyData();
   auto examples = EnumerateExamples(d.sequences);

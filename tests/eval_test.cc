@@ -28,6 +28,13 @@ TEST(TopKTest, KLargerThanSize) {
   EXPECT_EQ(TopK(scores, 10).size(), 2u);
 }
 
+TEST(TopKTest, ZeroAndNegativeKGiveEmpty) {
+  std::vector<float> scores = {1.0f, 2.0f, 3.0f};
+  EXPECT_TRUE(TopK(scores, 0).empty());
+  EXPECT_TRUE(TopK(scores, -3).empty());
+  EXPECT_TRUE(TopK({}, 5).empty());
+}
+
 TEST(MetricsTest, PrecisionRecallF1HandComputed) {
   std::vector<int> ranked = {1, 2, 3, 4, 5};
   std::vector<int> relevant = {2, 5, 9};
@@ -82,6 +89,36 @@ TEST(EvaluatorTest, AveragesOverInstances) {
   EXPECT_DOUBLE_EQ(r.per_instance_f1[1], 0.0);
   EXPECT_DOUBLE_EQ(r.f1, 0.5);
   EXPECT_DOUBLE_EQ(r.ndcg, 0.5);
+}
+
+TEST(EvaluatorTest, ZLargerThanCatalogRanksWholeCatalog) {
+  data::EvalInstance inst;
+  inst.target_items = {2};
+  Scorer scorer = [](const data::EvalInstance&) {
+    return std::vector<float>{3.0f, 2.0f, 1.0f};
+  };
+  // z = 50 on a 3-item catalog must behave like z = 3, not crash or read
+  // out of bounds.
+  EvalResult r = Evaluate(scorer, {inst}, 50);
+  EXPECT_GT(r.ndcg, 0.0);
+  EXPECT_DOUBLE_EQ(r.ndcg, Evaluate(scorer, {inst}, 3).ndcg);
+}
+
+TEST(EvaluatorTest, EmptyScoreVectorCountsAsMiss) {
+  data::EvalInstance scored;
+  scored.target_items = {0};
+  data::EvalInstance unscored;
+  unscored.user = 1;
+  unscored.target_items = {0};
+  Scorer scorer = [](const data::EvalInstance& inst) {
+    if (inst.user == 1) return std::vector<float>{};
+    return std::vector<float>{5.0f, 1.0f};
+  };
+  EvalResult r = Evaluate(scorer, {scored, unscored}, 1);
+  ASSERT_EQ(r.per_instance_f1.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.per_instance_f1[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.per_instance_f1[1], 0.0);
+  EXPECT_DOUBLE_EQ(r.f1, 0.5);
 }
 
 TEST(EvaluatorTest, EmptyInstancesGiveZero) {

@@ -298,6 +298,22 @@ TEST(AdamTest, ConvergesOnQuadratic) {
   EXPECT_NEAR(x.At(0, 1), 0.0f, 1e-3);
 }
 
+TEST(AdamTest, StableAtHighStepCounts) {
+  // Bias corrections are computed in double: at step counts past 2^24 a
+  // float pow of the step index truncates and the corrections drift. Run
+  // well past 1e5 steps on a quadratic and require the iterate to stay
+  // finite and converged the whole way.
+  Tensor x = Tensor::Full(1, 1, 4.0f, true);
+  Adam opt({x}, 0.01f);
+  for (int i = 0; i < 150000; ++i) {
+    opt.ZeroGrad();
+    Backward(tensor::SquaredNorm(x));
+    opt.Step();
+    ASSERT_TRUE(std::isfinite(x.Item())) << "diverged at step " << i;
+  }
+  EXPECT_NEAR(x.Item(), 0.0f, 1e-3);
+}
+
 TEST(AdamTest, SkipsParamsWithoutGrad) {
   Tensor x = Tensor::Full(1, 1, 1.0f, true);
   Adam opt({x}, 0.1f);

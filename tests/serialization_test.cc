@@ -79,6 +79,43 @@ TEST(SerializationTest, TruncatedFileRejected) {
   std::remove(path.c_str());
 }
 
+TEST(SerializationTest, TrailingBytesRejected) {
+  Rng rng(6);
+  Linear lin(4, 4, rng);
+  std::string path = TempPath("trailing.bin");
+  ASSERT_TRUE(SaveParameters(lin, path));
+  // A checkpoint with extra bytes after the last tensor is not a checkpoint
+  // for this architecture (e.g. a bigger model whose prefix happens to
+  // match); loading it must fail rather than silently use the prefix.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "extra";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  Linear other(4, 4, rng);
+  auto before = other.weight().data();
+  EXPECT_FALSE(LoadParameters(other, path));
+  EXPECT_EQ(other.weight().data(), before);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, VersionMismatchRejected) {
+  Rng rng(7);
+  Linear lin(2, 2, rng);
+  std::string path = TempPath("version.bin");
+  ASSERT_TRUE(SaveParameters(lin, path));
+  // Bump the version field (second u32) to a future value.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 4, SEEK_SET);
+  uint32_t future_version = 999;
+  std::fwrite(&future_version, sizeof(future_version), 1, f);
+  std::fclose(f);
+  Linear other(2, 2, rng);
+  EXPECT_FALSE(LoadParameters(other, path));
+  std::remove(path.c_str());
+}
+
 TEST(SerializationTest, TrainedModelRoundTripPreservesScores) {
   data::Dataset dataset = data::MakeDataset(data::TinySpec());
   data::Split split = data::LeaveLastOut(dataset);

@@ -19,11 +19,15 @@
 //
 // Model files carry only weights; the architecture flags at evaluate /
 // explain time must match those used at training time.
+//
+// All subcommands accept --threads=N (default 1, or the CAUSER_THREADS
+// environment variable) to parallelize evaluation and large matmuls.
 
 #include <cstdio>
 #include <string>
 
 #include "common/flags.h"
+#include "common/thread_pool.h"
 #include "core/explainer.h"
 #include "core/trainer.h"
 #include "data/generator.h"
@@ -202,6 +206,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   causer::Flags flags = causer::Flags::Parse(argc - 1, argv + 1);
+  // --threads=N parallelizes evaluation and the large matmul kernels
+  // (default 1 = the bit-exact sequential paths).
+  causer::ConfigureThreadsFromFlags(flags);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "train") return CmdTrain(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
