@@ -43,12 +43,13 @@ inline models::TrainConfig CauserTrainConfig() {
   return {.max_epochs = 12, .patience = 3};
 }
 
-/// Trains `model` on the split and evaluates F1@5 / NDCG@5 on the test set.
-inline ModelRun RunBaseline(models::SequentialRecommender& model,
-                            const data::Split& split,
-                            const models::TrainConfig& config) {
+/// Times `train` (any callable that trains `model`) and evaluates F1@5 /
+/// NDCG@5 on the test split — the shared tail of RunBaseline / RunCauser.
+template <typename TrainFn>
+ModelRun TimedRun(models::SequentialRecommender& model,
+                  const data::Split& split, TrainFn&& train) {
   Stopwatch sw;
-  models::Fit(model, split, config);
+  train();
   ModelRun run;
   run.train_seconds = sw.ElapsedSeconds();
   run.name = model.name();
@@ -58,18 +59,18 @@ inline ModelRun RunBaseline(models::SequentialRecommender& model,
   return run;
 }
 
+/// Trains `model` on the split and evaluates F1@5 / NDCG@5 on the test set.
+inline ModelRun RunBaseline(models::SequentialRecommender& model,
+                            const data::Split& split,
+                            const models::TrainConfig& config) {
+  return TimedRun(model, split, [&] { models::Fit(model, split, config); });
+}
+
 /// Trains a Causer model (with the warm-up-aware trainer) and evaluates it.
 inline ModelRun RunCauser(core::CauserModel& model, const data::Split& split,
                           const models::TrainConfig& config) {
-  Stopwatch sw;
-  core::TrainCauser(model, split, config);
-  ModelRun run;
-  run.train_seconds = sw.ElapsedSeconds();
-  run.name = model.name();
-  run.raw = eval::Evaluate(models::MakeScorer(model), split.test, 5);
-  run.f1 = run.raw.f1 * 100.0;
-  run.ndcg = run.raw.ndcg * 100.0;
-  return run;
+  return TimedRun(model, split,
+                  [&] { core::TrainCauser(model, split, config); });
 }
 
 /// The model configuration shared by all baselines for a dataset.

@@ -17,7 +17,9 @@ struct GesOptions {
 /// Result of a GES run.
 struct GesResult {
   Graph graph;           ///< a DAG in the estimated equivalence class
-  double score = 0.0;    ///< final BIC score (higher is better)
+  /// Final Gaussian BIC score (higher is better). Comparable across runs
+  /// on the same data only — the likelihood term scales with n and d.
+  double score = 0.0;
   int insertions = 0;    ///< edges added in the forward phase
   int deletions = 0;     ///< edges removed in the backward phase
 };

@@ -2,10 +2,13 @@
 
 #include <cmath>
 
+#include "causal/notears.h"
+
 namespace causer::causal {
 
 Dense MatrixExponential(const Dense& a) {
   CAUSER_CHECK(a.rows() == a.cols());
+  NotearsMetrics().matrix_exp_calls.Add();
   const int n = a.rows();
   if (n == 0) return a;
 

@@ -4,8 +4,37 @@
 #include <limits>
 
 #include "causal/acyclicity.h"
+#include "common/trace.h"
 
 namespace causer::causal {
+
+NotearsMetricsT& NotearsMetrics() {
+  static NotearsMetricsT m{
+      metrics::GetCounter(
+          "notears.outer_iterations_total", "iterations",
+          "Augmented-Lagrangian outer iterations (multiplier updates) "
+          "across NotearsLinear and Causer's W^c subproblem."),
+      metrics::GetCounter(
+          "notears.subproblems_total", "subproblems",
+          "Inner minimization subproblems solved at fixed (alpha, rho)."),
+      metrics::GetCounter(
+          "notears.inner_steps_total", "steps",
+          "Gradient/Adam steps taken inside inner subproblems."),
+      metrics::GetCounter(
+          "causal.matrix_exp_calls_total", "calls",
+          "MatrixExponential evaluations (the h(W) value/gradient core)."),
+      metrics::GetGauge(
+          "notears.rho", "coefficient",
+          "Latest quadratic penalty coefficient rho (beta2 in Causer)."),
+      metrics::GetGauge(
+          "notears.alpha", "coefficient",
+          "Latest Lagrange multiplier alpha (beta1 in Causer)."),
+      metrics::GetGauge("notears.h", "residual",
+                        "Latest acyclicity residual h(W)."),
+  };
+  return m;
+}
+
 namespace {
 
 /// Smooth part of the objective for fixed multipliers:
@@ -48,6 +77,9 @@ NotearsResult NotearsLinear(const Dense& x, const NotearsOptions& options) {
   const int n = x.rows();
   const int d = x.cols();
   CAUSER_CHECK(n > 0 && d > 0);
+  trace::TraceSpan solve_span("notears.solve", "causal");
+  solve_span.AddArg("d", d);
+  solve_span.AddArg("n", n);
 
   Dense xtx = x.Transposed().Multiply(x);
 
@@ -64,10 +96,13 @@ NotearsResult NotearsLinear(const Dense& x, const NotearsOptions& options) {
   NotearsResult result;
   int outer = 0;
   for (; outer < options.max_outer_iterations; ++outer) {
+    trace::TraceSpan outer_span("notears.outer", "causal");
     double h_new = h;
     // Inner subproblem: minimize smooth + lambda1 * ||W||_1 at fixed
     // (alpha, rho), growing rho until the residual shrinks enough.
     while (true) {
+      NotearsMetrics().subproblems.Add();
+      NotearsMetrics().inner_steps.Add(options.inner_iterations);
       // Fresh Adam state per subproblem: second-moment estimates from a
       // previous (differently scaled) penalty would cripple the step sizes.
       Dense m(d, d), v(d, d);
@@ -111,6 +146,12 @@ NotearsResult NotearsLinear(const Dense& x, const NotearsOptions& options) {
     }
     alpha += rho * h_new;
     h = h_new;
+    NotearsMetrics().outer_iterations.Add();
+    NotearsMetrics().rho.Set(rho);
+    NotearsMetrics().alpha.Set(alpha);
+    NotearsMetrics().h.Set(h);
+    outer_span.AddArg("h", h);
+    outer_span.AddArg("rho", rho);
     if (h <= options.h_tolerance || rho >= options.rho_max) break;
   }
 

@@ -3,54 +3,81 @@
 
 #include "causal/dense.h"
 #include "causal/graph.h"
+#include "common/metrics.h"
 
 namespace causer::causal {
 
 /// Options for the standalone linear-SEM NOTEARS solver (Zheng et al. 2018,
 /// Eq. 3 of the paper). Defaults are tuned for graphs up to ~50 nodes.
+///
+/// Paper-symbol correspondence (augmented Lagrangian, Algorithm 1 of the
+/// Causer paper uses β₁/β₂ for the same roles):
+///   - `lambda1`         ↔ λ, the L1 sparsity weight on W
+///   - `h_tolerance`     ↔ the target for h(W) = tr(e^{W∘W}) − d
+///   - `rho_growth`      ↔ κ₁, the penalty growth factor (ρ ← κ₁ρ)
+///   - `residual_shrink` ↔ κ₂, the required per-step shrink of h(W)
+///   - `rho_max`         ↔ the cap on the quadratic penalty ρ
 struct NotearsOptions {
-  /// L1 sparsity coefficient (the paper's lambda).
+  /// L1 sparsity coefficient (the paper's λ).
   double lambda1 = 0.02;
-  /// Maximum augmented-Lagrangian outer iterations.
+  /// Maximum augmented-Lagrangian outer iterations (multiplier updates).
   int max_outer_iterations = 40;
-  /// Stop when h(W) drops below this value.
+  /// Stop when the acyclicity residual h(W) drops below this value.
   double h_tolerance = 1e-8;
-  /// Abort when the penalty coefficient rho exceeds this.
+  /// Abort when the quadratic penalty coefficient ρ exceeds this.
   double rho_max = 1e16;
-  /// Adam steps per inner subproblem.
+  /// Adam steps per inner subproblem (minimization at fixed α, ρ).
   int inner_iterations = 300;
   /// Adam learning rate for the inner subproblem.
   double learning_rate = 0.01;
   /// |w| threshold for the final binarized graph.
   double weight_threshold = 0.3;
-  /// Penalty growth factor (the paper's kappa_1).
+  /// Penalty growth factor (the paper's κ₁): ρ ← κ₁ρ while h stalls.
   double rho_growth = 10.0;
-  /// Required residual shrink factor per outer step (the paper's kappa_2).
+  /// Required residual shrink factor per outer step (the paper's κ₂).
   double residual_shrink = 0.25;
 };
 
 /// Result of a NOTEARS run.
 struct NotearsResult {
-  Dense weights;         ///< learned weighted adjacency (diagonal zero)
-  Graph graph;           ///< weights thresholded at `weight_threshold`
-  double final_h = 0.0;  ///< acyclicity residual at termination
-  int outer_iterations = 0;
+  Dense weights;         ///< learned weighted adjacency W (diagonal zero)
+  Graph graph;           ///< W thresholded at `weight_threshold`
+  double final_h = 0.0;  ///< acyclicity residual h(W) at termination
+  int outer_iterations = 0;  ///< augmented-Lagrangian outer steps run
   bool converged = false;  ///< h below tolerance before hitting rho_max
 };
 
-/// Learns a weighted DAG from observational data `x` (n samples x d
+/// Learns a weighted DAG from observational data `x` (n samples × d
 /// variables) by minimizing
-///   (1/2n) ||X - XW||_F^2 + lambda1 ||W||_1
-///   s.t. trace(e^{W o W}) = d
-/// via the augmented Lagrangian with Adam inner optimization.
+///   (1/2n) ||X − XW||_F² + λ₁||W||₁   s.t.  h(W) = tr(e^{W∘W}) − d = 0
+/// via the augmented Lagrangian (multiplier α, penalty ρ) with Adam inner
+/// optimization and proximal L1.
 NotearsResult NotearsLinear(const Dense& x, const NotearsOptions& options = {});
 
-/// Generates n samples from the linear SEM X = X W + E with standard normal
-/// noise, following the topological order of `dag`; edge weights are drawn
-/// uniformly from ±[w_low, w_high]. Returns the (n x d) data matrix and
-/// writes the ground-truth weighted matrix to `w_true` if non-null.
+/// Generates n samples from the linear SEM X = XW + E with standard normal
+/// noise E, following the topological order of `dag`; edge weights are
+/// drawn uniformly from ±[w_low, w_high]. Returns the (n × d) data matrix
+/// and writes the ground-truth weighted matrix to `w_true` if non-null.
 Dense SimulateLinearSem(const Graph& dag, int n, double w_low, double w_high,
                         Rng& rng, Dense* w_true = nullptr);
+
+/// Observability instruments of the augmented-Lagrangian NOTEARS machinery
+/// (see docs/OBSERVABILITY.md). Shared between the standalone
+/// NotearsLinear solver and Causer's per-epoch W^c subproblem
+/// (core::CauserModel::FitClusterGraph), which runs the same α/ρ schedule
+/// under the paper's β₁/β₂ naming. Registered together on first touch.
+struct NotearsMetricsT {
+  metrics::Counter& outer_iterations;  ///< notears.outer_iterations_total
+  metrics::Counter& subproblems;       ///< notears.subproblems_total
+  metrics::Counter& inner_steps;       ///< notears.inner_steps_total
+  metrics::Counter& matrix_exp_calls;  ///< causal.matrix_exp_calls_total
+  metrics::Gauge& rho;                 ///< notears.rho (β₂ in Causer)
+  metrics::Gauge& alpha;               ///< notears.alpha (β₁ in Causer)
+  metrics::Gauge& h;                   ///< notears.h — latest h(W)
+};
+
+/// The shared instrument group (function-local static registration).
+NotearsMetricsT& NotearsMetrics();
 
 }  // namespace causer::causal
 

@@ -8,9 +8,12 @@ namespace causer::causal {
 
 /// Options for the PC algorithm.
 struct PcOptions {
-  /// Significance level of the Fisher-z partial-correlation test.
+  /// Significance level of the Fisher-z partial-correlation test (the
+  /// statistical α — unrelated to the NOTEARS Lagrange multiplier α of
+  /// causal/notears.h). Smaller values keep fewer edges.
   double alpha = 0.01;
-  /// Largest conditioning-set size explored.
+  /// Largest conditioning-set size explored. Bounds the number of CI
+  /// tests at the cost of possibly missing higher-order separations.
   int max_condition_size = 3;
 };
 

@@ -1,0 +1,331 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "common/log.h"
+
+namespace causer::metrics {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// One registered metric. Exactly one of the instrument pointers is set.
+struct Registered {
+  MetricType type = MetricType::kCounter;
+  std::string unit;
+  std::string help;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct Registry {
+  std::mutex mu;
+  /// std::map: name-sorted iteration gives deterministic snapshots.
+  std::map<std::string, Registered> metrics;
+};
+
+/// Leaked on purpose: instruments are referenced from function-local
+/// statics across the codebase, and a destruction-order race at process
+/// exit would buy nothing.
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out + "\"";
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+namespace internal {
+
+int ThreadStripe() {
+  static std::atomic<int> next{0};
+  thread_local int stripe = next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+}  // namespace internal
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& cell : cells_)
+    total += cell.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      stripes_(internal::kHistogramStripes) {
+  CAUSER_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i)
+    CAUSER_CHECK(bounds_[i - 1] < bounds_[i]);
+  for (auto& stripe : stripes_) {
+    stripe.buckets =
+        std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double v) {
+  if (!Enabled()) return;
+  Stripe& stripe =
+      stripes_[internal::ThreadStripe() % internal::kHistogramStripes];
+  size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  stripe.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  stripe.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& stripe : stripes_) {
+    for (size_t b = 0; b < out.size(); ++b)
+      out[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& stripe : stripes_)
+    total += stripe.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::Sum() const {
+  // Stripes are summed in index order, so the float rounding is
+  // deterministic for a given set of per-stripe sums.
+  double total = 0.0;
+  for (const auto& stripe : stripes_)
+    total += stripe.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  CAUSER_CHECK(start > 0.0 && factor > 1.0 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+Counter& GetCounter(const std::string& name, const std::string& unit,
+                    const std::string& help) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.metrics.try_emplace(name);
+  if (inserted) {
+    it->second.type = MetricType::kCounter;
+    it->second.unit = unit;
+    it->second.help = help;
+    it->second.counter = std::make_unique<Counter>();
+  }
+  CAUSER_CHECK(it->second.type == MetricType::kCounter);
+  return *it->second.counter;
+}
+
+Gauge& GetGauge(const std::string& name, const std::string& unit,
+                const std::string& help) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.metrics.try_emplace(name);
+  if (inserted) {
+    it->second.type = MetricType::kGauge;
+    it->second.unit = unit;
+    it->second.help = help;
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  CAUSER_CHECK(it->second.type == MetricType::kGauge);
+  return *it->second.gauge;
+}
+
+Histogram& GetHistogram(const std::string& name, const std::string& unit,
+                        const std::string& help,
+                        const std::vector<double>& bounds) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.metrics.try_emplace(name);
+  if (inserted) {
+    it->second.type = MetricType::kHistogram;
+    it->second.unit = unit;
+    it->second.help = help;
+    it->second.histogram = std::make_unique<Histogram>(bounds);
+  }
+  CAUSER_CHECK(it->second.type == MetricType::kHistogram);
+  CAUSER_CHECK(it->second.histogram->bounds() == bounds);
+  return *it->second.histogram;
+}
+
+std::vector<SnapshotEntry> Snapshot() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<SnapshotEntry> out;
+  out.reserve(registry.metrics.size());
+  for (const auto& [name, metric] : registry.metrics) {
+    SnapshotEntry entry;
+    entry.name = name;
+    entry.type = metric.type;
+    entry.unit = metric.unit;
+    entry.help = metric.help;
+    switch (metric.type) {
+      case MetricType::kCounter:
+        entry.count = metric.counter->Value();
+        break;
+      case MetricType::kGauge:
+        entry.value = metric.gauge->Value();
+        break;
+      case MetricType::kHistogram:
+        entry.count = metric.histogram->Count();
+        entry.value = metric.histogram->Sum();
+        entry.bounds = metric.histogram->bounds();
+        entry.bucket_counts = metric.histogram->BucketCounts();
+        break;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::string SnapshotText() {
+  std::string out;
+  for (const SnapshotEntry& entry : Snapshot()) {
+    out += entry.name;
+    switch (entry.type) {
+      case MetricType::kCounter:
+        out += " " + std::to_string(entry.count);
+        break;
+      case MetricType::kGauge:
+        out += " " + FormatDouble(entry.value);
+        break;
+      case MetricType::kHistogram: {
+        out += " count=" + std::to_string(entry.count) +
+               " sum=" + FormatDouble(entry.value) + " buckets=";
+        for (size_t b = 0; b < entry.bucket_counts.size(); ++b) {
+          if (b > 0) out += ",";
+          out += (b < entry.bounds.size()
+                      ? "le" + FormatDouble(entry.bounds[b])
+                      : std::string("inf")) +
+                 ":" + std::to_string(entry.bucket_counts[b]);
+        }
+        break;
+      }
+    }
+    out += " (" + entry.unit + ")\n";
+  }
+  return out;
+}
+
+std::string SnapshotJson() {
+  std::string out = "{\"metrics\": [";
+  bool first = true;
+  for (const SnapshotEntry& entry : Snapshot()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": " + JsonQuote(entry.name) +
+           ", \"type\": " + JsonQuote(TypeName(entry.type)) +
+           ", \"unit\": " + JsonQuote(entry.unit) +
+           ", \"help\": " + JsonQuote(entry.help);
+    switch (entry.type) {
+      case MetricType::kCounter:
+        out += ", \"value\": " + std::to_string(entry.count);
+        break;
+      case MetricType::kGauge:
+        out += ", \"value\": " + FormatDouble(entry.value);
+        break;
+      case MetricType::kHistogram: {
+        out += ", \"count\": " + std::to_string(entry.count) +
+               ", \"sum\": " + FormatDouble(entry.value) +
+               ", \"buckets\": [";
+        for (size_t b = 0; b < entry.bucket_counts.size(); ++b) {
+          if (b > 0) out += ", ";
+          out += "{\"le\": " +
+                 (b < entry.bounds.size()
+                      ? FormatDouble(entry.bounds[b])
+                      : JsonQuote("inf")) +
+                 ", \"count\": " + std::to_string(entry.bucket_counts[b]) +
+                 "}";
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  return out + "]}";
+}
+
+bool WriteSnapshotJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = SnapshotJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fputc('\n', f);
+  return std::fclose(f) == 0 && ok;
+}
+
+void ResetForTest() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [name, metric] : registry.metrics) {
+    switch (metric.type) {
+      case MetricType::kCounter:
+        for (auto& cell : metric.counter->cells_)
+          cell.value.store(0, std::memory_order_relaxed);
+        break;
+      case MetricType::kGauge:
+        metric.gauge->value_.store(0.0, std::memory_order_relaxed);
+        break;
+      case MetricType::kHistogram:
+        for (auto& stripe : metric.histogram->stripes_) {
+          for (size_t b = 0; b <= metric.histogram->bounds_.size(); ++b)
+            stripe.buckets[b].store(0, std::memory_order_relaxed);
+          stripe.count.store(0, std::memory_order_relaxed);
+          stripe.sum.store(0.0, std::memory_order_relaxed);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace causer::metrics

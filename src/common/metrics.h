@@ -1,0 +1,194 @@
+#ifndef CAUSER_COMMON_METRICS_H_
+#define CAUSER_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace causer::metrics {
+
+/// Process-wide recording switch. Instruments are registered eagerly (so a
+/// snapshot always enumerates the full schema, even for metrics that never
+/// fired) but record nothing while disabled: every fast-path operation is
+/// one relaxed atomic load and a predictable branch. Disabled is the
+/// default, which keeps the engine's hot paths at their pre-observability
+/// cost; `causer_cli` enables recording when `--metrics-out` or
+/// `--metrics-interval` is passed.
+bool Enabled();
+
+/// Turns recording on or off. Safe to call at any time; updates recorded
+/// while enabled are kept when recording is later disabled.
+void SetEnabled(bool on);
+
+/// The three instrument kinds of the registry.
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+namespace internal {
+
+/// Stripe counts: each thread picks a stable stripe index on first use
+/// (round-robin assignment), so concurrent updates from different threads
+/// land on distinct cache lines — the lock-free fast path. Snapshot()
+/// merges the stripes. More than kCounterStripes concurrent threads simply
+/// share stripes (still correct, relaxed atomic adds).
+inline constexpr int kCounterStripes = 16;
+inline constexpr int kHistogramStripes = 8;
+
+/// Stable per-thread stripe index, assigned round-robin on first call.
+int ThreadStripe();
+
+/// A cache-line-padded atomic cell (one stripe of a counter).
+struct alignas(64) PaddedU64 {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+/// Monotonically increasing counter. Add() is lock-free (one relaxed
+/// fetch_add on the calling thread's stripe).
+class Counter {
+ public:
+  /// Adds `n` to the counter. No-op while recording is disabled.
+  void Add(uint64_t n = 1) {
+    if (!Enabled()) return;
+    cells_[internal::ThreadStripe() % internal::kCounterStripes]
+        .value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Merged value across all stripes.
+  uint64_t Value() const;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend void ResetForTest();
+
+  internal::PaddedU64 cells_[internal::kCounterStripes];
+};
+
+/// Last-write-wins double value (e.g. the current acyclicity residual).
+class Gauge {
+ public:
+  /// Stores `v`. No-op while recording is disabled.
+  void Set(double v) {
+    if (!Enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend void ResetForTest();
+
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: observation counts per bucket plus total count
+/// and sum. Bucket i counts observations v <= bounds[i]; one extra
+/// overflow bucket counts v > bounds.back(). Observe() is lock-free
+/// (relaxed atomic adds on the calling thread's stripe).
+class Histogram {
+ public:
+  /// Records one observation. No-op while recording is disabled.
+  void Observe(double v);
+
+  /// Upper bounds of the finite buckets, ascending.
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Merged per-bucket counts (size bounds().size() + 1; last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+  /// Merged observation count.
+  uint64_t Count() const;
+  /// Merged observation sum.
+  double Sum() const;
+
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  friend void ResetForTest();
+
+  struct Stripe {
+    /// buckets[i] for i < bounds.size() counts v <= bounds[i]; the last
+    /// slot counts overflow. Allocated once at construction.
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::vector<Stripe> stripes_;
+};
+
+/// `count` upper bounds starting at `start`, each `factor` times the
+/// previous — the standard latency-bucket shape.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count);
+
+/// Registers (or looks up) a counter by name. Name is the identity: a
+/// second call with the same name returns the same instrument, and
+/// CHECK-fails if the existing registration is a different type. `unit`
+/// and `help` document the metric (surfaced in snapshots and
+/// docs/OBSERVABILITY.md).
+Counter& GetCounter(const std::string& name, const std::string& unit,
+                    const std::string& help);
+
+/// Registers (or looks up) a gauge by name.
+Gauge& GetGauge(const std::string& name, const std::string& unit,
+                const std::string& help);
+
+/// Registers (or looks up) a histogram by name. `bounds` must be
+/// non-empty and strictly ascending, and must match the existing
+/// registration if the name is already taken.
+Histogram& GetHistogram(const std::string& name, const std::string& unit,
+                        const std::string& help,
+                        const std::vector<double>& bounds);
+
+/// One metric's merged state at snapshot time.
+struct SnapshotEntry {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  std::string unit;
+  std::string help;
+  /// Counter value, or histogram observation count.
+  uint64_t count = 0;
+  /// Gauge value, or histogram observation sum.
+  double value = 0.0;
+  /// Histogram bucket upper bounds (empty for counters/gauges).
+  std::vector<double> bounds;
+  /// Histogram per-bucket counts, size bounds.size() + 1 (last = overflow).
+  std::vector<uint64_t> bucket_counts;
+
+  bool operator==(const SnapshotEntry&) const = default;
+};
+
+/// Merged state of every registered metric, sorted by name. Deterministic:
+/// two snapshots with no interleaved updates are equal, independent of the
+/// number of threads that produced the updates.
+std::vector<SnapshotEntry> Snapshot();
+
+/// Human-readable one-line-per-metric dump (for --metrics-interval).
+std::string SnapshotText();
+
+/// The snapshot as a JSON document:
+///   {"metrics": [{"name": ..., "type": ..., "unit": ..., "help": ...,
+///                 "value"|"count"/"sum"/"buckets": ...}, ...]}
+std::string SnapshotJson();
+
+/// Writes SnapshotJson() to `path`. Returns false on I/O failure.
+bool WriteSnapshotJson(const std::string& path);
+
+/// Zeroes every registered metric (registrations are kept). Test-only.
+void ResetForTest();
+
+}  // namespace causer::metrics
+
+#endif  // CAUSER_COMMON_METRICS_H_

@@ -5,7 +5,13 @@
 
 namespace causer {
 
-/// Wall-clock stopwatch for coarse timing of training loops and benches.
+/// Wall-clock stopwatch returning a scalar duration. Used wherever the
+/// caller consumes the number directly: bench reports, log lines, and the
+/// `*_seconds` histogram observations in the metrics registry
+/// (common/metrics.h). For timing that should appear on a timeline instead,
+/// use trace::TraceSpan (common/trace.h), which records begin/end events
+/// into per-thread buffers for chrome://tracing export rather than
+/// returning a value.
 class Stopwatch {
  public:
   /// Starts (or restarts) the stopwatch.

@@ -6,6 +6,9 @@
 
 #include "common/flags.h"
 #include "common/log.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace causer {
 namespace {
@@ -14,6 +17,41 @@ namespace {
 /// while it runs its shard of a region. Nested ParallelFor calls from such
 /// threads run inline.
 thread_local bool tl_in_region = false;
+
+/// Pool instruments (see docs/OBSERVABILITY.md). Registered together on
+/// first touch so a snapshot enumerates the whole group even before the
+/// pool has forked a region. The fork-join pool has no task queue — the
+/// unit of work is the region; per-shard timing is what exposes worker
+/// utilization (idle workers simply record no shard time).
+struct PoolMetricsT {
+  metrics::Gauge& size;
+  metrics::Counter& regions;
+  metrics::Counter& inline_regions;
+  metrics::Counter& shards;
+  metrics::Histogram& shard_seconds;
+};
+
+PoolMetricsT& PoolMetrics() {
+  static PoolMetricsT m{
+      metrics::GetGauge("threadpool.size", "threads",
+                        "Current process-wide pool size (DefaultThreads)."),
+      metrics::GetCounter(
+          "threadpool.regions_total", "regions",
+          "ParallelFor regions that forked across pool threads."),
+      metrics::GetCounter(
+          "threadpool.inline_regions_total", "regions",
+          "Non-empty ParallelFor regions that ran inline on the calling "
+          "thread (pool size 1, single shard, or nested region)."),
+      metrics::GetCounter("threadpool.shards_total", "shards",
+                          "Shards executed across all forked regions."),
+      metrics::GetHistogram(
+          "threadpool.shard_seconds", "seconds",
+          "Wall time of each executed shard (forked regions only); the "
+          "per-worker share of this exposes worker utilization.",
+          metrics::ExponentialBuckets(1e-6, 10.0, 8)),
+  };
+  return m;
+}
 
 }  // namespace
 
@@ -58,7 +96,16 @@ void ThreadPool::WorkerLoop(int worker_index) {
       region = region_;
     }
     // Worker i owns shard i + 1; shard 0 belongs to the calling thread.
-    RunShard(region, worker_index + 1);
+    {
+      trace::TraceSpan span("threadpool.shard", "threadpool");
+      const bool measure = metrics::Enabled();
+      Stopwatch sw;
+      RunShard(region, worker_index + 1);
+      if (measure) {
+        PoolMetrics().shards.Add();
+        PoolMetrics().shard_seconds.Observe(sw.ElapsedSeconds());
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --remaining_;
@@ -73,9 +120,14 @@ void ThreadPool::ParallelFor(int begin, int end,
   const int n = end - begin;
   const int shards = std::min(num_threads_, n);
   if (shards <= 1 || tl_in_region) {
+    PoolMetrics().inline_regions.Add();
     body(begin, end);
     return;
   }
+  trace::TraceSpan region_span("threadpool.region", "threadpool");
+  region_span.AddArg("range", n);
+  region_span.AddArg("shards", shards);
+  PoolMetrics().regions.Add();
   Region region{&body, begin, end, shards};
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -85,7 +137,15 @@ void ThreadPool::ParallelFor(int begin, int end,
   }
   work_cv_.notify_all();
   tl_in_region = true;
-  RunShard(region, 0);
+  {
+    const bool measure = metrics::Enabled();
+    Stopwatch sw;
+    RunShard(region, 0);
+    if (measure) {
+      PoolMetrics().shards.Add();
+      PoolMetrics().shard_seconds.Observe(sw.ElapsedSeconds());
+    }
+  }
   tl_in_region = false;
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return remaining_ == 0; });
@@ -106,6 +166,7 @@ void SetDefaultThreads(int n) {
   std::lock_guard<std::mutex> lock(g_pool_mu);
   if (g_pool && g_pool->num_threads() != n) g_pool.reset();
   g_default_threads.store(n, std::memory_order_relaxed);
+  PoolMetrics().size.Set(n);
 }
 
 ThreadPool& DefaultPool() {

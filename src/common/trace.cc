@@ -1,0 +1,227 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace causer::trace {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Global cap on buffered events; a runaway loop with tracing on degrades
+/// to counted drops instead of unbounded memory.
+constexpr uint64_t kMaxEvents = 1u << 20;
+
+/// One thread's event buffer. Appends come only from the owning thread;
+/// the mutex serializes them against Snapshot()/Reset() from other
+/// threads (uncontended in steady state, so the append fast path is one
+/// uncontended lock).
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  int tid = 0;
+};
+
+struct Global {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> live;
+  /// Events of exited threads, moved here by the thread-local handle's
+  /// destructor so they survive the thread.
+  std::vector<Event> retired;
+  int next_tid = 0;
+  std::atomic<uint64_t> total{0};
+  std::atomic<uint64_t> dropped{0};
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+/// Leaked on purpose: thread-local buffer handles unregister themselves at
+/// thread exit, which may run during static destruction in the main
+/// thread; a leaked registry cannot be destroyed out from under them.
+Global& GetGlobal() {
+  static Global* global = new Global;
+  return *global;
+}
+
+/// Registers the calling thread's buffer for its lifetime; flushes the
+/// events into the retired list at thread exit.
+class BufferHandle {
+ public:
+  BufferHandle() {
+    Global& global = GetGlobal();
+    std::lock_guard<std::mutex> lock(global.mu);
+    buffer_.tid = global.next_tid++;
+    global.live.push_back(&buffer_);
+  }
+
+  ~BufferHandle() {
+    Global& global = GetGlobal();
+    std::lock_guard<std::mutex> lock(global.mu);
+    {
+      std::lock_guard<std::mutex> buffer_lock(buffer_.mu);
+      global.retired.insert(global.retired.end(), buffer_.events.begin(),
+                            buffer_.events.end());
+      buffer_.events.clear();
+    }
+    global.live.erase(
+        std::find(global.live.begin(), global.live.end(), &buffer_));
+  }
+
+  ThreadBuffer& buffer() { return buffer_; }
+
+ private:
+  ThreadBuffer buffer_;
+};
+
+ThreadBuffer& LocalBuffer() {
+  thread_local BufferHandle handle;
+  return handle.buffer();
+}
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - GetGlobal().epoch)
+      .count();
+}
+
+void Append(Event event) {
+  Global& global = GetGlobal();
+  if (global.total.fetch_add(1, std::memory_order_relaxed) >= kMaxEvents) {
+    global.total.fetch_sub(1, std::memory_order_relaxed);
+    global.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ThreadBuffer& buffer = LocalBuffer();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(event);
+}
+
+std::string JsonQuote(const char* s) {
+  std::string out = "\"";
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void Reset() {
+  Global& global = GetGlobal();
+  std::lock_guard<std::mutex> lock(global.mu);
+  for (ThreadBuffer* buffer : global.live) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  global.retired.clear();
+  global.total.store(0, std::memory_order_relaxed);
+  global.dropped.store(0, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : name_(name), category_(category) {
+  if (!Enabled()) return;
+  start_us_ = NowUs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (start_us_ < 0) return;
+  Event event;
+  event.name = name_;
+  event.category = category_;
+  event.phase = 'X';
+  event.ts_us = start_us_;
+  event.dur_us = NowUs() - start_us_;
+  event.num_args = num_args_;
+  for (int i = 0; i < num_args_; ++i) {
+    event.arg_keys[i] = arg_keys_[i];
+    event.arg_values[i] = arg_values_[i];
+  }
+  Append(event);
+}
+
+void TraceSpan::AddArg(const char* key, double value) {
+  if (start_us_ < 0 || num_args_ >= kMaxArgs) return;
+  arg_keys_[num_args_] = key;
+  arg_values_[num_args_] = value;
+  ++num_args_;
+}
+
+void Instant(const char* name, const char* category) {
+  if (!Enabled()) return;
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'i';
+  event.ts_us = NowUs();
+  Append(event);
+}
+
+std::vector<Event> Snapshot() {
+  Global& global = GetGlobal();
+  std::lock_guard<std::mutex> lock(global.mu);
+  std::vector<Event> out = global.retired;
+  for (ThreadBuffer* buffer : global.live) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.tid < b.tid;
+  });
+  return out;
+}
+
+uint64_t DroppedEvents() {
+  return GetGlobal().dropped.load(std::memory_order_relaxed);
+}
+
+std::string ChromeTraceJson() {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const Event& event : Snapshot()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": " + JsonQuote(event.name) +
+           ", \"cat\": " + JsonQuote(event.category) + ", \"ph\": \"" +
+           event.phase + "\", \"ts\": " + std::to_string(event.ts_us) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(event.tid);
+    if (event.phase == 'X') {
+      out += ", \"dur\": " + std::to_string(event.dur_us);
+    } else {
+      out += ", \"s\": \"t\"";  // instant scope: thread
+    }
+    if (event.num_args > 0) {
+      out += ", \"args\": {";
+      for (int i = 0; i < event.num_args; ++i) {
+        if (i > 0) out += ", ";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", event.arg_values[i]);
+        out += JsonQuote(event.arg_keys[i]) + ": " + buf;
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  return out + "]}";
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ChromeTraceJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fputc('\n', f);
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace causer::trace

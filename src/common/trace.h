@@ -1,0 +1,91 @@
+#ifndef CAUSER_COMMON_TRACE_H_
+#define CAUSER_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace causer::trace {
+
+/// Process-wide tracing switch. Spans created while disabled record
+/// nothing (one relaxed atomic load, no clock read). Disabled is the
+/// default; `causer_cli` enables tracing when `--trace-out` is passed.
+bool Enabled();
+
+/// Turns tracing on or off. Events recorded while enabled are kept.
+void SetEnabled(bool on);
+
+/// Discards all recorded events and resets the drop counter. The trace
+/// clock epoch is unchanged. Intended for tests and between CLI runs.
+void Reset();
+
+/// Maximum structured args a span or instant can carry.
+inline constexpr int kMaxArgs = 2;
+
+/// One recorded event. `name`/`category`/arg keys are the pointers passed
+/// at the instrumentation site and must be string literals (they are
+/// stored unowned).
+struct Event {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  /// Chrome trace phase: 'X' = complete span, 'i' = instant.
+  char phase = 'X';
+  /// Microseconds since the process trace epoch.
+  int64_t ts_us = 0;
+  /// Span duration in microseconds (0 for instants).
+  int64_t dur_us = 0;
+  /// Small sequential id of the recording thread.
+  int tid = 0;
+  int num_args = 0;
+  const char* arg_keys[kMaxArgs] = {nullptr, nullptr};
+  double arg_values[kMaxArgs] = {0.0, 0.0};
+};
+
+/// RAII scope that records one complete ('X') event covering its lifetime
+/// into the calling thread's buffer. Construction reads the clock only
+/// when tracing is enabled; an enabled span records at destruction even if
+/// tracing was disabled in between. `name` and `category` must be string
+/// literals (stored unowned in the event buffer).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "causer");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a numeric argument shown in the trace viewer's detail pane
+  /// (at most kMaxArgs; extras are dropped). `key` must be a literal.
+  void AddArg(const char* key, double value);
+
+ private:
+  const char* name_;
+  const char* category_;
+  int64_t start_us_ = -1;  // -1 = span was created while disabled
+  int num_args_ = 0;
+  const char* arg_keys_[kMaxArgs] = {nullptr, nullptr};
+  double arg_values_[kMaxArgs] = {0.0, 0.0};
+};
+
+/// Records a zero-duration instant ('i') event.
+void Instant(const char* name, const char* category = "causer");
+
+/// All recorded events, merged across thread buffers (including threads
+/// that have exited) and sorted by (timestamp, tid). Taking a snapshot
+/// while other threads are still recording is safe; events appended after
+/// the snapshot started may be missed.
+std::vector<Event> Snapshot();
+
+/// Events dropped because the global buffer cap was reached.
+uint64_t DroppedEvents();
+
+/// The recorded events as Chrome trace JSON ("traceEvents" array format),
+/// loadable by chrome://tracing and https://ui.perfetto.dev.
+std::string ChromeTraceJson();
+
+/// Writes ChromeTraceJson() to `path`. Returns false on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+}  // namespace causer::trace
+
+#endif  // CAUSER_COMMON_TRACE_H_

@@ -5,7 +5,11 @@
 #include <unordered_map>
 
 #include "causal/acyclicity.h"
+#include "causal/notears.h"
 #include "common/log.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "data/sampler.h"
 #include "tensor/autograd.h"
 #include "tensor/ops.h"
@@ -13,6 +17,30 @@
 namespace causer::core {
 
 using nn::Tensor;
+
+namespace {
+
+/// Causer graph instruments (see docs/OBSERVABILITY.md), registered
+/// together on first touch. The NOTEARS-shared gauges (rho/alpha/h) live in
+/// causal::NotearsMetrics() since the W^c subproblem reuses that machinery.
+struct CauserMetricsT {
+  metrics::Counter& graph_updates;  ///< causer.graph_updates_total
+  metrics::Gauge& graph_edges;      ///< causer.graph_edges
+};
+
+CauserMetricsT& CauserMetrics() {
+  static CauserMetricsT m{
+      metrics::GetCounter(
+          "causer.graph_updates_total", "updates",
+          "FitClusterGraph solves (per-epoch W^c subproblems)."),
+      metrics::GetGauge(
+          "causer.graph_edges", "edges",
+          "Edges of the learned cluster graph above the epsilon threshold."),
+  };
+  return m;
+}
+
+}  // namespace
 
 CauserModel::CauserModel(const CauserConfig& config)
     : models::SequentialRecommender(config.base),
@@ -137,6 +165,8 @@ void CauserModel::FitClusterGraph() {
   const int k = causer_config_.num_clusters;
   const int n = static_cast<int>(epoch_sources_.size()) / k;
   if (n == 0) return;
+  trace::TraceSpan span("causer.fit_cluster_graph", "causal");
+  span.AddArg("transitions", n);
   auto& node = *graph_->mutable_weights().node();
   const double lr = causer_config_.graph_learning_rate;
   const double shrink = lr * causer_config_.lambda;
@@ -198,6 +228,26 @@ void CauserModel::FitClusterGraph() {
     graph_->ClampNonNegative();
   }
   lagrangian_.Update(graph_->AcyclicityResidual());
+  if (metrics::Enabled()) {
+    // One FitClusterGraph call is one outer iteration (fixed multipliers,
+    // then one multiplier update) over a single inner subproblem.
+    auto& nm = causal::NotearsMetrics();
+    nm.subproblems.Add();
+    nm.inner_steps.Add(
+        static_cast<uint64_t>(causer_config_.graph_inner_steps));
+    nm.outer_iterations.Add();
+    const double h = graph_->AcyclicityResidual();
+    nm.h.Set(h);
+    nm.alpha.Set(lagrangian_.beta1());
+    nm.rho.Set(lagrangian_.beta2());
+    CauserMetrics().graph_updates.Add();
+    causal::Graph g = graph_->ThresholdedGraph(causer_config_.epsilon);
+    int edges = 0;
+    for (int i = 0; i < g.n(); ++i)
+      for (int j = 0; j < g.n(); ++j) edges += g.Edge(i, j) ? 1 : 0;
+    CauserMetrics().graph_edges.Set(edges);
+    span.AddArg("h", h);
+  }
   epoch_sources_.clear();
   epoch_targets_.clear();
 }
@@ -492,6 +542,7 @@ double CauserModel::TrainEpoch(const std::vector<data::Sequence>& train) {
   auto examples = data::EnumerateExamples(train);
   rng_.Shuffle(examples);
 
+  const bool measure = metrics::Enabled();
   double total = 0.0;
   int count = 0;
   for (const auto& ex : examples) {
@@ -513,6 +564,7 @@ double CauserModel::TrainEpoch(const std::vector<data::Sequence>& train) {
     std::vector<float> labels(ids.size(), 0.0f);
     for (size_t i = 0; i < positives.size(); ++i) labels[i] = 1.0f;
 
+    Stopwatch step_sw;
     std::vector<Tensor> logit_rows;
     logit_rows.reserve(ids.size());
     for (int b : ids) {
@@ -531,13 +583,19 @@ double CauserModel::TrainEpoch(const std::vector<data::Sequence>& train) {
     opt_main_->ZeroGrad();
     opt_aux_->ZeroGrad();
     tensor::Backward(loss);
-    opt_main_->ClipGradNorm(config_.grad_clip);
+    double norm = opt_main_->ClipGradNorm(config_.grad_clip);
     opt_main_->Step();
     if (update_slow) {
       // Theta_a also receives recommendation-loss gradients on slow-update
       // epochs (Algorithm 1 line 11 updates the full parameter set).
       opt_aux_->ClipGradNorm(config_.grad_clip);
       opt_aux_->Step();
+    }
+    if (measure) {
+      auto& tm = models::TrainerMetrics();
+      tm.optimizer_steps.Add();
+      tm.grad_norm.Observe(norm);
+      tm.step_seconds.Observe(step_sw.ElapsedSeconds());
     }
     total += loss.Item();
     ++count;

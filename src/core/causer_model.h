@@ -18,10 +18,13 @@ namespace causer::core {
 /// Recurrent backbone choice for g in Eq. 10.
 enum class Backbone { kGru, kLstm };
 
-/// Which relevance signal an explanation uses (Section V-E):
-///   kFull    — alpha_t * What_t (the complete Causer explanation)
-///   kCausal  — What_t only (the -att variant's explanation)
-///   kAttention — alpha_t only (the -causal variant's explanation)
+/// Which relevance signal an explanation uses (Section V-E). In the
+/// paper's notation the per-step relevance of history step t for target
+/// item b is the product Ŵ_tb · α_t — the global total causal effect
+/// times the local bilinear attention:
+///   kFull      — α_t · Ŵ_tb (the complete Causer explanation)
+///   kCausal    — Ŵ_tb only (the -att variant's explanation)
+///   kAttention — α_t only (the -causal variant's explanation)
 enum class ExplainMode { kFull, kCausal, kAttention };
 
 /// All Causer hyper-parameters (Table III ranges; defaults tuned for the
@@ -62,12 +65,18 @@ struct CauserConfig {
   bool use_attention = true;           ///< false = Causer(-att)
   bool use_causal = true;              ///< false = Causer(-causal)
 
-  // Augmented Lagrangian schedule (Algorithm 1).
-  float beta1_init = 0.0f;
-  float beta2_init = 0.25f;
-  float kappa1 = 1.5f;   ///< penalty growth (> 1)
-  float beta2_max = 4.0f;  ///< cap on the quadratic penalty coefficient
-  float kappa2 = 0.9f;   ///< required residual shrink (< 1)
+  // Augmented Lagrangian schedule (Algorithm 1) on the acyclicity
+  // residual h(W^c) = tr(e^{W∘W}) − K. Paper-symbol correspondence (the
+  // paper's β₁/β₂ are the standard NOTEARS α/ρ, see causal/notears.h):
+  //   β₁ — Lagrange multiplier      (NOTEARS α; exported as notears.alpha)
+  //   β₂ — quadratic penalty coeff. (NOTEARS ρ; exported as notears.rho)
+  //   κ₁ — multiplicative growth of β₂ while h stalls
+  //   κ₂ — residual shrink factor h must beat to avoid β₂ growth
+  float beta1_init = 0.0f;   ///< initial multiplier β₁
+  float beta2_init = 0.25f;  ///< initial penalty coefficient β₂
+  float kappa1 = 1.5f;       ///< penalty growth κ₁ (> 1)
+  float beta2_max = 4.0f;    ///< cap on β₂ (bounds the penalty stiffness)
+  float kappa2 = 0.9f;       ///< required residual shrink κ₂ (< 1)
 
   /// Epochs to train the backbone before W^c starts updating. Until the
   /// representations align (positive items score positively), the BCE

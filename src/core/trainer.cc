@@ -1,5 +1,7 @@
 #include "core/trainer.h"
 
+#include "common/trace.h"
+
 namespace causer::core {
 
 CauserConfig DefaultCauserConfig(const data::Dataset& dataset,
@@ -20,6 +22,7 @@ CauserConfig DefaultCauserConfig(const data::Dataset& dataset,
 
 CauserTrainResult TrainCauser(CauserModel& model, const data::Split& split,
                               const models::TrainConfig& config) {
+  trace::TraceSpan span("train.causer", "trainer");
   CauserTrainResult result;
   models::TrainConfig effective = config;
   if (effective.min_epochs == 0) {

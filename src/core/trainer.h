@@ -16,8 +16,12 @@ CauserConfig DefaultCauserConfig(const data::Dataset& dataset,
 
 /// Result of a full Causer training run.
 struct CauserTrainResult {
-  models::FitResult fit;
-  double final_acyclicity = 0.0;  ///< h(W^c) after training
+  models::FitResult fit;            ///< epochs run, best validation NDCG
+  /// Acyclicity residual h(W^c) = tr(e^{W∘W}) − K after training; ~0
+  /// means the learned graph is (numerically) a DAG and the ε filter is
+  /// trustworthy.
+  double final_acyclicity = 0.0;
+  /// The cluster graph binarized at the ε filter threshold.
   causal::Graph learned_cluster_graph;
 };
 

@@ -1,10 +1,44 @@
 #include "eval/evaluator.h"
 
 #include "common/log.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "eval/metrics.h"
 
 namespace causer::eval {
+namespace {
+
+/// Evaluator instruments (see docs/OBSERVABILITY.md), registered together
+/// on first touch. Shard timing divided by shard instance counts gives the
+/// per-shard instance throughput.
+struct EvalMetricsT {
+  metrics::Counter& runs;
+  metrics::Counter& instances;
+  metrics::Histogram& run_seconds;
+  metrics::Histogram& shard_seconds;
+};
+
+EvalMetricsT& EvalMetrics() {
+  static EvalMetricsT m{
+      metrics::GetCounter("eval.runs_total", "runs",
+                          "Evaluate() calls completed."),
+      metrics::GetCounter("eval.instances_total", "instances",
+                          "Evaluation instances scored and ranked."),
+      metrics::GetHistogram("eval.run_seconds", "seconds",
+                            "Wall time of each Evaluate() call.",
+                            metrics::ExponentialBuckets(1e-4, 10.0, 8)),
+      metrics::GetHistogram(
+          "eval.shard_seconds", "seconds",
+          "Wall time of each evaluation shard (one contiguous instance "
+          "range on one worker).",
+          metrics::ExponentialBuckets(1e-5, 10.0, 8)),
+  };
+  return m;
+}
+
+}  // namespace
 
 EvalResult Evaluate(const Scorer& scorer,
                     const std::vector<data::EvalInstance>& instances, int z,
@@ -12,6 +46,11 @@ EvalResult Evaluate(const Scorer& scorer,
   CAUSER_CHECK(z > 0);
   if (threads <= 0) threads = DefaultThreads();
   const int n = static_cast<int>(instances.size());
+  trace::TraceSpan run_span("eval.run", "eval");
+  run_span.AddArg("instances", n);
+  run_span.AddArg("threads", threads);
+  const bool measure = metrics::Enabled();
+  Stopwatch run_sw;
 
   EvalResult result;
   result.per_instance_f1.resize(n, 0.0);
@@ -22,6 +61,9 @@ EvalResult Evaluate(const Scorer& scorer,
   // call concurrently when threads > 1 (model scorers are: scoring runs
   // under NoGradGuard and only reads parameters).
   auto score_range = [&](int begin, int end) {
+    trace::TraceSpan shard_span("eval.shard", "eval");
+    shard_span.AddArg("instances", end - begin);
+    Stopwatch shard_sw;
     for (int i = begin; i < end; ++i) {
       const auto& inst = instances[i];
       std::vector<float> scores = scorer(inst);
@@ -32,6 +74,7 @@ EvalResult Evaluate(const Scorer& scorer,
       result.per_instance_f1[i] = F1(ranked, inst.target_items);
       result.per_instance_ndcg[i] = Ndcg(ranked, inst.target_items);
     }
+    if (measure) EvalMetrics().shard_seconds.Observe(shard_sw.ElapsedSeconds());
   };
   if (threads > 1 && n > 1) {
     // A dedicated pool of the requested size when it differs from the
@@ -55,6 +98,11 @@ EvalResult Evaluate(const Scorer& scorer,
   if (n > 0) {
     result.f1 /= n;
     result.ndcg /= n;
+  }
+  if (measure) {
+    EvalMetrics().runs.Add();
+    EvalMetrics().instances.Add(static_cast<uint64_t>(n));
+    EvalMetrics().run_seconds.Observe(run_sw.ElapsedSeconds());
   }
   return result;
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "data/sampler.h"
 #include "tensor/autograd.h"
 #include "tensor/ops.h"
@@ -11,6 +13,35 @@
 namespace causer::models {
 
 using nn::Tensor;
+
+TrainerMetricsT& TrainerMetrics() {
+  static TrainerMetricsT m{
+      metrics::GetCounter("trainer.epochs_total", "epochs",
+                          "Training epochs completed (across all models)."),
+      metrics::GetCounter(
+          "trainer.optimizer_steps_total", "steps",
+          "Optimizer steps taken (one per example at batch_size 1, one "
+          "per batch otherwise)."),
+      metrics::GetGauge("trainer.epoch_loss", "loss",
+                        "Mean training loss of the latest epoch."),
+      metrics::GetGauge(
+          "trainer.best_validation_ndcg", "ndcg",
+          "Best validation NDCG@Z seen by the current Fit() run."),
+      metrics::GetHistogram("trainer.epoch_seconds", "seconds",
+                            "Wall time of each training epoch.",
+                            metrics::ExponentialBuckets(1e-3, 10.0, 8)),
+      metrics::GetHistogram(
+          "trainer.step_seconds", "seconds",
+          "Wall time of each optimizer step, including its forward and "
+          "backward passes.",
+          metrics::ExponentialBuckets(1e-6, 10.0, 8)),
+      metrics::GetHistogram(
+          "trainer.grad_norm", "l2-norm",
+          "Pre-clip global gradient L2 norm at each optimizer step.",
+          {0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0}),
+  };
+  return m;
+}
 
 std::vector<data::Step> SequentialRecommender::Truncate(
     const std::vector<data::Step>& history) const {
@@ -59,6 +90,7 @@ double RepresentationModel::TrainEpoch(
   rng_.Shuffle(examples);
   if (config_.batch_size > 1) return TrainEpochBatched(examples);
 
+  const bool measure = metrics::Enabled();
   double total_loss = 0.0;
   int count = 0;
   for (const auto& ex : examples) {
@@ -78,6 +110,7 @@ double RepresentationModel::TrainEpoch(
     std::vector<float> labels(ids.size(), 0.0f);
     for (size_t i = 0; i < positives.size(); ++i) labels[i] = 1.0f;
 
+    Stopwatch step_sw;
     Tensor rep = Represent(ex.sequence->user, history);  // [1, d]
     Tensor cand = out_items_->Forward(ids);              // [n, d]
     Tensor logits = tensor::MatMul(cand, tensor::Transpose(rep));  // [n, 1]
@@ -87,8 +120,14 @@ double RepresentationModel::TrainEpoch(
 
     optimizer_->ZeroGrad();
     tensor::Backward(loss);
-    optimizer_->ClipGradNorm(config_.grad_clip);
+    double norm = optimizer_->ClipGradNorm(config_.grad_clip);
     optimizer_->Step();
+    if (measure) {
+      auto& tm = TrainerMetrics();
+      tm.optimizer_steps.Add();
+      tm.grad_norm.Observe(norm);
+      tm.step_seconds.Observe(step_sw.ElapsedSeconds());
+    }
     total_loss += loss.Item();
     ++count;
   }
@@ -149,6 +188,8 @@ double RepresentationModel::TrainEpochBatched(
     const int bsz = static_cast<int>(batch.size());
     const int shards = std::min(max_shards, bsz);
 
+    const bool measure = metrics::Enabled();
+    Stopwatch step_sw;
     optimizer_->ZeroGrad();
     pool.ParallelFor(0, shards, [&](int shard_begin, int shard_end) {
       for (int s = shard_begin; s < shard_end; ++s) {
@@ -196,8 +237,14 @@ double RepresentationModel::TrainEpochBatched(
         for (size_t j = 0; j < g.size(); ++j) node.grad[j] += g[j] * inv_batch;
       }
     }
-    optimizer_->ClipGradNorm(config_.grad_clip);
+    double norm = optimizer_->ClipGradNorm(config_.grad_clip);
     optimizer_->Step();
+    if (measure) {
+      auto& tm = TrainerMetrics();
+      tm.optimizer_steps.Add();
+      tm.grad_norm.Observe(norm);
+      tm.step_seconds.Observe(step_sw.ElapsedSeconds());
+    }
     for (int s = 0; s < shards; ++s) total_loss += shard_loss[s];
     count += bsz;
   }
@@ -230,9 +277,21 @@ FitResult Fit(SequentialRecommender& model, const data::Split& split,
   std::vector<std::vector<float>> best_snapshot;
   double best_ndcg = -1.0;
   int stale = 0;
+  trace::TraceSpan fit_span("train.fit", "trainer");
 
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    trace::TraceSpan epoch_span("train.epoch", "trainer");
+    epoch_span.AddArg("epoch", epoch);
+    const bool measure = metrics::Enabled();
+    Stopwatch epoch_sw;
     double loss = model.TrainEpoch(split.train);
+    if (measure) {
+      auto& tm = TrainerMetrics();
+      tm.epochs.Add();
+      tm.epoch_loss.Set(loss);
+      tm.epoch_seconds.Observe(epoch_sw.ElapsedSeconds());
+    }
+    epoch_span.AddArg("loss", loss);
     result.epoch_losses.push_back(loss);
     ++result.epochs_run;
 
@@ -249,10 +308,12 @@ FitResult Fit(SequentialRecommender& model, const data::Split& split,
       best_ndcg = ev.ndcg;
       best_snapshot = SnapshotParams(params);
       stale = 0;
+      if (measure) TrainerMetrics().best_validation_ndcg.Set(best_ndcg);
     } else if (++stale > config.patience) {
       break;
     }
   }
+  fit_span.AddArg("epochs", result.epochs_run);
   if (!best_snapshot.empty()) {
     RestoreParams(params, best_snapshot);
     model.OnParametersRestored();

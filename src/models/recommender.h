@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "data/sampler.h"
@@ -15,6 +16,22 @@
 #include "nn/optimizer.h"
 
 namespace causer::models {
+
+/// Training-loop instruments (see docs/OBSERVABILITY.md), shared by the
+/// baseline training loops here and core::CauserModel's epoch loop.
+/// Registered together on first touch.
+struct TrainerMetricsT {
+  metrics::Counter& epochs;            ///< trainer.epochs_total
+  metrics::Counter& optimizer_steps;   ///< trainer.optimizer_steps_total
+  metrics::Gauge& epoch_loss;          ///< trainer.epoch_loss
+  metrics::Gauge& best_validation_ndcg;  ///< trainer.best_validation_ndcg
+  metrics::Histogram& epoch_seconds;   ///< trainer.epoch_seconds
+  metrics::Histogram& step_seconds;    ///< trainer.step_seconds
+  metrics::Histogram& grad_norm;       ///< trainer.grad_norm
+};
+
+/// The shared instrument group (function-local static registration).
+TrainerMetricsT& TrainerMetrics();
 
 /// Hyper-parameters shared by all models in the comparison suite. Sized for
 /// single-core CPU training on the scaled-down datasets.

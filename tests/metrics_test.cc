@@ -1,0 +1,179 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "testing_json.h"
+
+namespace causer::metrics {
+namespace {
+
+/// Every test runs with recording enabled and a zeroed registry, and
+/// leaves recording disabled (the process default) behind.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    ResetForTest();
+  }
+  void TearDown() override { SetEnabled(false); }
+};
+
+/// Runs `fn(t)` on `threads` plain threads and joins them.
+void OnThreads(int threads, const std::function<void(int)>& fn) {
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) workers.emplace_back(fn, t);
+  for (auto& w : workers) w.join();
+}
+
+TEST_F(MetricsTest, CounterMergesAcrossThreads) {
+  Counter& c = GetCounter("test.counter", "ops", "test");
+  constexpr int kAddsPerThread = 10000;
+  for (int threads : {1, 2, 8}) {
+    ResetForTest();
+    OnThreads(threads, [&](int) {
+      for (int i = 0; i < kAddsPerThread; ++i) c.Add();
+    });
+    EXPECT_EQ(c.Value(),
+              static_cast<uint64_t>(threads) * kAddsPerThread);
+  }
+}
+
+TEST_F(MetricsTest, CounterAddsArbitraryIncrements) {
+  Counter& c = GetCounter("test.counter", "ops", "test");
+  c.Add(5);
+  c.Add(7);
+  EXPECT_EQ(c.Value(), 12u);
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins) {
+  Gauge& g = GetGauge("test.gauge", "value", "test");
+  g.Set(1.5);
+  g.Set(-2.25);
+  EXPECT_EQ(g.Value(), -2.25);
+}
+
+TEST_F(MetricsTest, HistogramBucketsCountAndSum) {
+  Histogram& h =
+      GetHistogram("test.histogram", "seconds", "test", {1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0 (v <= 1)
+  h.Observe(1.0);    // bucket 0 (inclusive upper bound)
+  h.Observe(5.0);    // bucket 1
+  h.Observe(1000.0); // overflow
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 1006.5);
+  EXPECT_EQ(h.BucketCounts(), (std::vector<uint64_t>{2, 1, 0, 1}));
+}
+
+TEST_F(MetricsTest, HistogramMergesAcrossThreads) {
+  Histogram& h =
+      GetHistogram("test.histogram", "seconds", "test", {1.0, 10.0, 100.0});
+  constexpr int kPerThread = 3000;
+  for (int threads : {1, 2, 8}) {
+    ResetForTest();
+    OnThreads(threads, [&](int) {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(0.5);
+      for (int i = 0; i < kPerThread; ++i) h.Observe(50.0);
+    });
+    const uint64_t n = static_cast<uint64_t>(threads) * kPerThread;
+    EXPECT_EQ(h.Count(), 2 * n);
+    EXPECT_DOUBLE_EQ(h.Sum(), static_cast<double>(n) * 50.5);
+    EXPECT_EQ(h.BucketCounts(), (std::vector<uint64_t>{n, 0, n, 0}));
+  }
+}
+
+TEST_F(MetricsTest, DisabledRecordingIsANoOp) {
+  Counter& c = GetCounter("test.counter", "ops", "test");
+  Gauge& g = GetGauge("test.gauge", "value", "test");
+  Histogram& h =
+      GetHistogram("test.histogram", "seconds", "test", {1.0, 10.0, 100.0});
+  SetEnabled(false);
+  c.Add();
+  g.Set(3.0);
+  h.Observe(0.5);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(g.Value(), 0.0);
+  EXPECT_EQ(h.Count(), 0u);
+  // Re-enabling resumes recording on the same instruments.
+  SetEnabled(true);
+  c.Add();
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST_F(MetricsTest, RegistrationIsIdempotentByName) {
+  Counter& a = GetCounter("test.counter", "ops", "test");
+  Counter& b = GetCounter("test.counter", "ops", "test");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(MetricsTest, ExponentialBucketsShape) {
+  auto b = ExponentialBuckets(1e-3, 10.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1e-3);
+  EXPECT_DOUBLE_EQ(b[1], 1e-2);
+  EXPECT_DOUBLE_EQ(b[2], 1e-1);
+  EXPECT_DOUBLE_EQ(b[3], 1.0);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndDeterministic) {
+  GetGauge("test.zz", "value", "test").Set(1.0);
+  GetCounter("test.aa", "ops", "test").Add(3);
+  OnThreads(4, [&](int) { GetCounter("test.aa", "ops", "test").Add(); });
+
+  auto first = Snapshot();
+  auto second = Snapshot();
+  // No interleaved updates: byte-identical snapshots, independent of how
+  // many threads produced the values.
+  EXPECT_EQ(first, second);
+  ASSERT_GE(first.size(), 2u);
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LT(first[i - 1].name, first[i].name);
+  }
+}
+
+TEST_F(MetricsTest, SnapshotCarriesMergedState) {
+  GetCounter("test.counter", "ops", "test").Add(4);
+  GetHistogram("test.histogram", "seconds", "test", {1.0, 10.0, 100.0})
+      .Observe(5.0);
+  for (const auto& entry : Snapshot()) {
+    if (entry.name == "test.counter") {
+      EXPECT_EQ(entry.type, MetricType::kCounter);
+      EXPECT_EQ(entry.count, 4u);
+      EXPECT_EQ(entry.unit, "ops");
+    }
+    if (entry.name == "test.histogram") {
+      EXPECT_EQ(entry.type, MetricType::kHistogram);
+      EXPECT_EQ(entry.count, 1u);
+      EXPECT_DOUBLE_EQ(entry.value, 5.0);
+      EXPECT_EQ(entry.bounds, (std::vector<double>{1.0, 10.0, 100.0}));
+      EXPECT_EQ(entry.bucket_counts, (std::vector<uint64_t>{0, 1, 0, 0}));
+    }
+  }
+}
+
+TEST_F(MetricsTest, SnapshotJsonIsWellFormed) {
+  GetCounter("test.counter", "ops", "test \"quoted\" help").Add(2);
+  GetGauge("test.gauge", "value", "test").Set(-0.5);
+  GetHistogram("test.histogram", "seconds", "test", {1.0, 10.0, 100.0})
+      .Observe(2.0);
+  std::string json = SnapshotJson();
+  EXPECT_TRUE(causer::testing::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("test.histogram"), std::string::npos);
+}
+
+TEST_F(MetricsTest, SnapshotTextMentionsEveryMetric) {
+  GetCounter("test.counter", "ops", "test").Add();
+  GetGauge("test.gauge", "value", "test").Set(1.0);
+  std::string text = SnapshotText();
+  EXPECT_NE(text.find("test.counter"), std::string::npos);
+  EXPECT_NE(text.find("test.gauge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace causer::metrics

@@ -1,0 +1,159 @@
+#ifndef CAUSER_TESTS_TESTING_JSON_H_
+#define CAUSER_TESTS_TESTING_JSON_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace causer::testing {
+
+/// Minimal recursive-descent JSON syntax checker for tests: validates that
+/// a whole string is one well-formed JSON value (object, array, string,
+/// number, or literal). No DOM is built; only syntax is checked, which is
+/// what the metrics / trace export tests need.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!ParseValue()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool ParseValue() {
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return ParseLiteral("true");
+      case 'f':
+        return ParseLiteral("false");
+      case 'n':
+        return ParseLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseObject() {
+    if (!Consume('{')) return false;
+    if (Consume('}')) return true;
+    do {
+      if (!ParseString()) return false;
+      if (!Consume(':')) return false;
+      if (!ParseValue()) return false;
+    } while (Consume(','));
+    return Consume('}');
+  }
+
+  bool ParseArray() {
+    if (!Consume('[')) return false;
+    if (Consume(']')) return true;
+    do {
+      if (!ParseValue()) return false;
+    } while (Consume(','));
+    return Consume(']');
+  }
+
+  bool ParseString() {
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        ++pos_;  // accept any escaped character
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+    }
+    return false;
+  }
+
+  bool ParseNumber() {
+    SkipWs();
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t digits = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) return false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool ParseLiteral(const char* lit) {
+    SkipWs();
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+      ++pos_;
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+inline bool IsValidJson(const std::string& text) {
+  return JsonChecker(text).Valid();
+}
+
+}  // namespace causer::testing
+
+#endif  // CAUSER_TESTS_TESTING_JSON_H_

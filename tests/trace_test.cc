@@ -1,0 +1,155 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "testing_json.h"
+
+namespace causer::trace {
+namespace {
+
+/// Every test runs with tracing enabled and an empty event buffer, and
+/// leaves tracing disabled (the process default) behind.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    Reset();
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    Reset();
+  }
+};
+
+TEST_F(TraceTest, SpanRecordsCompleteEventWithArgs) {
+  {
+    TraceSpan span("test.span", "test");
+    span.AddArg("items", 42.0);
+    span.AddArg("threads", 2.0);
+  }
+  auto events = Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const Event& e = events[0];
+  EXPECT_STREQ(e.name, "test.span");
+  EXPECT_STREQ(e.category, "test");
+  EXPECT_EQ(e.phase, 'X');
+  EXPECT_GE(e.ts_us, 0);
+  EXPECT_GE(e.dur_us, 0);
+  ASSERT_EQ(e.num_args, 2);
+  EXPECT_STREQ(e.arg_keys[0], "items");
+  EXPECT_EQ(e.arg_values[0], 42.0);
+  EXPECT_STREQ(e.arg_keys[1], "threads");
+  EXPECT_EQ(e.arg_values[1], 2.0);
+}
+
+TEST_F(TraceTest, ArgsBeyondCapacityAreDropped) {
+  {
+    TraceSpan span("test.span", "test");
+    span.AddArg("a", 1.0);
+    span.AddArg("b", 2.0);
+    span.AddArg("c", 3.0);  // beyond kMaxArgs: silently dropped
+  }
+  auto events = Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].num_args, kMaxArgs);
+}
+
+TEST_F(TraceTest, InstantRecordsZeroDurationEvent) {
+  Instant("test.instant", "test");
+  auto events = Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, 'i');
+  EXPECT_EQ(events[0].dur_us, 0);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  SetEnabled(false);
+  {
+    TraceSpan span("test.span", "test");
+    span.AddArg("items", 1.0);
+  }
+  Instant("test.instant", "test");
+  EXPECT_TRUE(Snapshot().empty());
+}
+
+TEST_F(TraceTest, PerThreadBuffersMergeAndSurviveThreadExit) {
+  constexpr int kSpansPerThread = 50;
+  for (int threads : {1, 2, 8}) {
+    Reset();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([] {
+        for (int i = 0; i < kSpansPerThread; ++i) {
+          TraceSpan span("test.worker", "test");
+        }
+      });
+    }
+    // Joining first means every event comes from an exited thread: the
+    // merged snapshot must include the retired buffers.
+    for (auto& w : workers) w.join();
+    auto events = Snapshot();
+    EXPECT_EQ(events.size(),
+              static_cast<size_t>(threads) * kSpansPerThread);
+    for (size_t i = 1; i < events.size(); ++i) {
+      EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+    }
+    EXPECT_EQ(DroppedEvents(), 0u);
+  }
+}
+
+TEST_F(TraceTest, NestedSpansBothRecorded) {
+  {
+    TraceSpan outer("test.outer", "test");
+    TraceSpan inner("test.inner", "test");
+  }
+  auto events = Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Destruction order records inner first; sorting is by start time.
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormed) {
+  {
+    TraceSpan span("test.span", "test");
+    span.AddArg("items", 3.0);
+  }
+  Instant("test.instant", "test");
+  std::string json = ChromeTraceJson();
+  EXPECT_TRUE(causer::testing::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("test.span"), std::string::npos);
+  EXPECT_NE(json.find("test.instant"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteChromeTraceRoundTrips) {
+  { TraceSpan span("test.span", "test"); }
+  std::string path =
+      ::testing::TempDir() + "/causer_trace_test_roundtrip.json";
+  ASSERT_TRUE(WriteChromeTrace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  EXPECT_TRUE(causer::testing::IsValidJson(contents.str()))
+      << contents.str();
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ResetClearsEvents) {
+  { TraceSpan span("test.span", "test"); }
+  ASSERT_EQ(Snapshot().size(), 1u);
+  Reset();
+  EXPECT_TRUE(Snapshot().empty());
+}
+
+}  // namespace
+}  // namespace causer::trace

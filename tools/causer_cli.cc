@@ -21,13 +21,22 @@
 // explain time must match those used at training time.
 //
 // All subcommands accept --threads=N (default 1, or the CAUSER_THREADS
-// environment variable) to parallelize evaluation and large matmuls.
+// environment variable) to parallelize evaluation and large matmuls, plus
+// the observability flags --metrics-out / --trace-out / --metrics-interval
+// (instrumentation stays compiled out of the hot path until one of them
+// turns it on). Run `causer_cli --help` for the full flag reference.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/explainer.h"
 #include "core/trainer.h"
 #include "data/generator.h"
@@ -44,9 +53,138 @@ using namespace causer;
 int Usage() {
   std::fprintf(stderr,
                "usage: causer_cli <generate|train|evaluate|explain> "
-               "[--flags]\n(see the header of tools/causer_cli.cc)\n");
+               "[--flags]\n(run causer_cli --help for the flag reference)\n");
   return 2;
 }
+
+// The flag table below is the source of truth for the README's CLI
+// reference: tools/check_docs.sh diffs the `--name` tokens printed here
+// against the table between the causer-cli-flags markers in README.md.
+int PrintHelp() {
+  std::printf(
+      "usage: causer_cli <generate|train|evaluate|explain> [flags...]\n"
+      "\n"
+      "subcommands:\n"
+      "  generate   Generate a synthetic causal dataset and save it as TSV.\n"
+      "  train      Train Causer on a saved dataset and write the weights.\n"
+      "  evaluate   Evaluate a trained model on the leave-last-out split.\n"
+      "  explain    Print a recommendation with per-step causal "
+      "explanation.\n"
+      "\n"
+      "generate flags:\n"
+      "  --spec=NAME          Dataset spec: tiny, epinions, foursquare, "
+      "patio, baby, video (default tiny).\n"
+      "  --out=DIR            Output directory for the TSV dataset "
+      "(required).\n"
+      "\n"
+      "train flags:\n"
+      "  --data=DIR           Dataset directory (required).\n"
+      "  --model-out=FILE     Where to write the trained weights "
+      "(required).\n"
+      "  --epochs=N           Max training epochs (default 12).\n"
+      "  --patience=N         Early-stopping patience in epochs (default "
+      "3).\n"
+      "  --verbose=BOOL       Log per-epoch loss and validation NDCG.\n"
+      "\n"
+      "evaluate / explain flags:\n"
+      "  --model=FILE         Trained weights to load (required).\n"
+      "  --z=N                Ranking cutoff for F1@z / NDCG@z (default "
+      "5).\n"
+      "  --user=U             explain: user whose test instance to explain "
+      "(default 0).\n"
+      "  --top=N              explain: number of recommendations to "
+      "explain (default 3).\n"
+      "\n"
+      "model architecture flags (train, evaluate, explain — must match "
+      "between training and loading):\n"
+      "  --backbone=NAME      Sequence encoder: gru or lstm (default "
+      "gru).\n"
+      "  --clusters=K         Number of item clusters (default: dataset "
+      "truth, else 8).\n"
+      "  --epsilon=X          Causal filter threshold on item-level "
+      "weights.\n"
+      "  --eta=X              Clusterer soft-assignment temperature.\n"
+      "  --lambda=X           L1 sparsity weight on the cluster graph "
+      "W^c.\n"
+      "\n"
+      "common flags (all subcommands):\n"
+      "  --seed=N             RNG seed (generate: 0 keeps the spec's "
+      "seed; models default to 7).\n"
+      "  --threads=N          Worker threads for evaluation and large "
+      "matmuls (default 1, or CAUSER_THREADS).\n"
+      "  --metrics-out=FILE   Enable metrics and write a JSON registry "
+      "snapshot on exit.\n"
+      "  --trace-out=FILE     Enable tracing and write Chrome "
+      "chrome://tracing JSON on exit.\n"
+      "  --metrics-interval=SECONDS\n"
+      "                       Enable metrics and dump the registry to "
+      "stderr every SECONDS while running.\n"
+      "  --help               Show this help.\n");
+  return 0;
+}
+
+/// Turns the observability layer on for the duration of a subcommand when
+/// any of --metrics-out / --trace-out / --metrics-interval is present
+/// (otherwise every instrument stays a cheap early-return), periodically
+/// dumps the registry, and writes the requested files on destruction.
+class ObservabilitySession {
+ public:
+  explicit ObservabilitySession(const Flags& flags)
+      : metrics_out_(flags.GetString("metrics-out")),
+        trace_out_(flags.GetString("trace-out")),
+        interval_seconds_(flags.GetDouble("metrics-interval", 0.0)) {
+    if (!metrics_out_.empty() || interval_seconds_ > 0.0) {
+      metrics::SetEnabled(true);
+    }
+    if (!trace_out_.empty()) trace::SetEnabled(true);
+    if (interval_seconds_ > 0.0) {
+      dumper_ = std::thread([this] { PeriodicDump(); });
+    }
+  }
+
+  ~ObservabilitySession() {
+    if (dumper_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_ = true;
+      }
+      cv_.notify_all();
+      dumper_.join();
+    }
+    if (!metrics_out_.empty() || interval_seconds_ > 0.0) {
+      if (!metrics_out_.empty() &&
+          !metrics::WriteSnapshotJson(metrics_out_)) {
+        std::fprintf(stderr, "failed to write metrics to %s\n",
+                     metrics_out_.c_str());
+      }
+      metrics::SetEnabled(false);
+    }
+    if (!trace_out_.empty()) {
+      trace::SetEnabled(false);
+      if (!trace::WriteChromeTrace(trace_out_)) {
+        std::fprintf(stderr, "failed to write trace to %s\n",
+                     trace_out_.c_str());
+      }
+    }
+  }
+
+ private:
+  void PeriodicDump() {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto period = std::chrono::duration<double>(interval_seconds_);
+    while (!cv_.wait_for(lock, period, [this] { return done_; })) {
+      std::fputs(metrics::SnapshotText().c_str(), stderr);
+    }
+  }
+
+  std::string metrics_out_;
+  std::string trace_out_;
+  double interval_seconds_ = 0.0;
+  std::thread dumper_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
 
 data::DatasetSpec SpecByName(const std::string& name, uint64_t seed) {
   data::DatasetSpec spec;
@@ -206,9 +344,12 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   causer::Flags flags = causer::Flags::Parse(argc - 1, argv + 1);
+  if (command == "--help" || command == "help" || flags.GetBool("help", false))
+    return PrintHelp();
   // --threads=N parallelizes evaluation and the large matmul kernels
   // (default 1 = the bit-exact sequential paths).
   causer::ConfigureThreadsFromFlags(flags);
+  ObservabilitySession observability(flags);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "train") return CmdTrain(flags);
   if (command == "evaluate") return CmdEvaluate(flags);

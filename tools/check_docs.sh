@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Documentation consistency checks, run by the CI "docs" job.
+#
+#   1. Every relative link in the repo's markdown files resolves to a file
+#      (or directory) that exists.
+#   2. The flag tokens printed by `causer_cli --help` exactly match the
+#      README flag table between the causer-cli-flags markers. The help
+#      text (PrintHelp in tools/causer_cli.cc) is the source of truth.
+#
+# Usage: tools/check_docs.sh [path/to/causer_cli]
+#   Default binary location: build/tools/causer_cli
+set -u
+cd "$(dirname "$0")/.."
+
+cli=${1:-build/tools/causer_cli}
+errors=0
+
+# --- 1. Intra-repo markdown links --------------------------------------
+# Scaffolding files (paper/issue snapshots) are excluded: they quote
+# external material and are not part of the maintained doc set.
+doc_files=$(git ls-files '*.md' ':!ISSUE.md' ':!PAPER.md' ':!PAPERS.md' ':!SNIPPETS.md')
+
+check_links() {
+  local file=$1 dir target path
+  dir=$(dirname "$file")
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | chrome://* | '#'* | '') continue ;;
+    esac
+    path=${target%%#*}
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "broken link in $file: $target" >&2
+      errors=$((errors + 1))
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+}
+
+for f in $doc_files; do
+  check_links "$f"
+done
+
+# --- 2. causer_cli --help vs README flag table -------------------------
+if [ ! -x "$cli" ]; then
+  echo "causer_cli binary not found at '$cli' (build it, or pass its path)" >&2
+  exit 1
+fi
+
+help_flags=$("$cli" --help | grep -oE -- '--[a-z][a-z-]*' | sort -u)
+readme_flags=$(sed -n '/causer-cli-flags-begin/,/causer-cli-flags-end/p' README.md |
+  grep -oE -- '`--[a-z][a-z-]*' | tr -d '`' | sort -u)
+
+if [ -z "$readme_flags" ]; then
+  echo "README.md flag table markers (causer-cli-flags-begin/end) not found" >&2
+  errors=$((errors + 1))
+elif ! diff <(printf '%s\n' "$help_flags") <(printf '%s\n' "$readme_flags") >/dev/null; then
+  echo "causer_cli --help flags drifted from the README flag table:" >&2
+  echo "(< only in --help, > only in README)" >&2
+  diff <(printf '%s\n' "$help_flags") <(printf '%s\n' "$readme_flags") >&2
+  errors=$((errors + 1))
+fi
+
+if [ "$errors" -ne 0 ]; then
+  echo "check_docs: $errors problem(s) found" >&2
+  exit 1
+fi
+echo "check_docs: OK (links resolve; --help matches README flag table)"
