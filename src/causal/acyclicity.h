@@ -17,9 +17,11 @@ Dense AcyclicityGradient(const Dense& w);
 
 /// Convenience for float parameter buffers (the cluster graph W^c lives in
 /// the autograd world as a float tensor): computes h(W) and, if `grad` is
-/// non-null, *adds* `scale * ∇h` into it. `w` is a row-major d*d buffer.
-double AcyclicityValueAndAccumulateGrad(const std::vector<float>& w, int d,
-                                        double scale, std::vector<float>* grad);
+/// non-null, *adds* `scale * ∇h` into it. `w` and `grad` are row-major d*d
+/// buffers (raw pointers, so both heap vectors and the tensor layer's
+/// arena-backed FloatBuffers work).
+double AcyclicityValueAndAccumulateGrad(const float* w, int d, double scale,
+                                        float* grad);
 
 }  // namespace causer::causal
 

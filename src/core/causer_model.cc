@@ -133,9 +133,14 @@ void CauserModel::OnParametersRestored() { caches_stale_ = true; }
 
 void CauserModel::RefreshCaches() {
   tensor::NoGradGuard guard;
+  // The assignment/item-level tensors ([V,K] and [V,V]) are pure scratch:
+  // build them on the arena and keep only the flat heap copies below.
+  tensor::ArenaScope arena_scope;
   Tensor assignments = clusterer_->AssignmentsAll();
   w_cache_ = graph_->ItemLevelMatrix(assignments);
-  assign_cache_ = assignments.data();
+  // Explicit element copy: the caches are plain heap vectors that outlive
+  // any ArenaScope the refresh might run under.
+  assign_cache_.assign(assignments.data().begin(), assignments.data().end());
   caches_stale_ = false;
 }
 
@@ -486,6 +491,7 @@ void CauserModel::PretrainAndFreezeGraph(
   for (int round = 0; round < rounds; ++round) {
     // Clustering phase (Eqs. 7-8) so the assignments stabilize first.
     for (int s = 0; s < causer_config_.aux_steps_per_epoch; ++s) {
+      tensor::ArenaScope arena_scope;
       Tensor loss = tensor::Add(clusterer_->ClusteringLoss(),
                                 clusterer_->ReconstructionLoss());
       opt_aux_->ZeroGrad();
@@ -523,6 +529,7 @@ double CauserModel::TrainEpoch(const std::vector<data::Sequence>& train) {
   if (update_slow && (causer_config_.use_clustering_loss ||
                       causer_config_.use_reconstruction_loss)) {
     for (int s = 0; s < causer_config_.aux_steps_per_epoch; ++s) {
+      tensor::ArenaScope arena_scope;
       Tensor loss;
       if (causer_config_.use_clustering_loss) {
         loss = clusterer_->ClusteringLoss();
@@ -565,6 +572,10 @@ double CauserModel::TrainEpoch(const std::vector<data::Sequence>& train) {
     for (size_t i = 0; i < positives.size(); ++i) labels[i] = 1.0f;
 
     Stopwatch step_sw;
+    // Per-example tape arena: every candidate's filtered encoding, the
+    // attention/pooling graph and the loss die together at scope exit
+    // (after loss.Item() below). Parameters and caches stay heap.
+    tensor::ArenaScope arena_scope;
     std::vector<Tensor> logit_rows;
     logit_rows.reserve(ids.size());
     for (int b : ids) {
@@ -611,6 +622,7 @@ double CauserModel::TrainEpoch(const std::vector<data::Sequence>& train) {
 std::vector<double> CauserModel::ExplainScores(
     const data::EvalInstance& instance, int item, ExplainMode mode) {
   tensor::NoGradGuard guard;
+  tensor::ArenaScope arena_scope;
   EnsureCaches();
   std::vector<double> out(instance.history.size(), 0.0);
   std::vector<data::Step> truncated = Truncate(instance.history);

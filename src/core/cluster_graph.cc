@@ -30,9 +30,10 @@ double ClusterCausalGraph::AccumulatePenaltyGradient(double beta1,
   auto& node = *wc_.node();
   node.EnsureGrad();
   double h = causal::AcyclicityValueAndAccumulateGrad(
-      node.value, k, /*scale=*/0.0, nullptr);
-  causal::AcyclicityValueAndAccumulateGrad(node.value, k, beta1 + beta2 * h,
-                                           &node.grad);
+      node.value.data(), k, /*scale=*/0.0, nullptr);
+  causal::AcyclicityValueAndAccumulateGrad(node.value.data(), k,
+                                           beta1 + beta2 * h,
+                                           node.grad.data());
   for (size_t i = 0; i < node.value.size(); ++i) {
     float w = node.value[i];
     node.grad[i] += static_cast<float>(
@@ -47,7 +48,7 @@ std::vector<float> ClusterCausalGraph::ItemLevelMatrix(
   // W = A Wc A^T computed as (A Wc) A^T.
   Tensor awc = tensor::MatMul(assignments, wc_);                 // [V, K]
   Tensor w = tensor::MatMul(awc, tensor::Transpose(assignments));  // [V, V]
-  return w.data();
+  return {w.data().begin(), w.data().end()};
 }
 
 causal::Dense ClusterCausalGraph::AsDense() const {

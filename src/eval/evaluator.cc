@@ -6,6 +6,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "eval/metrics.h"
+#include "tensor/arena.h"
 
 namespace causer::eval {
 namespace {
@@ -66,6 +67,10 @@ EvalResult Evaluate(const Scorer& scorer,
     Stopwatch shard_sw;
     for (int i = begin; i < end; ++i) {
       const auto& inst = instances[i];
+      // Model scorers build (no-grad) tape nodes for every candidate
+      // batch; recycle them per instance on this worker's arena. The
+      // returned scores are a plain heap vector, safe past the reset.
+      tensor::ArenaScope arena_scope;
       std::vector<float> scores = scorer(inst);
       if (scores.empty()) continue;  // no catalog to rank: count as a miss
       // TopK clamps z to the catalog size, so z > num_items degrades to

@@ -9,15 +9,32 @@ std::vector<int> TopK(const std::vector<float>& scores, int k) {
   const int n = static_cast<int>(scores.size());
   k = std::max(0, std::min(k, n));
   if (k == 0) return {};
-  std::vector<int> order(n);
-  for (int i = 0; i < n; ++i) order[i] = i;
-  std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                    [&](int a, int b) {
-                      if (scores[a] != scores[b]) return scores[a] > scores[b];
-                      return a < b;
-                    });
-  order.resize(k);
-  return order;
+  // Deterministic strict order: score descending, index ascending on ties.
+  // Because it is total, any correct selection yields exactly one answer —
+  // this heap selection returns the same ranking a full sort would.
+  auto better = [&scores](int a, int b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  // Bounded selection heap over the k best seen so far, with the *worst*
+  // kept candidate at the front (std heap ops treat `better` as the
+  // ordering, making the front its maximum = worst). For the evaluator's
+  // k ≪ catalog this is O(n + k·log k·log n) expected and never
+  // materializes an n-sized index array.
+  std::vector<int> heap;
+  heap.reserve(k);
+  for (int i = 0; i < n; ++i) {
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push_back(i);
+      std::push_heap(heap.begin(), heap.end(), better);
+    } else if (better(i, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), better);
+      heap.back() = i;
+      std::push_heap(heap.begin(), heap.end(), better);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), better);
+  return heap;
 }
 
 namespace {

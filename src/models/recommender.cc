@@ -111,6 +111,10 @@ double RepresentationModel::TrainEpoch(
     for (size_t i = 0; i < positives.size(); ++i) labels[i] = 1.0f;
 
     Stopwatch step_sw;
+    // The whole step's tape (forward graph, loss, gradients of interior
+    // nodes) dies with this scope; parameters and optimizer state stay on
+    // the heap. loss.Item() below runs before the scope closes.
+    tensor::ArenaScope arena_scope;
     Tensor rep = Represent(ex.sequence->user, history);  // [1, d]
     Tensor cand = out_items_->Forward(ids);              // [n, d]
     Tensor logits = tensor::MatMul(cand, tensor::Transpose(rep));  // [n, 1]
@@ -209,6 +213,10 @@ double RepresentationModel::TrainEpochBatched(
         tensor::ParamSubstitutionScope scope(params, shadow);
         double loss_sum = 0.0;
         for (int e = lo; e < hi; ++e) {
+          // Per-example tape on this worker's thread-local arena. The
+          // shadow parameters were cloned outside any scope, so their
+          // grad buffers (the cross-example accumulators) stay heap.
+          tensor::ArenaScope arena_scope;
           const Prepared& p = batch[e];
           Tensor rep = Represent(p.user, p.history);            // [1, d]
           Tensor cand = out_items_->Forward(p.ids);             // [n, d]
@@ -257,14 +265,16 @@ std::vector<std::vector<float>> SnapshotParams(
     const std::vector<Tensor>& params) {
   std::vector<std::vector<float>> snap;
   snap.reserve(params.size());
-  for (const auto& p : params) snap.push_back(p.data());
+  for (const auto& p : params)
+    snap.emplace_back(p.data().begin(), p.data().end());
   return snap;
 }
 
 void RestoreParams(std::vector<Tensor>& params,
                    const std::vector<std::vector<float>>& snap) {
   CAUSER_CHECK(params.size() == snap.size());
-  for (size_t i = 0; i < params.size(); ++i) params[i].data() = snap[i];
+  for (size_t i = 0; i < params.size(); ++i)
+    params[i].data().assign(snap[i].begin(), snap[i].end());
 }
 
 }  // namespace

@@ -80,7 +80,8 @@ bool LoadParameters(Module& module, const std::string& path) {
   unsigned char extra = 0;
   if (std::fread(&extra, 1, 1, f.get()) == 1) return false;
   if (std::feof(f.get()) == 0) return false;
-  for (size_t i = 0; i < params.size(); ++i) params[i].data() = staged[i];
+  for (size_t i = 0; i < params.size(); ++i)
+    params[i].data().assign(staged[i].begin(), staged[i].end());
   return true;
 }
 

@@ -1,0 +1,242 @@
+#include "tensor/kernels.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace causer::tensor::kernels {
+namespace {
+
+/// Pack instruments (see docs/OBSERVABILITY.md), registered together on
+/// first touch. bytes_total / packs_total gives the mean packed panel size.
+struct PackMetricsT {
+  metrics::Counter& packs;
+  metrics::Counter& bytes;
+};
+
+PackMetricsT& PackMetrics() {
+  static PackMetricsT m{
+      metrics::GetCounter("tensor.pack.packs_total", "packs",
+                          "Transposed operands repacked into contiguous "
+                          "row-major panels before a matmul."),
+      metrics::GetCounter("tensor.pack.bytes_total", "bytes",
+                          "Bytes written into pack buffers."),
+  };
+  return m;
+}
+
+/// Below this many multiply-adds the pool dispatch overhead dominates and
+/// the product stays on the calling thread.
+constexpr int64_t kParallelMatMulMinOps = 1 << 15;
+
+/// Transposes `src` (row-major [rows, cols]) into the thread-local pack
+/// buffer `buf` as row-major [cols, rows]. Reads stream through src; the
+/// strided writes touch each destination cache line rows times in quick
+/// succession, so packing is O(rows*cols) cheap next to the O(n*m*p)
+/// product it unlocks.
+const float* PackTranspose(const float* src, int rows, int cols,
+                           std::vector<float>& buf) {
+  buf.resize(static_cast<size_t>(rows) * cols);
+  float* dst = buf.data();
+  for (int r = 0; r < rows; ++r) {
+    const float* srow = src + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) {
+      dst[static_cast<size_t>(c) * rows + r] = srow[c];
+    }
+  }
+  if (metrics::Enabled()) {
+    PackMetrics().packs.Add();
+    PackMetrics().bytes.Add(static_cast<uint64_t>(rows) * cols *
+                            sizeof(float));
+  }
+  return dst;
+}
+
+/// Reusable per-thread pack storage; capacity converges to the largest
+/// operand this thread ever packs. Only B^T needs packing: its naive inner
+/// loop strides by m per j step, while A^T is already contiguous along the
+/// blocked row direction (see TransAKernel) and is consumed in place.
+const float* PackB(const float* b, int rows, int cols) {
+  static thread_local std::vector<float> buf;
+  return PackTranspose(b, rows, cols, buf);
+}
+
+/// Row-major panel kernel: c rows [row_begin, row_end) += a * b with a
+/// effectively [n? ,m] and b [m,p], both contiguous. Four output rows share
+/// each streamed b row (register blocking), and the contiguous j loop
+/// auto-vectorizes. Per element the k-summation stays ascending with one
+/// rounding per add — bit-identical to the naive reference.
+void PanelKernel(const float* a, const float* b, float* c, int row_begin,
+                 int row_end, int m, int p) {
+  int i = row_begin;
+  for (; i + 4 <= row_end; i += 4) {
+    const float* a0 = a + static_cast<size_t>(i) * m;
+    const float* a1 = a0 + m;
+    const float* a2 = a1 + m;
+    const float* a3 = a2 + m;
+    float* __restrict__ c0 = c + static_cast<size_t>(i) * p;
+    float* __restrict__ c1 = c0 + p;
+    float* __restrict__ c2 = c1 + p;
+    float* __restrict__ c3 = c2 + p;
+    for (int k = 0; k < m; ++k) {
+      const float av0 = a0[k];
+      const float av1 = a1[k];
+      const float av2 = a2[k];
+      const float av3 = a3[k];
+      const float* bk = b + static_cast<size_t>(k) * p;
+      for (int j = 0; j < p; ++j) {
+        c0[j] += av0 * bk[j];
+        c1[j] += av1 * bk[j];
+        c2[j] += av2 * bk[j];
+        c3[j] += av3 * bk[j];
+      }
+    }
+  }
+  for (; i < row_end; ++i) {
+    const float* ai = a + static_cast<size_t>(i) * m;
+    float* __restrict__ ci = c + static_cast<size_t>(i) * p;
+    for (int k = 0; k < m; ++k) {
+      const float av = ai[k];
+      const float* bk = b + static_cast<size_t>(k) * p;
+      for (int j = 0; j < p; ++j) ci[j] += av * bk[j];
+    }
+  }
+}
+
+/// Single-output-row kernel for transpose_b: each b row is contiguous, so
+/// the dot products stream both operands instead of striding across b.
+/// The accumulator chain is strictly sequential in k (never split into
+/// partial sums), matching the reference rounding exactly.
+void DotRowKernel(const float* a, const float* b, float* c, int m, int p) {
+  for (int j = 0; j < p; ++j) {
+    const float* bj = b + static_cast<size_t>(j) * m;
+    float acc = c[j];
+    for (int k = 0; k < m; ++k) acc += a[k] * bj[k];
+    c[j] = acc;
+  }
+}
+
+/// Kernel consuming A^T in place (a stored [m,n]). Packing A^T would cost
+/// n*m strided writes, but it buys nothing here: under transpose_a, four
+/// consecutive *logical* rows of A are four adjacent columns of the stored
+/// matrix, so the register-blocked loads a[k*n + i..i+3] are already
+/// contiguous. Per output element the k-summation stays ascending with one
+/// rounding per add. Computes output rows [row_begin, row_end).
+void TransAKernel(const float* a, const float* b, float* c, int row_begin,
+                  int row_end, int n, int m, int p) {
+  if (p == 1) {
+    // Single output column: k-outer vectorizes over i instead (each c[i]
+    // still accumulates its own ascending-k chain).
+    float* __restrict__ cc = c;
+    for (int k = 0; k < m; ++k) {
+      const float* arow = a + static_cast<size_t>(k) * n;
+      const float bv = b[k];
+      for (int i = row_begin; i < row_end; ++i) cc[i] += arow[i] * bv;
+    }
+    return;
+  }
+  int i = row_begin;
+  for (; i + 4 <= row_end; i += 4) {
+    float* __restrict__ c0 = c + static_cast<size_t>(i) * p;
+    float* __restrict__ c1 = c0 + p;
+    float* __restrict__ c2 = c1 + p;
+    float* __restrict__ c3 = c2 + p;
+    for (int k = 0; k < m; ++k) {
+      const float* arow = a + static_cast<size_t>(k) * n + i;
+      const float av0 = arow[0];
+      const float av1 = arow[1];
+      const float av2 = arow[2];
+      const float av3 = arow[3];
+      const float* bk = b + static_cast<size_t>(k) * p;
+      for (int j = 0; j < p; ++j) {
+        c0[j] += av0 * bk[j];
+        c1[j] += av1 * bk[j];
+        c2[j] += av2 * bk[j];
+        c3[j] += av3 * bk[j];
+      }
+    }
+  }
+  for (; i < row_end; ++i) {
+    float* __restrict__ ci = c + static_cast<size_t>(i) * p;
+    for (int k = 0; k < m; ++k) {
+      const float av = a[static_cast<size_t>(k) * n + i];
+      const float* bk = b + static_cast<size_t>(k) * p;
+      for (int j = 0; j < p; ++j) ci[j] += av * bk[j];
+    }
+  }
+}
+
+/// True when this product should be sharded over output rows on the shared
+/// pool. Any row partition computes identical per-element sums, so the
+/// cutoff is purely a performance knob.
+bool ShouldParallelize(int n, int m, int p) {
+  const int64_t total_ops =
+      static_cast<int64_t>(n) * m * static_cast<int64_t>(p);
+  return DefaultThreads() > 1 && n > 1 &&
+         total_ops >= kParallelMatMulMinOps &&
+         !ThreadPool::InParallelRegion();
+}
+
+}  // namespace
+
+void MatMulAddNaive(const float* a, const float* b, float* c, int n, int m,
+                    int p, bool transpose_a, bool transpose_b) {
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < m; ++k) {
+      const float av = transpose_a ? a[static_cast<size_t>(k) * n + i]
+                                   : a[static_cast<size_t>(i) * m + k];
+      float* crow = c + static_cast<size_t>(i) * p;
+      if (!transpose_b) {
+        const float* brow = b + static_cast<size_t>(k) * p;
+        for (int j = 0; j < p; ++j) crow[j] += av * brow[j];
+      } else {
+        // b is [p, m] stored row-major; b^T[k][j] = b[j][k].
+        for (int j = 0; j < p; ++j)
+          crow[j] += av * b[static_cast<size_t>(j) * m + k];
+      }
+    }
+  }
+}
+
+void MatMulAdd(const float* a, const float* b, float* c, int n, int m, int p,
+               bool transpose_a, bool transpose_b) {
+  // A [m,1] under transpose_a is the same memory as [1,m]: no packing and
+  // the plain row kernels apply.
+  if (n == 1) {
+    if (transpose_b) {
+      DotRowKernel(a, b, c, m, p);
+    } else {
+      PanelKernel(a, b, c, 0, 1, m, p);
+    }
+    return;
+  }
+
+  // Packing happens once on the calling thread; pool workers only read the
+  // packed panels (ParallelFor's region setup orders the writes before
+  // them).
+  const float* be = transpose_b ? PackB(b, p, m) : b;
+
+  if (transpose_a) {
+    if (ShouldParallelize(n, m, p)) {
+      DefaultPool().ParallelFor(0, n, [&](int row_begin, int row_end) {
+        TransAKernel(a, be, c, row_begin, row_end, n, m, p);
+      });
+    } else {
+      TransAKernel(a, be, c, 0, n, n, m, p);
+    }
+    return;
+  }
+
+  if (ShouldParallelize(n, m, p)) {
+    DefaultPool().ParallelFor(0, n, [&](int row_begin, int row_end) {
+      PanelKernel(a, be, c, row_begin, row_end, m, p);
+    });
+  } else {
+    PanelKernel(a, be, c, 0, n, m, p);
+  }
+}
+
+}  // namespace causer::tensor::kernels

@@ -1,0 +1,34 @@
+#ifndef CAUSER_TENSOR_KERNELS_H_
+#define CAUSER_TENSOR_KERNELS_H_
+
+namespace causer::tensor::kernels {
+
+/// Matmul microkernels: C[n,p] += op(A) * op(B) on raw row-major float
+/// buffers, where op transposes when the corresponding flag is set (so A is
+/// stored [m,n] under transpose_a and B is stored [p,m] under transpose_b).
+///
+/// Both entry points compute, for every output element, the same ascending-k
+/// sequence of single-rounded multiply-adds — the bit-exactness contract the
+/// parallel training/eval paths rely on (see docs/PERFORMANCE.md). They may
+/// reorder across *distinct* elements (row blocking, j-vectorization, thread
+/// partitioning) but never reassociate within one dot product.
+
+/// Reference kernel: the plain ikj triple loop, kept for the equivalence
+/// suite and as the bench_kernels baseline. Always runs on the calling
+/// thread.
+void MatMulAddNaive(const float* a, const float* b, float* c, int n, int m,
+                    int p, bool transpose_a, bool transpose_b);
+
+/// Production kernel: packs a transposed B into contiguous row-major panels
+/// (reusable thread-local pack buffer; a transposed A is consumed in place —
+/// its blocked row loads are already contiguous), then runs a
+/// register-blocked kernel whose contiguous j loop auto-vectorizes. Large
+/// products are sharded over output rows on the shared thread pool; every
+/// partition computes the identical per-element sums, so results are
+/// bit-identical to MatMulAddNaive at every thread count.
+void MatMulAdd(const float* a, const float* b, float* c, int n, int m, int p,
+               bool transpose_a, bool transpose_b);
+
+}  // namespace causer::tensor::kernels
+
+#endif  // CAUSER_TENSOR_KERNELS_H_

@@ -1,10 +1,9 @@
 #include "tensor/ops.h"
 
 #include <cmath>
-#include <cstdint>
 #include <functional>
 
-#include "common/thread_pool.h"
+#include "tensor/kernels.h"
 
 namespace causer::tensor {
 namespace {
@@ -22,7 +21,7 @@ NodePtr Res(const Tensor& t) { return internal::Resolve(t.node()); }
 /// requires them; otherwise the result is a detached leaf.
 Tensor MakeResult(int rows, int cols, std::vector<NodePtr> parents,
                   std::function<void(Node&)> backward_fn) {
-  auto node = std::make_shared<Node>();
+  auto node = internal::NewNode();
   node->rows = rows;
   node->cols = cols;
   node->value.assign(static_cast<size_t>(rows) * cols, 0.0f);
@@ -109,52 +108,13 @@ Tensor UnaryOp(const Tensor& a, float (*fwd)(float),
   return out;
 }
 
-/// c[n,p] += a[n,m] * b[m,p] for the row block [row_begin, row_end) of the
-/// output, ikj loop order. Blocks write disjoint rows of c, so the blocked
-/// dispatch below is race-free and bit-exact for any block partition.
-void MatMulAddRows(const float* a, const float* b, float* c, int row_begin,
-                   int row_end, int n, int m, int p, bool transpose_a,
-                   bool transpose_b) {
-  for (int i = row_begin; i < row_end; ++i) {
-    for (int k = 0; k < m; ++k) {
-      float av = transpose_a ? a[static_cast<size_t>(k) * n + i]
-                             : a[static_cast<size_t>(i) * m + k];
-      if (av == 0.0f) continue;
-      const float* brow;
-      if (!transpose_b) {
-        brow = b + static_cast<size_t>(k) * p;
-        float* crow = c + static_cast<size_t>(i) * p;
-        for (int j = 0; j < p; ++j) crow[j] += av * brow[j];
-      } else {
-        // b is [p, m] stored row-major; b^T[k][j] = b[j][k].
-        float* crow = c + static_cast<size_t>(i) * p;
-        for (int j = 0; j < p; ++j) crow[j] += av * b[static_cast<size_t>(j) * m + k];
-      }
-    }
-  }
-}
-
-/// Below this many multiply-adds the pool dispatch overhead dominates and
-/// the product stays on the calling thread.
-constexpr int64_t kParallelMatMulMinOps = 1 << 15;
-
-/// c[n,p] += a[n,m] * b[m,p] on raw buffers. Large products are tiled over
-/// row blocks of c and the blocks dispatched to the shared pool; each block
-/// computes exactly the sequential per-element sums, so the result is
-/// bit-identical for every thread count (threads=1 runs inline).
+/// c[n,p] += op(a) * op(b) on raw buffers: the packed/blocked kernel module
+/// (tensor/kernels.h) handles operand packing, vectorization, and the
+/// row-sharded pool dispatch, and is bit-identical to the sequential
+/// reference for every thread count.
 void RawMatMulAdd(const float* a, const float* b, float* c, int n, int m,
                   int p, bool transpose_a, bool transpose_b) {
-  const int64_t total_ops =
-      static_cast<int64_t>(n) * m * static_cast<int64_t>(p);
-  if (DefaultThreads() > 1 && n > 1 && total_ops >= kParallelMatMulMinOps &&
-      !ThreadPool::InParallelRegion()) {
-    DefaultPool().ParallelFor(0, n, [&](int row_begin, int row_end) {
-      MatMulAddRows(a, b, c, row_begin, row_end, n, m, p, transpose_a,
-                    transpose_b);
-    });
-    return;
-  }
-  MatMulAddRows(a, b, c, 0, n, n, m, p, transpose_a, transpose_b);
+  kernels::MatMulAdd(a, b, c, n, m, p, transpose_a, transpose_b);
 }
 
 }  // namespace

@@ -18,7 +18,7 @@ thread_local SubstitutionMap* g_substitutions = nullptr;
 std::shared_ptr<internal::Node> MakeLeaf(int rows, int cols,
                                          bool requires_grad) {
   CAUSER_CHECK(rows > 0 && cols > 0);
-  auto node = std::make_shared<internal::Node>();
+  auto node = internal::NewNode();
   node->rows = rows;
   node->cols = cols;
   node->value.assign(static_cast<size_t>(rows) * cols, 0.0f);
@@ -29,6 +29,16 @@ std::shared_ptr<internal::Node> MakeLeaf(int rows, int cols,
 }  // namespace
 
 namespace internal {
+
+std::shared_ptr<Node> NewNode() {
+  if (Arena* arena = ActiveArena()) {
+    // allocate_shared puts the control block and the Node in one arena
+    // allocation; both are reclaimed by the scope-exit Reset() (by then
+    // every shared_ptr into the tape is gone).
+    return std::allocate_shared<Node>(ArenaAllocator<Node>(arena));
+  }
+  return std::make_shared<Node>();
+}
 
 std::shared_ptr<Node> Resolve(const std::shared_ptr<Node>& node) {
   if (g_substitutions != nullptr) {
@@ -82,7 +92,9 @@ Tensor Tensor::FromData(int rows, int cols, std::vector<float> data,
                         bool requires_grad) {
   CAUSER_CHECK(static_cast<int>(data.size()) == rows * cols);
   auto node = MakeLeaf(rows, cols, requires_grad);
-  node->value = std::move(data);
+  // Copy (not move): `data` is a plain heap vector while node->value is
+  // arena-aware; the copy lands in whichever arena owns the node.
+  node->value.assign(data.begin(), data.end());
   return Tensor(node);
 }
 
@@ -102,7 +114,7 @@ Tensor Tensor::RandomNormal(int rows, int cols, float stddev, Rng& rng,
 
 Tensor Tensor::Clone(bool requires_grad) const {
   CAUSER_CHECK(defined());
-  auto node = std::make_shared<internal::Node>();
+  auto node = internal::NewNode();
   node->rows = rows();
   node->cols = cols();
   node->value = node_->value;

@@ -8,6 +8,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "tensor/arena.h"
 
 namespace causer::tensor {
 
@@ -27,13 +28,24 @@ struct Node;
 /// construction onto private parameter copies.
 std::shared_ptr<Node> Resolve(const std::shared_ptr<Node>& node);
 
+/// Allocates a fresh Node. When the calling thread has an ArenaScope open,
+/// the node (and, via FloatBuffer's captured allocator, its value/grad
+/// buffers) is carved from the arena and reclaimed wholesale at scope exit;
+/// otherwise it lives on the heap as before.
+std::shared_ptr<Node> NewNode();
+
 /// Graph node holding the value, the gradient accumulator, and the backward
 /// closure that scatters this node's gradient into its parents.
+///
+/// value/grad use FloatBuffer, whose allocator captures the arena active
+/// when the node was constructed: tape nodes built inside an ArenaScope
+/// bump-allocate, while parameters (constructed outside any scope) keep
+/// heap storage even when EnsureGrad() later runs inside a scope.
 struct Node {
   int rows = 0;
   int cols = 0;
-  std::vector<float> value;
-  std::vector<float> grad;  // allocated lazily, same layout as value
+  FloatBuffer value;
+  FloatBuffer grad;  // allocated lazily, same layout as value
   bool requires_grad = false;
   std::vector<std::shared_ptr<Node>> parents;
   // Propagates `grad` of this node into parents' grads. Null for leaves.
@@ -112,12 +124,12 @@ class Tensor {
     return node_->value[0];
   }
 
-  /// Raw row-major value buffer.
-  std::vector<float>& data() { return node_->value; }
-  const std::vector<float>& data() const { return node_->value; }
+  /// Raw row-major value buffer (arena-backed inside an ArenaScope).
+  FloatBuffer& data() { return node_->value; }
+  const FloatBuffer& data() const { return node_->value; }
 
   /// Gradient buffer (empty until Backward() touched this node).
-  const std::vector<float>& grad() const { return node_->grad; }
+  const FloatBuffer& grad() const { return node_->grad; }
 
   /// Gradient element access; zero if no gradient was accumulated.
   float GradAt(int r, int c) const {

@@ -149,7 +149,7 @@ TEST(AcyclicityTest, GradientZeroOnZeroMatrix) {
 TEST(AcyclicityTest, FloatBridgeAccumulatesScaledGradient) {
   std::vector<float> w = {0.0f, 0.5f, 0.5f, 0.0f};  // 2-cycle
   std::vector<float> grad(4, 1.0f);                 // pre-existing values
-  double h = AcyclicityValueAndAccumulateGrad(w, 2, 2.0, &grad);
+  double h = AcyclicityValueAndAccumulateGrad(w.data(), 2, 2.0, grad.data());
   EXPECT_GT(h, 0.0);
   // Diagonal gradient entries stay at the pre-existing 1.0 + 2 * dh/dw_ii.
   Dense wd(2, 2);
@@ -162,7 +162,7 @@ TEST(AcyclicityTest, FloatBridgeAccumulatesScaledGradient) {
 
 TEST(AcyclicityTest, ValueOnlyWhenGradNull) {
   std::vector<float> w = {0.0f, 1.0f, 0.0f, 0.0f};
-  double h = AcyclicityValueAndAccumulateGrad(w, 2, 1.0, nullptr);
+  double h = AcyclicityValueAndAccumulateGrad(w.data(), 2, 1.0, nullptr);
   EXPECT_NEAR(h, 0.0, 1e-10);  // single edge = DAG
 }
 

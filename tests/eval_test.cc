@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <random>
 
 #include "data/generator.h"
 #include "data/split.h"
@@ -21,6 +23,31 @@ TEST(TopKTest, OrdersByScore) {
 TEST(TopKTest, TiesBrokenByIndex) {
   std::vector<float> scores = {0.5f, 0.5f, 0.5f};
   EXPECT_EQ(TopK(scores, 2), (std::vector<int>{0, 1}));
+}
+
+TEST(TopKTest, HeapSelectionMatchesFullSortIncludingTies) {
+  // The heap selection must return exactly what a full stable ranking
+  // would: score descending, index ascending on ties. Randomized scores
+  // drawn from a tiny value set force frequent exact ties.
+  std::mt19937 rng(123);
+  std::uniform_int_distribution<int> coarse(0, 9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng() % 400);
+    std::vector<float> scores(n);
+    for (auto& s : scores) s = 0.1f * static_cast<float>(coarse(rng));
+    std::vector<int> all(n);
+    for (int i = 0; i < n; ++i) all[i] = i;
+    std::sort(all.begin(), all.end(), [&](int a, int b) {
+      if (scores[a] != scores[b]) return scores[a] > scores[b];
+      return a < b;
+    });
+    for (int k : {1, 5, 20, n}) {
+      std::vector<int> expected(all.begin(),
+                                all.begin() + std::min(k, n));
+      EXPECT_EQ(TopK(scores, k), expected)
+          << "trial " << trial << " n=" << n << " k=" << k;
+    }
+  }
 }
 
 TEST(TopKTest, KLargerThanSize) {

@@ -314,6 +314,55 @@ TEST(AdamTest, StableAtHighStepCounts) {
   EXPECT_NEAR(x.Item(), 0.0f, 1e-3);
 }
 
+TEST(AdamTest, FusedStepMatchesReferenceTrajectory) {
+  // Adam::Step() fuses the moment updates and write-back into one pass over
+  // hoisted pointers. This pins it to the original three-statement update:
+  // feed both the optimizer and an inline reference the same synthetic
+  // gradient stream and require bit-identical weights and moments at every
+  // step.
+  const int n = 37;  // odd size: exercises any unrolled tail
+  const float lr = 0.01f, beta1 = 0.9f, beta2 = 0.999f, eps = 1e-8f;
+  std::vector<float> init(n);
+  for (int j = 0; j < n; ++j)
+    init[j] = 0.05f * static_cast<float>(j - n / 2);
+  Tensor x = Tensor::FromData(1, n, init, /*requires_grad=*/true);
+  Adam opt({x}, lr, beta1, beta2, eps);
+
+  std::vector<float> ref_w = init;
+  std::vector<float> ref_m(n, 0.0f), ref_v(n, 0.0f);
+  for (int step = 1; step <= 25; ++step) {
+    // Deterministic, sign-alternating gradient stream.
+    std::vector<float> g(n);
+    for (int j = 0; j < n; ++j) {
+      g[j] = std::sin(0.7f * static_cast<float>(step) +
+                      0.3f * static_cast<float>(j)) +
+             0.1f * static_cast<float>(j % 3 - 1);
+    }
+    x.node()->EnsureGrad();
+    auto& grad = x.node()->grad;
+    for (int j = 0; j < n; ++j) grad[j] = g[j];
+    opt.Step();
+
+    // Pre-fusion update, verbatim (two separate moment statements, then the
+    // write-back reading the stored moments).
+    const double bc1 = 1.0 - std::pow(static_cast<double>(beta1),
+                                      static_cast<double>(step));
+    const double bc2 = 1.0 - std::pow(static_cast<double>(beta2),
+                                      static_cast<double>(step));
+    for (int j = 0; j < n; ++j) {
+      ref_m[j] = beta1 * ref_m[j] + (1.0f - beta1) * g[j];
+      ref_v[j] = beta2 * ref_v[j] + (1.0f - beta2) * g[j] * g[j];
+      float mhat = static_cast<float>(ref_m[j] / bc1);
+      float vhat = static_cast<float>(ref_v[j] / bc2);
+      ref_w[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+    for (int j = 0; j < n; ++j) {
+      ASSERT_EQ(x.data()[j], ref_w[j])
+          << "weight diverged at step " << step << ", j=" << j;
+    }
+  }
+}
+
 TEST(AdamTest, SkipsParamsWithoutGrad) {
   Tensor x = Tensor::Full(1, 1, 1.0f, true);
   Adam opt({x}, 0.1f);

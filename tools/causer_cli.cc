@@ -45,6 +45,7 @@
 #include "data/stats.h"
 #include "eval/metrics.h"
 #include "nn/serialization.h"
+#include "tensor/arena.h"
 
 namespace {
 
@@ -112,6 +113,9 @@ int PrintHelp() {
       "seed; models default to 7).\n"
       "  --threads=N          Worker threads for evaluation and large "
       "matmuls (default 1, or CAUSER_THREADS).\n"
+      "  --arena=BOOL         Recycle autograd tape memory through "
+      "per-step arenas (default on; results are identical either "
+      "way).\n"
       "  --metrics-out=FILE   Enable metrics and write a JSON registry "
       "snapshot on exit.\n"
       "  --trace-out=FILE     Enable tracing and write Chrome "
@@ -349,6 +353,9 @@ int main(int argc, char** argv) {
   // --threads=N parallelizes evaluation and the large matmul kernels
   // (default 1 = the bit-exact sequential paths).
   causer::ConfigureThreadsFromFlags(flags);
+  // --arena=false falls back to per-op heap allocation for the autograd
+  // tape — the A/B knob behind BENCH_kernels.json's steps/sec comparison.
+  causer::tensor::SetArenaEnabled(flags.GetBool("arena", true));
   ObservabilitySession observability(flags);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "train") return CmdTrain(flags);

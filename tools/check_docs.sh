@@ -3,7 +3,9 @@
 #
 #   1. Every relative link in the repo's markdown files resolves to a file
 #      (or directory) that exists.
-#   2. The flag tokens printed by `causer_cli --help` exactly match the
+#   2. Every document under docs/ is linked from the README documentation
+#      index, so new docs cannot silently miss discovery.
+#   3. The flag tokens printed by `causer_cli --help` exactly match the
 #      README flag table between the causer-cli-flags markers. The help
 #      text (PrintHelp in tools/causer_cli.cc) is the source of truth.
 #
@@ -40,7 +42,15 @@ for f in $doc_files; do
   check_links "$f"
 done
 
-# --- 2. causer_cli --help vs README flag table -------------------------
+# --- 2. every docs/*.md is reachable from the README -------------------
+for doc in $(git ls-files 'docs/*.md'); do
+  if ! grep -qF "($doc)" README.md; then
+    echo "docs file not linked from README.md: $doc" >&2
+    errors=$((errors + 1))
+  fi
+done
+
+# --- 3. causer_cli --help vs README flag table -------------------------
 if [ ! -x "$cli" ]; then
   echo "causer_cli binary not found at '$cli' (build it, or pass its path)" >&2
   exit 1
@@ -64,4 +74,4 @@ if [ "$errors" -ne 0 ]; then
   echo "check_docs: $errors problem(s) found" >&2
   exit 1
 fi
-echo "check_docs: OK (links resolve; --help matches README flag table)"
+echo "check_docs: OK (links resolve; docs/ indexed; --help matches README flag table)"
