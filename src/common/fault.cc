@@ -1,0 +1,146 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/log.h"
+
+namespace causer::fault {
+namespace internal {
+
+std::atomic<int> armed_points{0};
+
+}  // namespace internal
+
+namespace {
+
+struct PointState {
+  int fire_on_hit = 1;  ///< first hit (1-based) that fires
+  int times = 1;        ///< consecutive firing hits
+  int hits = 0;
+  int fired = 0;
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, PointState>& Registry() {
+  static std::map<std::string, PointState> points;
+  return points;
+}
+
+}  // namespace
+
+namespace internal {
+
+bool ShouldFailSlow(const char* point) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(point);
+  if (it == Registry().end()) return false;
+  PointState& st = it->second;
+  ++st.hits;
+  if (st.hits >= st.fire_on_hit && st.fired < st.times) {
+    ++st.fired;
+    CAUSER_LOG(Warning) << "fault injection: " << point << " firing (hit "
+                        << st.hits << ")";
+    return true;
+  }
+  return false;
+}
+
+}  // namespace internal
+
+void Arm(const std::string& point, int fire_on_hit, int times) {
+  CAUSER_CHECK(fire_on_hit >= 1 && times >= 1);
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto [it, inserted] = Registry().try_emplace(point);
+  it->second = PointState{fire_on_hit, times, 0, 0};
+  if (inserted) {
+    internal::armed_points.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  if (Registry().erase(point) > 0) {
+    internal::armed_points.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  internal::armed_points.fetch_sub(static_cast<int>(Registry().size()),
+                                   std::memory_order_relaxed);
+  Registry().clear();
+}
+
+int HitCount(const std::string& point) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(point);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+int FireCount(const std::string& point) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(point);
+  return it == Registry().end() ? 0 : it->second.fired;
+}
+
+bool ArmFromSpec(const std::string& spec) {
+  struct Parsed {
+    std::string point;
+    int fire_on_hit = 1;
+    int times = 1;
+  };
+  // Parse the whole spec before arming anything: a malformed entry must
+  // not leave a half-armed configuration behind.
+  std::vector<Parsed> entries;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    Parsed p;
+    size_t at = entry.find('@');
+    p.point = entry.substr(0, at);
+    if (p.point.empty()) return false;
+    if (at != std::string::npos) {
+      std::string sched = entry.substr(at + 1);
+      size_t star = sched.find('*');
+      try {
+        size_t used = 0;
+        p.fire_on_hit = std::stoi(sched.substr(0, star), &used);
+        if (used != (star == std::string::npos ? sched.size() : star)) {
+          return false;
+        }
+        if (star != std::string::npos) {
+          p.times = std::stoi(sched.substr(star + 1), &used);
+          if (used != sched.size() - star - 1) return false;
+        }
+      } catch (...) {
+        return false;
+      }
+      if (p.fire_on_hit < 1 || p.times < 1) return false;
+    }
+    entries.push_back(std::move(p));
+  }
+  if (entries.empty()) return false;
+  for (const auto& p : entries) Arm(p.point, p.fire_on_hit, p.times);
+  return true;
+}
+
+void ArmFromEnvironment() {
+  const char* spec = std::getenv("CAUSER_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return;
+  if (!ArmFromSpec(spec)) {
+    CAUSER_LOG(Error) << "unparsable CAUSER_FAULT spec: " << spec;
+    std::abort();
+  }
+}
+
+}  // namespace causer::fault

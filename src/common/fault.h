@@ -1,0 +1,69 @@
+#ifndef CAUSER_COMMON_FAULT_H_
+#define CAUSER_COMMON_FAULT_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace causer::fault {
+
+/// Fault-injection harness: named injection points compiled into the
+/// recovery-critical paths (checkpoint writer, serialization, optimizer)
+/// so that failure handling is exercised by real tests instead of staying
+/// theoretical. Disarmed — the production state — every ShouldFail call is
+/// a single relaxed atomic load and a predicted-not-taken branch; the
+/// registry lock is only touched while at least one point is armed.
+///
+/// The point catalog lives in docs/ROBUSTNESS.md; tests and the CLI arm
+/// points by name via Arm() / --fault-inject / the CAUSER_FAULT env var.
+
+namespace internal {
+
+/// Number of points currently armed (fired-out points count until
+/// disarmed). Nonzero switches ShouldFail onto the locked slow path.
+extern std::atomic<int> armed_points;
+
+/// Locked lookup + hit bookkeeping; returns true when this hit fires.
+bool ShouldFailSlow(const char* point);
+
+}  // namespace internal
+
+/// True when the `point` injection site should fail on this hit. Call it
+/// exactly where the induced failure would occur; every call counts as one
+/// hit of the point. Free when nothing is armed.
+inline bool ShouldFail(const char* point) {
+  if (internal::armed_points.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  return internal::ShouldFailSlow(point);
+}
+
+/// Arms `point` to fire on hits [fire_on_hit, fire_on_hit + times - 1]
+/// (1-based). Re-arming an armed point resets its hit count.
+void Arm(const std::string& point, int fire_on_hit = 1, int times = 1);
+
+/// Disarms one point (forgetting its hit count). No-op when not armed.
+void Disarm(const std::string& point);
+
+/// Disarms everything. Tests call this in teardown.
+void DisarmAll();
+
+/// Hits observed on an armed point so far (0 when not armed).
+int HitCount(const std::string& point);
+
+/// Times the point actually fired so far (0 when not armed).
+int FireCount(const std::string& point);
+
+/// Arms a comma-separated spec: each entry is `point`, `point@N` (fire on
+/// the N-th hit) or `point@N*M` (fire on N..N+M-1). Returns false — arming
+/// nothing — when the spec fails to parse.
+bool ArmFromSpec(const std::string& spec);
+
+/// Arms from the CAUSER_FAULT environment variable when it is set (same
+/// spec grammar). Aborts on a malformed value: a typo in a fault-injection
+/// test setup must not silently run the happy path.
+void ArmFromEnvironment();
+
+}  // namespace causer::fault
+
+#endif  // CAUSER_COMMON_FAULT_H_

@@ -88,6 +88,26 @@ int Rng::TruncatedGeometric(double p, int max_value) {
   return count;
 }
 
+void Rng::SaveState(std::string* out) const {
+  for (uint64_t s : state_) serial::AppendU64(out, s);
+  serial::AppendU32(out, has_cached_normal_ ? 1 : 0);
+  serial::AppendF64(out, cached_normal_);
+}
+
+bool Rng::LoadState(serial::Reader& in) {
+  uint64_t state[4];
+  uint32_t has_cached = 0;
+  double cached = 0.0;
+  for (auto& s : state) in.ReadU64(&s);
+  in.ReadU32(&has_cached);
+  in.ReadF64(&cached);
+  if (!in.ok()) return false;
+  for (int i = 0; i < 4; ++i) state_[i] = state[i];
+  has_cached_normal_ = has_cached != 0;
+  cached_normal_ = cached;
+  return true;
+}
+
 std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
   assert(k <= n);
   std::vector<int> pool(n);

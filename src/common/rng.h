@@ -2,7 +2,10 @@
 #define CAUSER_COMMON_RNG_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "common/serial.h"
 
 namespace causer {
 
@@ -58,6 +61,16 @@ class Rng {
 
   /// Samples `k` distinct values from [0, n) (k <= n), in random order.
   std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Appends the complete generator state (the four xoshiro words plus the
+  /// cached Box-Muller normal) to `out`. A generator restored with
+  /// LoadState continues the exact stream — the checkpoint/resume
+  /// bit-exactness contract depends on it.
+  void SaveState(std::string* out) const;
+
+  /// Restores state written by SaveState. Returns false (leaving the
+  /// generator unchanged) when the reader runs short.
+  bool LoadState(serial::Reader& in);
 
  private:
   uint64_t state_[4];

@@ -1,0 +1,75 @@
+#ifndef CAUSER_COMMON_SERIAL_H_
+#define CAUSER_COMMON_SERIAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace causer::serial {
+
+/// Little building blocks for binary state blobs (optimizer moments, RNG
+/// streams, checkpoint sections). Values are appended in native byte order
+/// — the blobs are machine-local resume state, not an interchange format.
+/// Every Append* has a matching Reader::Read* that fails (returns false,
+/// latches !ok()) instead of reading past the end, so a truncated blob can
+/// never be half-applied silently.
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+void AppendI32(std::string* out, int32_t v);
+void AppendF32(std::string* out, float v);
+void AppendF64(std::string* out, double v);
+/// u64 length prefix + raw bytes.
+void AppendString(std::string* out, const std::string& s);
+/// u64 element count + raw float data.
+void AppendFloats(std::string* out, const std::vector<float>& v);
+/// Same framing from a raw pointer (for buffers with custom allocators).
+void AppendFloats(std::string* out, const float* data, size_t n);
+/// u64 element count + raw double data.
+void AppendDoubles(std::string* out, const std::vector<double>& v);
+
+/// Sequential reader over a byte range. All Read* return false on
+/// exhaustion (and every later call keeps failing), so callers can batch
+/// reads and check ok() once.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit Reader(const std::string& blob)
+      : Reader(blob.data(), blob.size()) {}
+
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadI32(int32_t* v);
+  bool ReadF32(float* v);
+  bool ReadF64(double* v);
+  bool ReadString(std::string* s);
+  bool ReadFloats(std::vector<float>* v);
+  bool ReadDoubles(std::vector<double>* v);
+
+  /// Advances the cursor by `n` bytes without copying; fails (and
+  /// latches) like a read when fewer than `n` bytes remain.
+  bool Skip(size_t n);
+
+  /// True while no read has failed.
+  bool ok() const { return ok_; }
+  /// Bytes left to read.
+  size_t remaining() const { return size_ - pos_; }
+  /// True when the cursor consumed the whole range without failures.
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+
+ private:
+  bool Take(void* dst, size_t n);
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib one) of `size` bytes. Pass a
+/// previous return value as `seed` to checksum data in chunks.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace causer::serial
+
+#endif  // CAUSER_COMMON_SERIAL_H_

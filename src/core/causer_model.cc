@@ -1,6 +1,7 @@
 #include "core/causer_model.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <unordered_map>
 
@@ -26,6 +27,7 @@ namespace {
 struct CauserMetricsT {
   metrics::Counter& graph_updates;  ///< causer.graph_updates_total
   metrics::Gauge& graph_edges;      ///< causer.graph_edges
+  metrics::Counter& rho_capped;     ///< causer.notears.rho_capped_total
 };
 
 CauserMetricsT& CauserMetrics() {
@@ -36,6 +38,10 @@ CauserMetricsT& CauserMetrics() {
       metrics::GetGauge(
           "causer.graph_edges", "edges",
           "Edges of the learned cluster graph above the epsilon threshold."),
+      metrics::GetCounter(
+          "causer.notears.rho_capped_total", "updates",
+          "Multiplier updates where the beta2_max cap bound the NOTEARS "
+          "rho escalation."),
   };
   return m;
 }
@@ -211,6 +217,10 @@ void CauserModel::FitClusterGraph() {
     // Augmented-Lagrangian DAG penalty at the current multipliers.
     causal::Dense w = graph_->AsDense();
     double h = causal::AcyclicityValue(w);
+    // Numeric-health guard: a non-finite residual means W^c already blew
+    // up; more penalty steps only spread the damage. Leave the matrix for
+    // the trainer's sentinel to roll back.
+    if (!std::isfinite(h)) break;
     causal::Dense hg = causal::AcyclicityGradient(w);
     const double coeff = lagrangian_.beta1() + lagrangian_.beta2() * h;
 
@@ -232,8 +242,9 @@ void CauserModel::FitClusterGraph() {
     }
     graph_->ClampNonNegative();
   }
-  lagrangian_.Update(graph_->AcyclicityResidual());
+  const bool rho_capped = lagrangian_.Update(graph_->AcyclicityResidual());
   if (metrics::Enabled()) {
+    if (rho_capped) CauserMetrics().rho_capped.Add();
     // One FitClusterGraph call is one outer iteration (fixed multipliers,
     // then one multiplier update) over a single inner subproblem.
     auto& nm = causal::NotearsMetrics();
@@ -650,6 +661,51 @@ std::vector<double> CauserModel::ExplainScores(
     out[offset + enc.step_index[r]] = score;
   }
   return out;
+}
+
+void CauserModel::SaveTrainingState(std::string* out) const {
+  models::SequentialRecommender::SaveTrainingState(out);  // rng stream
+  opt_main_->SaveState(out);
+  opt_graph_->SaveState(out);
+  opt_aux_->SaveState(out);
+  lagrangian_.SaveState(out);
+  serial::AppendI32(out, epoch_);
+  serial::AppendU32(out, graph_frozen_ ? 1 : 0);
+  // Mutable via ScaleLearningRate, so it is state rather than config.
+  serial::AppendF32(out, causer_config_.graph_learning_rate);
+}
+
+bool CauserModel::LoadTrainingState(serial::Reader& in) {
+  if (!models::SequentialRecommender::LoadTrainingState(in)) return false;
+  if (!opt_main_->LoadState(in)) return false;
+  if (!opt_graph_->LoadState(in)) return false;
+  if (!opt_aux_->LoadState(in)) return false;
+  if (!lagrangian_.LoadState(in)) return false;
+  int32_t epoch = 0;
+  uint32_t frozen = 0;
+  float graph_lr = 0.0f;
+  in.ReadI32(&epoch);
+  in.ReadU32(&frozen);
+  in.ReadF32(&graph_lr);
+  if (!in.ok()) return false;
+  epoch_ = epoch;
+  graph_frozen_ = frozen != 0;
+  causer_config_.graph_learning_rate = graph_lr;
+  // The W/assignment caches and any recorded transitions belong to the
+  // interrupted epoch; TrainEpoch rebuilds both from the restored
+  // parameters.
+  caches_stale_ = true;
+  epoch_sources_.clear();
+  epoch_targets_.clear();
+  return true;
+}
+
+void CauserModel::ScaleLearningRate(float factor) {
+  opt_main_->set_lr(opt_main_->lr() * factor);
+  opt_graph_->set_lr(opt_graph_->lr() * factor);
+  opt_aux_->set_lr(opt_aux_->lr() * factor);
+  // The W^c subproblem takes direct (non-Adam) steps at this rate.
+  causer_config_.graph_learning_rate *= factor;
 }
 
 causal::Graph CauserModel::LearnedClusterGraph() const {

@@ -119,6 +119,14 @@ class CauserModel : public models::SequentialRecommender {
   double TrainEpoch(const std::vector<data::Sequence>& train) override;
   void OnParametersRestored() override;
 
+  /// Causer's resume state on top of the base RNG stream: the three Adam
+  /// optimizers, the augmented-Lagrangian multipliers, the epoch counter
+  /// (which gates warm-up and slow-update scheduling) and the frozen-graph
+  /// flag. With the parameters this makes a resume bit-identical.
+  void SaveTrainingState(std::string* out) const override;
+  bool LoadTrainingState(serial::Reader& in) override;
+  void ScaleLearningRate(float factor) override;
+
   /// Per-history-step explanation scores for recommending `item` after
   /// `instance.history` (higher = more causal). Length = history size.
   std::vector<double> ExplainScores(const data::EvalInstance& instance,

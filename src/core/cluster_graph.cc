@@ -118,12 +118,35 @@ AugmentedLagrangian::AugmentedLagrangian(double beta1_init, double beta2_init,
       beta2_max_(beta2_max),
       h_prev_(std::numeric_limits<double>::infinity()) {}
 
-void AugmentedLagrangian::Update(double h) {
+bool AugmentedLagrangian::Update(double h) {
+  if (!std::isfinite(h)) return false;
   beta1_ += beta2_ * h;
+  bool capped = false;
   if (std::isfinite(h_prev_) && std::fabs(h) >= kappa2_ * std::fabs(h_prev_)) {
-    beta2_ = std::min(beta2_ * kappa1_, beta2_max_);
+    double grown = beta2_ * kappa1_;
+    capped = grown > beta2_max_;
+    beta2_ = capped ? beta2_max_ : grown;
   }
   h_prev_ = h;
+  return capped;
+}
+
+void AugmentedLagrangian::SaveState(std::string* out) const {
+  serial::AppendF64(out, beta1_);
+  serial::AppendF64(out, beta2_);
+  serial::AppendF64(out, h_prev_);
+}
+
+bool AugmentedLagrangian::LoadState(serial::Reader& in) {
+  double beta1 = 0.0, beta2 = 0.0, h_prev = 0.0;
+  in.ReadF64(&beta1);
+  in.ReadF64(&beta2);
+  in.ReadF64(&h_prev);
+  if (!in.ok()) return false;
+  beta1_ = beta1;
+  beta2_ = beta2;
+  h_prev_ = h_prev;
+  return true;
 }
 
 }  // namespace causer::core

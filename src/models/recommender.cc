@@ -1,7 +1,10 @@
 #include "models/recommender.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
+#include "common/fault.h"
 #include "common/log.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -43,6 +46,37 @@ TrainerMetricsT& TrainerMetrics() {
   return m;
 }
 
+HealthMetricsT& HealthMetrics() {
+  static HealthMetricsT m{
+      metrics::GetCounter(
+          "trainer.health.nonfinite_total", "trips",
+          "Epochs whose loss or parameters went non-finite (NaN/Inf)."),
+      metrics::GetCounter(
+          "trainer.health.rollbacks_total", "rollbacks",
+          "Checkpoint rollbacks performed by the numeric-health sentinel."),
+      metrics::GetGauge(
+          "trainer.health.lr_scale", "factor",
+          "Cumulative learning-rate scale applied by sentinel rollbacks "
+          "(1.0 = untouched, halved per rollback)."),
+      metrics::GetCounter("trainer.checkpoint.writes_total", "checkpoints",
+                          "Training checkpoints written successfully."),
+      metrics::GetCounter(
+          "trainer.checkpoint.resumes_total", "resumes",
+          "Checkpoints restored (startup --resume and sentinel rollbacks)."),
+  };
+  return m;
+}
+
+void SequentialRecommender::SaveTrainingState(std::string* out) const {
+  rng_.SaveState(out);
+}
+
+bool SequentialRecommender::LoadTrainingState(serial::Reader& in) {
+  return rng_.LoadState(in);
+}
+
+void SequentialRecommender::ScaleLearningRate(float /*factor*/) {}
+
 std::vector<data::Step> SequentialRecommender::Truncate(
     const std::vector<data::Step>& history) const {
   const int cap = config_.max_history;
@@ -59,6 +93,23 @@ RepresentationModel::RepresentationModel(const ModelConfig& config)
 
 void RepresentationModel::FinalizeOptimizer() {
   optimizer_ = std::make_unique<nn::Adam>(Parameters(), config_.learning_rate);
+}
+
+void RepresentationModel::SaveTrainingState(std::string* out) const {
+  CAUSER_CHECK(optimizer_ != nullptr);
+  SequentialRecommender::SaveTrainingState(out);
+  optimizer_->SaveState(out);
+}
+
+bool RepresentationModel::LoadTrainingState(serial::Reader& in) {
+  CAUSER_CHECK(optimizer_ != nullptr);
+  return SequentialRecommender::LoadTrainingState(in) &&
+         optimizer_->LoadState(in);
+}
+
+void RepresentationModel::ScaleLearningRate(float factor) {
+  CAUSER_CHECK(optimizer_ != nullptr);
+  optimizer_->set_lr(optimizer_->lr() * factor);
 }
 
 Tensor RepresentationModel::StepEmbedding(const nn::Embedding& emb,
@@ -125,6 +176,12 @@ double RepresentationModel::TrainEpoch(
     optimizer_->ZeroGrad();
     tensor::Backward(loss);
     double norm = optimizer_->ClipGradNorm(config_.grad_clip);
+    // Numeric-health sentinel: a non-finite global norm means some
+    // gradient exploded. Bail out before Step() poisons the parameters —
+    // the NaN epoch loss sends Fit() to its checkpoint-rollback path.
+    if (!std::isfinite(norm)) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
     optimizer_->Step();
     if (measure) {
       auto& tm = TrainerMetrics();
@@ -246,6 +303,11 @@ double RepresentationModel::TrainEpochBatched(
       }
     }
     double norm = optimizer_->ClipGradNorm(config_.grad_clip);
+    // Same per-step sentinel as the sequential path: never Step() through
+    // a non-finite gradient.
+    if (!std::isfinite(norm)) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
     optimizer_->Step();
     if (measure) {
       auto& tm = TrainerMetrics();
@@ -279,17 +341,39 @@ void RestoreParams(std::vector<Tensor>& params,
 
 }  // namespace
 
+namespace {
+
+bool AllFinite(const std::vector<Tensor>& params) {
+  for (const auto& p : params) {
+    for (float v : p.data()) {
+      if (!std::isfinite(v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 FitResult Fit(SequentialRecommender& model, const data::Split& split,
               const TrainConfig& config) {
   FitResult result;
+  auto& hm = HealthMetrics();  // registers the group even when disabled
   auto scorer = MakeScorer(model);
   auto params = model.Parameters();
-  std::vector<std::vector<float>> best_snapshot;
-  double best_ndcg = -1.0;
-  int stale = 0;
+  FitResumeState st;
   trace::TraceSpan fit_span("train.fit", "trainer");
 
-  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+  if (config.resume && config.checkpoint_restore &&
+      config.checkpoint_restore(&st)) {
+    model.OnParametersRestored();
+    CAUSER_LOG(Info) << model.name() << " resumed at epoch "
+                     << st.next_epoch;
+  }
+  if (metrics::Enabled()) hm.lr_scale.Set(st.lr_scale);
+
+  int epoch = st.next_epoch;
+  bool stop = false;
+  while (epoch < config.max_epochs && !stop) {
     trace::TraceSpan epoch_span("train.epoch", "trainer");
     epoch_span.AddArg("epoch", epoch);
     const bool measure = metrics::Enabled();
@@ -302,9 +386,48 @@ FitResult Fit(SequentialRecommender& model, const data::Split& split,
       tm.epoch_seconds.Observe(epoch_sw.ElapsedSeconds());
     }
     epoch_span.AddArg("loss", loss);
-    result.epoch_losses.push_back(loss);
-    ++result.epochs_run;
 
+    // Numeric-health sentinel: a non-finite loss (the trainers bail out
+    // with NaN on an exploded gradient) or non-finite parameters void the
+    // epoch. Roll back to the last good checkpoint at half the learning
+    // rate; give up after health_max_retries rollbacks (or with no
+    // checkpoint to return to).
+    if (config.health_check && (!std::isfinite(loss) || !AllFinite(params))) {
+      if (measure) hm.nonfinite.Add();
+      if (config.checkpoint_restore &&
+          result.health_rollbacks < config.health_max_retries) {
+        FitResumeState recovered;
+        if (config.checkpoint_restore(&recovered)) {
+          // Halve relative to the attempt that just failed, not to the
+          // restored checkpoint (whose optimizer state carries its own
+          // baked-in scale): consecutive rollbacks keep compounding.
+          const double target = st.lr_scale * 0.5;
+          model.OnParametersRestored();
+          model.ScaleLearningRate(
+              static_cast<float>(target / recovered.lr_scale));
+          recovered.lr_scale = target;
+          st = std::move(recovered);
+          ++result.health_rollbacks;
+          if (measure) {
+            hm.rollbacks.Add();
+            hm.lr_scale.Set(st.lr_scale);
+          }
+          CAUSER_LOG(Warning)
+              << model.name() << " non-finite state at epoch " << epoch
+              << "; rolled back to epoch " << st.next_epoch
+              << " at lr scale " << st.lr_scale;
+          epoch = st.next_epoch;
+          continue;
+        }
+      }
+      CAUSER_LOG(Error) << model.name() << " non-finite state at epoch "
+                        << epoch << " and no checkpoint to roll back to "
+                        << "(or retries exhausted); stopping";
+      result.stopped_unhealthy = true;
+      break;
+    }
+
+    st.epoch_losses.push_back(loss);
     const auto& val =
         split.validation.empty() ? split.test : split.validation;
     eval::EvalResult ev = eval::Evaluate(scorer, val, config.eval_z);
@@ -313,22 +436,43 @@ FitResult Fit(SequentialRecommender& model, const data::Split& split,
                        << loss << " val NDCG@" << config.eval_z << " "
                        << ev.ndcg;
     }
-    if (epoch + 1 < config.min_epochs) continue;
-    if (ev.ndcg > best_ndcg) {
-      best_ndcg = ev.ndcg;
-      best_snapshot = SnapshotParams(params);
-      stale = 0;
-      if (measure) TrainerMetrics().best_validation_ndcg.Set(best_ndcg);
-    } else if (++stale > config.patience) {
-      break;
+    if (epoch + 1 >= config.min_epochs) {
+      if (ev.ndcg > st.best_ndcg) {
+        st.best_ndcg = ev.ndcg;
+        st.best_snapshot = SnapshotParams(params);
+        st.stale = 0;
+        if (measure) TrainerMetrics().best_validation_ndcg.Set(st.best_ndcg);
+      } else if (++st.stale > config.patience) {
+        stop = true;
+      }
+    }
+    ++epoch;
+    st.next_epoch = epoch;
+    if (config.checkpoint_save && epoch % config.checkpoint_every == 0) {
+      if (!config.checkpoint_save(st)) {
+        CAUSER_LOG(Warning) << "checkpoint save failed at epoch " << epoch
+                            << "; training continues";
+      } else if (fault::ShouldFail("trainer.crash_after_checkpoint")) {
+        // Simulated hard kill for the crash-resume tests: abandon the run
+        // right after the checkpoint hits disk, without restoring the
+        // best snapshot — exactly what SIGKILL would leave behind.
+        CAUSER_LOG(Warning) << "fault injection: simulated crash after "
+                            << "checkpoint at epoch " << epoch;
+        result.epochs_run = static_cast<int>(st.epoch_losses.size());
+        result.epoch_losses = std::move(st.epoch_losses);
+        result.best_validation_ndcg = std::max(st.best_ndcg, 0.0);
+        return result;
+      }
     }
   }
+  result.epochs_run = static_cast<int>(st.epoch_losses.size());
+  result.epoch_losses = std::move(st.epoch_losses);
   fit_span.AddArg("epochs", result.epochs_run);
-  if (!best_snapshot.empty()) {
-    RestoreParams(params, best_snapshot);
+  if (!st.best_snapshot.empty()) {
+    RestoreParams(params, st.best_snapshot);
     model.OnParametersRestored();
   }
-  result.best_validation_ndcg = std::max(best_ndcg, 0.0);
+  result.best_validation_ndcg = std::max(st.best_ndcg, 0.0);
   return result;
 }
 

@@ -1,12 +1,14 @@
 #ifndef CAUSER_MODELS_RECOMMENDER_H_
 #define CAUSER_MODELS_RECOMMENDER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/serial.h"
 #include "data/dataset.h"
 #include "data/sampler.h"
 #include "data/split.h"
@@ -32,6 +34,20 @@ struct TrainerMetricsT {
 
 /// The shared instrument group (function-local static registration).
 TrainerMetricsT& TrainerMetrics();
+
+/// Fault-tolerance instruments (see docs/ROBUSTNESS.md): the numeric-health
+/// sentinel and the checkpoint/resume machinery. Registered together when
+/// Fit() first runs.
+struct HealthMetricsT {
+  metrics::Counter& nonfinite;    ///< trainer.health.nonfinite_total
+  metrics::Counter& rollbacks;    ///< trainer.health.rollbacks_total
+  metrics::Gauge& lr_scale;       ///< trainer.health.lr_scale
+  metrics::Counter& checkpoint_writes;   ///< trainer.checkpoint.writes_total
+  metrics::Counter& checkpoint_resumes;  ///< trainer.checkpoint.resumes_total
+};
+
+/// The shared fault-tolerance instrument group.
+HealthMetricsT& HealthMetrics();
 
 /// Hyper-parameters shared by all models in the comparison suite. Sized for
 /// single-core CPU training on the scaled-down datasets.
@@ -83,6 +99,25 @@ class SequentialRecommender : public nn::Module {
   /// models with derived caches (Causer's item-level W) invalidate them.
   virtual void OnParametersRestored() {}
 
+  /// Appends the model's training-resume state to `out`: everything beyond
+  /// the parameters that the next epoch depends on. The base class covers
+  /// the RNG stream (shuffle + negative sampling); overrides append their
+  /// optimizer moments and schedule counters on top. Together with the
+  /// parameters this makes a checkpointed resume bit-identical to an
+  /// uninterrupted run (core/checkpoint.h).
+  virtual void SaveTrainingState(std::string* out) const;
+
+  /// Restores state written by SaveTrainingState. Overrides call the base
+  /// first (same order as SaveTrainingState) and must leave derived caches
+  /// invalidated. Returns false on a short or wrong-architecture blob;
+  /// callers treat the model as invalid in that case.
+  virtual bool LoadTrainingState(serial::Reader& in);
+
+  /// Multiplies every optimizer learning rate by `factor` — the numeric-
+  /// health sentinel's post-rollback halving. Base: no-op (models without
+  /// an optimizer handle simply retry at the same rate).
+  virtual void ScaleLearningRate(float factor);
+
   const ModelConfig& config() const { return config_; }
 
  protected:
@@ -105,6 +140,9 @@ class RepresentationModel : public SequentialRecommender {
   std::vector<float> ScoreAll(int user,
                               const std::vector<data::Step>& history) override;
   double TrainEpoch(const std::vector<data::Sequence>& train) override;
+  void SaveTrainingState(std::string* out) const override;
+  bool LoadTrainingState(serial::Reader& in) override;
+  void ScaleLearningRate(float factor) override;
 
  protected:
   /// Maps (user, truncated history) to a [1, embedding_dim] representation.
@@ -134,6 +172,25 @@ class RepresentationModel : public SequentialRecommender {
   std::unique_ptr<nn::Adam> optimizer_;
 };
 
+/// The Fit() loop's complete resume state: the epoch cursor plus the
+/// early-stopping bookkeeping. Checkpoints bundle this next to the model
+/// parameters and training state so a resumed run makes the same stop/
+/// snapshot decisions an uninterrupted one would.
+struct FitResumeState {
+  /// First epoch the loop has not completed yet.
+  int next_epoch = 0;
+  double best_ndcg = -1.0;
+  /// Epochs since the last validation improvement.
+  int stale = 0;
+  std::vector<double> epoch_losses;
+  /// Parameter snapshot behind best_ndcg (empty before min_epochs).
+  std::vector<std::vector<float>> best_snapshot;
+  /// Cumulative sentinel learning-rate scale baked into the optimizer
+  /// state at checkpoint time (1.0 until a rollback halves it). Persisted
+  /// so rollback halvings compound correctly across restores.
+  double lr_scale = 1.0;
+};
+
 /// Training configuration for Fit().
 struct TrainConfig {
   int max_epochs = 8;
@@ -145,13 +202,40 @@ struct TrainConfig {
   int min_epochs = 0;
   int eval_z = 5;
   bool verbose = false;
+
+  // -- Fault tolerance (docs/ROBUSTNESS.md) -------------------------------
+  /// Persists the model + FitResumeState after an epoch; installed by
+  /// core::InstallCheckpointHooks. Null disables checkpointing. A failed
+  /// save is logged and training continues (availability over durability).
+  std::function<bool(const FitResumeState&)> checkpoint_save;
+  /// Restores the newest loadable checkpoint into the model and `*state`;
+  /// used at startup when `resume` is set and by the health sentinel's
+  /// rollback. Returns false when nothing loadable exists.
+  std::function<bool(FitResumeState*)> checkpoint_restore;
+  /// Epochs between checkpoint_save calls.
+  int checkpoint_every = 1;
+  /// Call checkpoint_restore before the first epoch.
+  bool resume = false;
+  /// Per-epoch numeric-health sentinel: scan the epoch loss and every
+  /// parameter for non-finite values; on a trip, roll back to the last
+  /// good checkpoint and halve the learning rate.
+  bool health_check = true;
+  /// Rollbacks allowed before the sentinel gives up and stops training.
+  int health_max_retries = 3;
 };
 
 /// Outcome of Fit().
 struct FitResult {
+  /// Total epochs of the logical run — including epochs replayed from a
+  /// resumed checkpoint's history, excluding epochs voided by a rollback.
   int epochs_run = 0;
   double best_validation_ndcg = 0.0;
   std::vector<double> epoch_losses;
+  /// Health-sentinel rollbacks performed (each halved the LR).
+  int health_rollbacks = 0;
+  /// True when training stopped because the sentinel ran out of retries
+  /// (or had no checkpoint to roll back to).
+  bool stopped_unhealthy = false;
 };
 
 /// Trains `model` on split.train with early stopping on split.validation

@@ -1,6 +1,9 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <limits>
+
+#include "common/fault.h"
 
 namespace causer::nn {
 
@@ -13,6 +16,18 @@ void Optimizer::ZeroGrad() {
 }
 
 double Optimizer::ClipGradNorm(double max_norm) {
+  // Injection point `optimizer.nan_grad`: poisons one gradient value the
+  // way a numerically exploded backward pass would, so the trainer's
+  // sentinel + checkpoint-rollback path is testable end to end.
+  if (fault::ShouldFail("optimizer.nan_grad")) {
+    for (auto& p : params_) {
+      auto& node = *p.node();
+      if (!node.grad.empty()) {
+        node.grad[0] = std::numeric_limits<float>::quiet_NaN();
+        break;
+      }
+    }
+  }
   double total = 0.0;
   for (const auto& p : params_) {
     for (float g : p.grad()) total += static_cast<double>(g) * g;
@@ -51,6 +66,33 @@ void Sgd::Step() {
         node.value[j] -= lr_ * node.grad[j];
     }
   }
+}
+
+void Sgd::SaveState(std::string* out) const {
+  serial::AppendF32(out, lr_);
+  serial::AppendF32(out, momentum_);
+  serial::AppendU64(out, velocity_.size());
+  for (const auto& v : velocity_) serial::AppendFloats(out, v);
+}
+
+bool Sgd::LoadState(serial::Reader& in) {
+  float lr = 0.0f, momentum = 0.0f;
+  uint64_t count = 0;
+  in.ReadF32(&lr);
+  in.ReadF32(&momentum);
+  in.ReadU64(&count);
+  if (!in.ok() || count != velocity_.size()) return false;
+  std::vector<std::vector<float>> staged(velocity_.size());
+  for (size_t i = 0; i < staged.size(); ++i) {
+    if (!in.ReadFloats(&staged[i]) ||
+        staged[i].size() != velocity_[i].size()) {
+      return false;
+    }
+  }
+  lr_ = lr;
+  momentum_ = momentum;
+  velocity_ = std::move(staged);
+  return true;
 }
 
 Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
@@ -106,6 +148,47 @@ void Adam::Step() {
       w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void Adam::SaveState(std::string* out) const {
+  serial::AppendF32(out, lr_);
+  serial::AppendF32(out, beta1_);
+  serial::AppendF32(out, beta2_);
+  serial::AppendF32(out, eps_);
+  serial::AppendI32(out, step_count_);
+  serial::AppendU64(out, m_.size());
+  for (size_t i = 0; i < m_.size(); ++i) {
+    serial::AppendFloats(out, m_[i]);
+    serial::AppendFloats(out, v_[i]);
+  }
+}
+
+bool Adam::LoadState(serial::Reader& in) {
+  float lr = 0.0f, beta1 = 0.0f, beta2 = 0.0f, eps = 0.0f;
+  int32_t step_count = 0;
+  uint64_t count = 0;
+  in.ReadF32(&lr);
+  in.ReadF32(&beta1);
+  in.ReadF32(&beta2);
+  in.ReadF32(&eps);
+  in.ReadI32(&step_count);
+  in.ReadU64(&count);
+  if (!in.ok() || count != m_.size() || step_count < 0) return false;
+  std::vector<std::vector<float>> m(m_.size()), v(v_.size());
+  for (size_t i = 0; i < m_.size(); ++i) {
+    if (!in.ReadFloats(&m[i]) || m[i].size() != m_[i].size() ||
+        !in.ReadFloats(&v[i]) || v[i].size() != v_[i].size()) {
+      return false;
+    }
+  }
+  lr_ = lr;
+  beta1_ = beta1;
+  beta2_ = beta2;
+  eps_ = eps;
+  step_count_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return true;
 }
 
 }  // namespace causer::nn

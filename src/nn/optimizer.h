@@ -1,8 +1,10 @@
 #ifndef CAUSER_NN_OPTIMIZER_H_
 #define CAUSER_NN_OPTIMIZER_H_
 
+#include <string>
 #include <vector>
 
+#include "common/serial.h"
 #include "tensor/tensor.h"
 
 namespace causer::nn {
@@ -24,8 +26,19 @@ class Optimizer {
   void ZeroGrad();
 
   /// Rescales all gradients so their global L2 norm is at most `max_norm`.
-  /// Returns the pre-clip norm.
+  /// Returns the pre-clip norm (non-finite when any gradient is — the
+  /// trainers use that as their per-step numeric-health signal).
   double ClipGradNorm(double max_norm);
+
+  /// Appends the optimizer's mutable state — schedule position and moment
+  /// buffers — to `out`, so a checkpoint can resume the exact update
+  /// trajectory (parameters alone restart the moments from zero).
+  virtual void SaveState(std::string* out) const = 0;
+
+  /// Restores state written by SaveState for an optimizer over the same
+  /// parameter list. All-or-nothing: returns false on a short or
+  /// wrong-shape blob with the optimizer unchanged.
+  virtual bool LoadState(serial::Reader& in) = 0;
 
   const std::vector<Tensor>& params() const { return params_; }
 
@@ -39,6 +52,8 @@ class Sgd : public Optimizer {
   Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
 
   void Step() override;
+  void SaveState(std::string* out) const override;
+  bool LoadState(serial::Reader& in) override;
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
@@ -56,6 +71,8 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f);
 
   void Step() override;
+  void SaveState(std::string* out) const override;
+  bool LoadState(serial::Reader& in) override;
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }

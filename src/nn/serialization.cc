@@ -1,9 +1,13 @@
 #include "nn/serialization.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <vector>
+
+#include "common/fault.h"
+#include "common/log.h"
 
 namespace causer::nn {
 namespace {
@@ -46,7 +50,13 @@ bool SaveParameters(const Module& module, const std::string& path) {
       return false;
     }
   }
-  return true;
+  // fwrite only hands data to stdio's buffer; a full disk usually
+  // surfaces at flush/close. Both must be checked or a truncated file is
+  // reported as a successful save. (`params.flush_fail` simulates ENOSPC.)
+  if (std::fflush(f.get()) != 0 || fault::ShouldFail("params.flush_fail")) {
+    return false;
+  }
+  return std::fclose(f.release()) == 0;
 }
 
 bool LoadParameters(Module& module, const std::string& path) {
@@ -72,6 +82,17 @@ bool LoadParameters(Module& module, const std::string& path) {
     if (std::fread(staged[i].data(), sizeof(float), staged[i].size(),
                    f.get()) != staged[i].size()) {
       return false;
+    }
+    // A well-framed file can still carry garbage payloads (bit rot, a
+    // crash mid-overwrite): NaN/Inf weights would load silently and only
+    // show up later as degraded metrics. Reject them here, by name.
+    for (size_t j = 0; j < staged[i].size(); ++j) {
+      if (!std::isfinite(staged[i][j])) {
+        CAUSER_LOG(Error) << "LoadParameters(" << path
+                          << "): non-finite value in parameter " << i
+                          << " at element " << j;
+        return false;
+      }
     }
   }
   // The last tensor must end exactly at EOF: trailing bytes mean a

@@ -9,13 +9,16 @@ namespace causer::nn {
 
 /// Writes all parameters of `module` to `path` in a simple binary format
 /// (magic, parameter count, then per parameter: rows, cols, row-major
-/// float data). Returns false on I/O failure.
+/// float data). Returns false on I/O failure, including errors surfaced
+/// only at fflush/fclose time (e.g. a full disk).
 bool SaveParameters(const Module& module, const std::string& path);
 
 /// Loads parameters saved by SaveParameters into `module`. The module must
 /// have the same architecture: parameter count and every shape must match,
-/// otherwise loading fails and the module is left unchanged. Returns true
-/// on success.
+/// and every payload value must be finite (a garbled-but-well-framed file
+/// is rejected with a log line naming the offending parameter); otherwise
+/// loading fails and the module is left unchanged. Returns true on
+/// success.
 bool LoadParameters(Module& module, const std::string& path);
 
 }  // namespace causer::nn

@@ -1,0 +1,119 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace causer::fault {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FaultTest, DisarmedNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(ShouldFail("test.point"));
+  }
+  EXPECT_EQ(HitCount("test.point"), 0);  // hits only counted while armed
+}
+
+TEST_F(FaultTest, ArmedPointFiresOnFirstHitOnce) {
+  Arm("test.point");
+  EXPECT_TRUE(ShouldFail("test.point"));
+  EXPECT_FALSE(ShouldFail("test.point"));
+  EXPECT_FALSE(ShouldFail("test.point"));
+  EXPECT_EQ(HitCount("test.point"), 3);
+  EXPECT_EQ(FireCount("test.point"), 1);
+}
+
+TEST_F(FaultTest, ArmingOnePointDoesNotAffectOthers) {
+  Arm("test.a");
+  EXPECT_FALSE(ShouldFail("test.b"));
+  EXPECT_TRUE(ShouldFail("test.a"));
+}
+
+TEST_F(FaultTest, FireOnNthHit) {
+  Arm("test.point", /*fire_on_hit=*/3);
+  EXPECT_FALSE(ShouldFail("test.point"));
+  EXPECT_FALSE(ShouldFail("test.point"));
+  EXPECT_TRUE(ShouldFail("test.point"));
+  EXPECT_FALSE(ShouldFail("test.point"));
+}
+
+TEST_F(FaultTest, FireWindow) {
+  Arm("test.point", /*fire_on_hit=*/2, /*times=*/3);
+  EXPECT_FALSE(ShouldFail("test.point"));  // hit 1
+  EXPECT_TRUE(ShouldFail("test.point"));   // hits 2..4 fire
+  EXPECT_TRUE(ShouldFail("test.point"));
+  EXPECT_TRUE(ShouldFail("test.point"));
+  EXPECT_FALSE(ShouldFail("test.point"));  // window exhausted
+  EXPECT_EQ(FireCount("test.point"), 3);
+}
+
+TEST_F(FaultTest, RearmResetsHitCount) {
+  Arm("test.point", /*fire_on_hit=*/2);
+  EXPECT_FALSE(ShouldFail("test.point"));
+  Arm("test.point", /*fire_on_hit=*/2);
+  EXPECT_FALSE(ShouldFail("test.point"));  // hit 1 again after re-arm
+  EXPECT_TRUE(ShouldFail("test.point"));
+}
+
+TEST_F(FaultTest, DisarmStopsFiring) {
+  Arm("test.point", /*fire_on_hit=*/1, /*times=*/100);
+  EXPECT_TRUE(ShouldFail("test.point"));
+  Disarm("test.point");
+  EXPECT_FALSE(ShouldFail("test.point"));
+  EXPECT_EQ(HitCount("test.point"), 0);
+}
+
+TEST_F(FaultTest, SpecSingleEntry) {
+  ASSERT_TRUE(ArmFromSpec("test.point"));
+  EXPECT_TRUE(ShouldFail("test.point"));
+}
+
+TEST_F(FaultTest, SpecWithHitAndWindow) {
+  ASSERT_TRUE(ArmFromSpec("test.a@2,test.b@1*2"));
+  EXPECT_FALSE(ShouldFail("test.a"));
+  EXPECT_TRUE(ShouldFail("test.a"));
+  EXPECT_TRUE(ShouldFail("test.b"));
+  EXPECT_TRUE(ShouldFail("test.b"));
+  EXPECT_FALSE(ShouldFail("test.b"));
+}
+
+TEST_F(FaultTest, MalformedSpecsArmNothing) {
+  EXPECT_FALSE(ArmFromSpec(""));
+  EXPECT_FALSE(ArmFromSpec("@3"));
+  EXPECT_FALSE(ArmFromSpec("test.point@"));
+  EXPECT_FALSE(ArmFromSpec("test.point@zero"));
+  EXPECT_FALSE(ArmFromSpec("test.point@0"));
+  EXPECT_FALSE(ArmFromSpec("test.point@1*"));
+  EXPECT_FALSE(ArmFromSpec("test.point@1*0"));
+  EXPECT_FALSE(ArmFromSpec("test.point@1x2"));
+  // A malformed tail must not leave the valid head armed.
+  EXPECT_FALSE(ArmFromSpec("test.good,test.bad@"));
+  EXPECT_FALSE(ShouldFail("test.good"));
+}
+
+TEST_F(FaultTest, ArmFromEnvironmentHonorsVariable) {
+  ASSERT_EQ(setenv("CAUSER_FAULT", "test.env@1", 1), 0);
+  ArmFromEnvironment();
+  EXPECT_TRUE(ShouldFail("test.env"));
+  ASSERT_EQ(unsetenv("CAUSER_FAULT"), 0);
+}
+
+TEST_F(FaultTest, ArmFromEnvironmentIgnoresUnset) {
+  ASSERT_EQ(unsetenv("CAUSER_FAULT"), 0);
+  ArmFromEnvironment();  // must not abort or arm anything
+  EXPECT_FALSE(ShouldFail("test.env"));
+}
+
+TEST_F(FaultTest, ArmFromEnvironmentAbortsOnMalformedSpec) {
+  ASSERT_EQ(setenv("CAUSER_FAULT", "@broken", 1), 0);
+  EXPECT_DEATH(ArmFromEnvironment(), "CAUSER_FAULT");
+  ASSERT_EQ(unsetenv("CAUSER_FAULT"), 0);
+}
+
+}  // namespace
+}  // namespace causer::fault

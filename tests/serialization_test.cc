@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 
+#include "common/fault.h"
 #include "core/trainer.h"
 #include "data/generator.h"
 #include "data/split.h"
@@ -113,6 +115,43 @@ TEST(SerializationTest, VersionMismatchRejected) {
   std::fclose(f);
   Linear other(2, 2, rng);
   EXPECT_FALSE(LoadParameters(other, path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, FlushFailureReportedAsSaveFailure) {
+  // Regression for the fflush/fclose-ignored bug: a flush-time error
+  // (e.g. ENOSPC surfacing only when stdio drains its buffer) must turn
+  // into a failed save, not a silently truncated file.
+  Rng rng(8);
+  Linear lin(4, 4, rng);
+  std::string path = TempPath("flushfail.bin");
+  fault::Arm("params.flush_fail");
+  EXPECT_FALSE(SaveParameters(lin, path));
+  fault::DisarmAll();
+  std::remove(path.c_str());
+  // Disarmed, the same save succeeds.
+  EXPECT_TRUE(SaveParameters(lin, path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, NonFinitePayloadRejectedWithoutMutation) {
+  Rng rng(9);
+  Linear lin(3, 3, rng);
+  std::string path = TempPath("nanpayload.bin");
+  ASSERT_TRUE(SaveParameters(lin, path));
+  // Patch a NaN into the first weight payload float (after magic, version,
+  // param count, rows, cols = 5 * u32).
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 20, SEEK_SET);
+  float nan = std::nanf("");
+  std::fwrite(&nan, sizeof(nan), 1, f);
+  std::fclose(f);
+
+  Linear other(3, 3, rng);
+  auto before = other.weight().data();
+  EXPECT_FALSE(LoadParameters(other, path));
+  EXPECT_EQ(other.weight().data(), before);
   std::remove(path.c_str());
 }
 

@@ -33,10 +33,12 @@
 #include <string>
 #include <thread>
 
+#include "common/fault.h"
 #include "common/flags.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "core/checkpoint.h"
 #include "core/explainer.h"
 #include "core/trainer.h"
 #include "data/generator.h"
@@ -86,6 +88,11 @@ int PrintHelp() {
       "  --patience=N         Early-stopping patience in epochs (default "
       "3).\n"
       "  --verbose=BOOL       Log per-epoch loss and validation NDCG.\n"
+      "  --checkpoint-dir=DIR Write atomic training checkpoints here and "
+      "enable crash recovery (docs/ROBUSTNESS.md).\n"
+      "  --checkpoint-every=N Epochs between checkpoints (default 1).\n"
+      "  --resume=BOOL        Resume from the newest loadable checkpoint "
+      "in --checkpoint-dir before the first epoch.\n"
       "\n"
       "evaluate / explain flags:\n"
       "  --model=FILE         Trained weights to load (required).\n"
@@ -123,6 +130,9 @@ int PrintHelp() {
       "  --metrics-interval=SECONDS\n"
       "                       Enable metrics and dump the registry to "
       "stderr every SECONDS while running.\n"
+      "  --fault-inject=SPEC  Arm fault-injection points, e.g. "
+      "\"ckpt.rename_fail,optimizer.nan_grad@40\" (testing only; also "
+      "honors the CAUSER_FAULT env var).\n"
       "  --help               Show this help.\n");
   return 0;
 }
@@ -261,6 +271,17 @@ int CmdTrain(const Flags& flags) {
   tc.max_epochs = flags.GetInt("epochs", 12);
   tc.patience = flags.GetInt("patience", 3);
   tc.verbose = flags.GetBool("verbose", false);
+  std::string ckpt_dir = flags.GetString("checkpoint-dir");
+  if (!ckpt_dir.empty()) {
+    core::CheckpointOptions copts;
+    copts.dir = ckpt_dir;
+    copts.every = flags.GetInt("checkpoint-every", 1);
+    copts.resume = flags.GetBool("resume", false);
+    if (!core::InstallCheckpointHooks(copts, model, &tc)) return 1;
+  } else if (flags.GetBool("resume", false)) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
+  }
   auto result = core::TrainCauser(model, split, tc);
   std::printf("trained %s for %d epochs, best validation NDCG@5 %.4f\n",
               model.name().c_str(), result.fit.epochs_run,
@@ -356,6 +377,14 @@ int main(int argc, char** argv) {
   // --arena=false falls back to per-op heap allocation for the autograd
   // tape — the A/B knob behind BENCH_kernels.json's steps/sec comparison.
   causer::tensor::SetArenaEnabled(flags.GetBool("arena", true));
+  // Fault injection (testing only): CAUSER_FAULT env var, then the flag.
+  causer::fault::ArmFromEnvironment();
+  std::string fault_spec = flags.GetString("fault-inject");
+  if (!fault_spec.empty() && !causer::fault::ArmFromSpec(fault_spec)) {
+    std::fprintf(stderr, "malformed --fault-inject spec '%s'\n",
+                 fault_spec.c_str());
+    return 2;
+  }
   ObservabilitySession observability(flags);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "train") return CmdTrain(flags);
