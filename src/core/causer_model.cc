@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
+#include <cstdint>
 #include <unordered_map>
 
 #include "causal/acyclicity.h"
@@ -44,6 +44,32 @@ CauserMetricsT& CauserMetrics() {
           "rho escalation."),
   };
   return m;
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed of the chained group-key hash; histories that keep nothing stay at
+/// the seed, so it doubles as "the fallback group's key".
+constexpr uint64_t kGroupKeySeed = 0xcbf29ce484222325ULL;
+
+/// Absorbs one kept (step, item) pair into a running group key. Chaining
+/// the mix keeps the key order-sensitive and lets the serving path extend a
+/// cached key with a new step's pairs without revisiting the history —
+/// exactly the Zobrist-style trick incremental hashers use. Two distinct
+/// filtered histories collide with probability ~2^-64 per pair, far below
+/// the float-noise floor of everything downstream; a collision would merely
+/// score the colliding candidates against the other history's encoding.
+inline uint64_t HashKeptPair(uint64_t key, int step, int item) {
+  const uint64_t pair = (static_cast<uint64_t>(static_cast<uint32_t>(step))
+                         << 32) |
+                        static_cast<uint32_t>(item);
+  return SplitMix64(key ^ SplitMix64(pair));
 }
 
 }  // namespace
@@ -147,6 +173,11 @@ void CauserModel::RefreshCaches() {
   // Explicit element copy: the caches are plain heap vectors that outlive
   // any ArenaScope the refresh might run under.
   assign_cache_.assign(assignments.data().begin(), assignments.data().end());
+  // The user-bias columns are dot products against the refreshed
+  // parameters, and serve sessions' cached groups filter through the
+  // refreshed w_cache_: both invalidate with it.
+  user_bias_cache_.clear();
+  ++serve_epoch_;
   caches_stale_ = false;
 }
 
@@ -280,34 +311,58 @@ float CauserModel::ItemCausalWeight(int a, int b) {
   return w_cache_[static_cast<size_t>(a) * config_.num_items + b];
 }
 
+Tensor CauserModel::StepInput(const std::vector<int>& items) {
+  Tensor rows = clusterer_->EncodeItems(items);  // [k, d2]
+  if (causer_config_.use_free_input_embedding) {
+    rows = tensor::Add(rows, input_items_->Forward(items));
+  }
+  return rows.rows() == 1 ? rows
+                          : tensor::ScalarMul(tensor::SumCols(rows),
+                                              1.0f / rows.rows());
+}
+
 Tensor CauserModel::RunBackbone(
     const std::vector<std::vector<int>>& step_items) {
   CAUSER_CHECK(!step_items.empty());
   std::vector<Tensor> states;
   states.reserve(step_items.size());
-  auto step_input = [this](const std::vector<int>& items) {
-    Tensor rows = clusterer_->EncodeItems(items);  // [k, d2]
-    if (causer_config_.use_free_input_embedding) {
-      rows = tensor::Add(rows, input_items_->Forward(items));
-    }
-    return rows.rows() == 1 ? rows
-                            : tensor::ScalarMul(tensor::SumCols(rows),
-                                                1.0f / rows.rows());
-  };
   if (gru_) {
     Tensor h = gru_->InitialState();
     for (const auto& items : step_items) {
-      h = gru_->Forward(step_input(items), h);
+      h = gru_->Forward(StepInput(items), h);
       states.push_back(h);
     }
   } else {
     nn::LstmState s = lstm_->InitialState();
     for (const auto& items : step_items) {
-      s = lstm_->Forward(step_input(items), s);
+      s = lstm_->Forward(StepInput(items), s);
       states.push_back(s.h);
     }
   }
   return tensor::ConcatRows(states);
+}
+
+void CauserModel::BackboneStep(const std::vector<int>& items,
+                               std::vector<float>* h, std::vector<float>* c) {
+  tensor::NoGradGuard guard;
+  tensor::ArenaScope arena_scope;
+  const int hd = config_.hidden_dim;
+  Tensor input = StepInput(items);
+  if (gru_) {
+    Tensor prev =
+        h->empty() ? gru_->InitialState() : Tensor::FromData(1, hd, *h);
+    // Feeding the cell the copied-out floats of the previous state yields
+    // the same values the chained RunBackbone recurrence computes.
+    Tensor next = gru_->Forward(input, prev);
+    h->assign(next.data().begin(), next.data().end());
+  } else {
+    nn::LstmState prev;
+    prev.h = h->empty() ? lstm_->InitialState().h : Tensor::FromData(1, hd, *h);
+    prev.c = c->empty() ? lstm_->InitialState().c : Tensor::FromData(1, hd, *c);
+    nn::LstmState next = lstm_->Forward(input, prev);
+    h->assign(next.h.data().begin(), next.h.data().end());
+    c->assign(next.c.data().begin(), next.c.data().end());
+  }
 }
 
 CauserModel::Encoded CauserModel::EncodeFiltered(
@@ -410,6 +465,55 @@ Tensor CauserModel::CandidateLogit(const Encoded& encoded, int user,
   return tensor::SumRows(tensor::Mul(rep, out_items_->Row(candidate)));
 }
 
+const std::vector<float>& CauserModel::UserBiasFor(int user) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = user_bias_cache_.find(user);
+  if (it != user_bias_cache_.end()) return it->second;
+  // One [V, 1] GEMV per user per cache epoch instead of one per ScoreAll;
+  // RefreshCaches clears the map when the parameters behind it move.
+  tensor::NoGradGuard guard;
+  tensor::ArenaScope arena_scope;
+  Tensor bias = tensor::MatMul(out_items_->weight(),
+                               tensor::Transpose(users_->Row(user)));
+  std::vector<float>& cached = user_bias_cache_[user];
+  cached.assign(bias.data().begin(), bias.data().end());
+  return cached;
+}
+
+void CauserModel::ScoreGroup(const Tensor& states, const Tensor& alpha,
+                             const std::vector<std::vector<int>>* kept_steps,
+                             const std::vector<int>& members,
+                             const std::vector<float>& user_bias,
+                             std::vector<float>* out) {
+  const int v = config_.num_items;
+  const int t = states.rows();
+  const int g_size = static_cast<int>(members.size());
+  // Coefficient matrix C[t][g] = alpha_t * What_{t, b_g}.
+  std::vector<float> coeff(static_cast<size_t>(t) * g_size, 0.0f);
+  for (int g = 0; g < g_size; ++g) {
+    int b = members[g];
+    for (int r = 0; r < t; ++r) {
+      float what = 1.0f;
+      if (kept_steps != nullptr) {
+        what = 0.0f;
+        for (int item : (*kept_steps)[r]) {
+          what += w_cache_[static_cast<size_t>(item) * v + b];
+        }
+      }
+      coeff[static_cast<size_t>(r) * g_size + g] = alpha.At(r, 0) * what;
+    }
+  }
+  Tensor c = Tensor::FromData(t, g_size, std::move(coeff));
+  Tensor pooled = tensor::MatMul(tensor::Transpose(c), states);  // [G, h]
+  Tensor reps = adapt_->Forward(pooled);                    // [G, de]
+  Tensor emb = out_items_->Forward(members);                // [G, de]
+  Tensor logits = tensor::SumRows(tensor::Mul(reps, emb));  // [G, 1]
+  for (int g = 0; g < g_size; ++g) {
+    int b = members[g];
+    (*out)[b] = logits.At(g, 0) + user_bias[b];
+  }
+}
+
 std::vector<float> CauserModel::ScoreAll(
     int user, const std::vector<data::Step>& history) {
   tensor::NoGradGuard guard;
@@ -419,38 +523,42 @@ std::vector<float> CauserModel::ScoreAll(
   std::vector<data::Step> truncated = Truncate(history);
   if (truncated.empty()) return out;
   // User-affinity bias u_k . e_b, added to every candidate's score when
-  // the u_k conditioning is enabled (zero rows otherwise).
-  Tensor user_bias =
-      causer_config_.use_user_embedding
-          ? tensor::MatMul(out_items_->weight(),
-                           tensor::Transpose(users_->Row(user)))
-          : Tensor::Zeros(v, 1);  // [V, 1]
+  // the u_k conditioning is enabled (zeros otherwise, keeping the + below
+  // unconditional so disabled runs stay bitwise-identical).
+  std::vector<float> zero_bias;
+  const std::vector<float>* user_bias;
+  if (causer_config_.use_user_embedding) {
+    user_bias = &UserBiasFor(user);
+  } else {
+    zero_bias.assign(v, 0.0f);
+    user_bias = &zero_bias;
+  }
 
   // Group candidates sharing the same filtered history; the backbone runs
   // once per group (with near-hard assignments there are at most ~K
   // distinct filters, which is what makes cluster-level causality scale).
+  // The key is the chained hash of the kept (step, item) pairs — integer
+  // mixing instead of the O(V·T) string formatting this loop used to do.
   struct Group {
     Encoded encoded;
     Tensor alpha;
     std::vector<int> members;
   };
   std::vector<Group> groups;
-  std::unordered_map<std::string, int> group_of;
+  std::unordered_map<uint64_t, int> group_of;
   for (int b = 0; b < v; ++b) {
-    std::ostringstream key;
+    uint64_t key = kGroupKeySeed;
     if (causer_config_.use_causal) {
       for (size_t t = 0; t < truncated.size(); ++t) {
         for (int item : truncated[t].items) {
           if (w_cache_[static_cast<size_t>(item) * v + b] >
               causer_config_.epsilon) {
-            key << t << ":" << item << ",";
+            key = HashKeptPair(key, static_cast<int>(t), item);
           }
         }
       }
-    } else {
-      key << "all";
     }
-    auto [it, inserted] = group_of.try_emplace(key.str(), -1);
+    auto [it, inserted] = group_of.try_emplace(key, -1);
     if (inserted) {
       Group g;
       g.encoded = EncodeFiltered(truncated, b);
@@ -463,33 +571,257 @@ std::vector<float> CauserModel::ScoreAll(
 
   for (const auto& group : groups) {
     if (!group.encoded.states.defined()) continue;
-    const int t = group.encoded.states.rows();
-    const int g_size = static_cast<int>(group.members.size());
-    // Coefficient matrix C[t][g] = alpha_t * What_{t, b_g}.
-    std::vector<float> coeff(static_cast<size_t>(t) * g_size, 0.0f);
-    for (int g = 0; g < g_size; ++g) {
-      int b = group.members[g];
-      for (int r = 0; r < t; ++r) {
-        float what = 1.0f;
-        if (causer_config_.use_causal && !group.encoded.fallback) {
-          what = 0.0f;
-          for (int item : group.encoded.kept_items[r]) {
-            what += w_cache_[static_cast<size_t>(item) * v + b];
-          }
-        }
-        coeff[static_cast<size_t>(r) * g_size + g] =
-            group.alpha.At(r, 0) * what;
+    const bool weighted =
+        causer_config_.use_causal && !group.encoded.fallback;
+    ScoreGroup(group.encoded.states, group.alpha,
+               weighted ? &group.encoded.kept_items : nullptr, group.members,
+               *user_bias, &out);
+  }
+  return out;
+}
+
+/// Incremental serving session: the history window plus, per filtered-
+/// history group, the backbone state over that group's kept steps. With
+/// near-hard assignments there are at most ~K groups, so advancing an
+/// event costs ~K cell steps however long the session is. All storage is
+/// plain heap vectors (states are copied out of each step's arena).
+class CauserModel::ServeState : public models::SessionState {
+ public:
+  /// One filtered-history group: the candidates whose causal filter keeps
+  /// exactly `kept_steps` of the window, and the backbone run over them.
+  struct GroupState {
+    uint64_t key = kGroupKeySeed;
+    std::vector<std::vector<int>> kept_steps;  // filtered items per row
+    std::vector<int> step_index;               // window index per row
+    std::vector<float> states;                 // [rows * hidden_dim]
+    std::vector<float> h;  // last hidden state ([hidden_dim])
+    std::vector<float> c;  // LSTM cell memory (unused under GRU)
+
+    /// True for the group of candidates whose filter kept nothing — they
+    /// score against the shared unfiltered fallback encoding.
+    bool empty() const { return kept_steps.empty(); }
+
+    void Append(const std::vector<int>& items, int t) {
+      kept_steps.push_back(items);
+      step_index.push_back(t);
+    }
+  };
+
+  int user = 0;
+  std::vector<data::Step> window;  // last <= max_history appended steps
+  bool dirty = false;   // groups must be rebuilt from the window
+  uint64_t epoch = 0;   // serve_epoch_ the cached groups were built under
+  /// Backbone over every non-empty window step unfiltered: Eq. 10's
+  /// fallback encoding, and the single group when use_causal is off.
+  GroupState unfiltered;
+  /// Filtered groups (use_causal only); groups[group_of[b]] is candidate
+  /// b's group. A group with empty kept_steps is the fallback group.
+  std::vector<GroupState> groups;
+  std::vector<int> group_of;
+};
+
+std::unique_ptr<models::SessionState> CauserModel::NewSessionState(int user) {
+  EnsureCaches();
+  auto state = std::make_unique<ServeState>();
+  state->user = user;
+  state->epoch = serve_epoch_;
+  if (causer_config_.use_causal) {
+    // Every candidate starts in the (empty) fallback group.
+    state->groups.emplace_back();
+    state->group_of.assign(config_.num_items, 0);
+  }
+  return state;
+}
+
+void CauserModel::AdvanceState(models::SessionState& state,
+                               const data::Step& step) {
+  auto* s = dynamic_cast<ServeState*>(&state);
+  CAUSER_CHECK(s != nullptr);
+  s->window.push_back(step);
+  bool slid = false;
+  if (static_cast<int>(s->window.size()) > config_.max_history) {
+    // Only the most recent max_history steps can influence ScoreAll, so
+    // the window is bounded; the cached states now include an evicted step
+    // and must be replayed from the window.
+    s->window.erase(s->window.begin());
+    slid = true;
+  }
+  EnsureCaches();
+  if (slid || s->epoch != serve_epoch_) s->dirty = true;
+  // Rebuilds are deferred to the next score, so a burst of advances after
+  // a slide or a cache refresh pays for one rebuild, not many.
+  if (s->dirty || step.items.empty()) return;  // empty steps never encode
+
+  tensor::NoGradGuard guard;
+  const int t = static_cast<int>(s->window.size()) - 1;
+  BackboneStep(step.items, &s->unfiltered.h, &s->unfiltered.c);
+  s->unfiltered.states.insert(s->unfiltered.states.end(),
+                              s->unfiltered.h.begin(), s->unfiltered.h.end());
+  s->unfiltered.Append(step.items, t);
+  if (!causer_config_.use_causal) return;
+
+  // Re-partition the candidates by their extended keys. Keys only ever
+  // extend (the new step's kept pairs chain onto the old key), so groups
+  // split but never merge: equal new keys imply equal old keys, and each
+  // child can start from its parent's copied-out recurrent state.
+  const int v = config_.num_items;
+  const float eps = causer_config_.epsilon;
+  std::vector<ServeState::GroupState> next;
+  std::vector<int> next_of(v, -1);
+  std::unordered_map<uint64_t, int> index;
+  std::vector<int> kept;
+  for (int b = 0; b < v; ++b) {
+    const ServeState::GroupState& parent = s->groups[s->group_of[b]];
+    kept.clear();
+    uint64_t key = parent.key;
+    for (int item : step.items) {
+      if (w_cache_[static_cast<size_t>(item) * v + b] > eps) {
+        kept.push_back(item);
+        key = HashKeptPair(key, t, item);
       }
     }
-    Tensor c = Tensor::FromData(t, g_size, std::move(coeff));
-    Tensor pooled = tensor::MatMul(tensor::Transpose(c),
-                                   group.encoded.states);  // [G, h]
-    Tensor reps = adapt_->Forward(pooled);                 // [G, de]
-    Tensor emb = out_items_->Forward(group.members);       // [G, de]
-    Tensor logits = tensor::SumRows(tensor::Mul(reps, emb));  // [G, 1]
-    for (int g = 0; g < g_size; ++g) {
-      int b = group.members[g];
-      out[b] = logits.At(g, 0) + user_bias.At(b, 0);
+    auto [it, inserted] = index.try_emplace(key, -1);
+    if (inserted) {
+      ServeState::GroupState g;
+      if (kept.empty()) {
+        g = parent;  // nothing new kept: the group carries over unchanged
+      } else if (parent.empty()) {
+        // Fallback members gaining their first kept items: the filtered
+        // history is exactly this step's kept set.
+        g.key = key;
+        g.Append(kept, t);
+        BackboneStep(kept, &g.h, &g.c);
+        g.states = g.h;
+      } else {
+        g = parent;  // split: the child copies the parent's rows...
+        g.key = key;
+        g.Append(kept, t);
+        BackboneStep(kept, &g.h, &g.c);  // ...and advances one cell step
+        g.states.insert(g.states.end(), g.h.begin(), g.h.end());
+      }
+      it->second = static_cast<int>(next.size());
+      next.push_back(std::move(g));
+    }
+    next_of[b] = it->second;
+  }
+  s->groups = std::move(next);
+  s->group_of = std::move(next_of);
+}
+
+void CauserModel::RebuildServeState(ServeState& state) {
+  tensor::NoGradGuard guard;
+  const int v = config_.num_items;
+  const float eps = causer_config_.epsilon;
+  state.unfiltered = ServeState::GroupState{};
+  state.groups.clear();
+  state.group_of.clear();
+  for (size_t t = 0; t < state.window.size(); ++t) {
+    const auto& items = state.window[t].items;
+    if (items.empty()) continue;
+    BackboneStep(items, &state.unfiltered.h, &state.unfiltered.c);
+    state.unfiltered.states.insert(state.unfiltered.states.end(),
+                                   state.unfiltered.h.begin(),
+                                   state.unfiltered.h.end());
+    state.unfiltered.Append(items, static_cast<int>(t));
+  }
+  if (causer_config_.use_causal) {
+    // Same grouping scan as ScoreAll's, building each group's backbone
+    // once on first sight of its key.
+    state.group_of.assign(v, -1);
+    std::unordered_map<uint64_t, int> index;
+    for (int b = 0; b < v; ++b) {
+      uint64_t key = kGroupKeySeed;
+      for (size_t t = 0; t < state.window.size(); ++t) {
+        for (int item : state.window[t].items) {
+          if (w_cache_[static_cast<size_t>(item) * v + b] > eps) {
+            key = HashKeptPair(key, static_cast<int>(t), item);
+          }
+        }
+      }
+      auto [it, inserted] = index.try_emplace(key, -1);
+      if (inserted) {
+        ServeState::GroupState g;
+        g.key = key;
+        for (size_t t = 0; t < state.window.size(); ++t) {
+          std::vector<int> kept;
+          for (int item : state.window[t].items) {
+            if (w_cache_[static_cast<size_t>(item) * v + b] > eps) {
+              kept.push_back(item);
+            }
+          }
+          if (kept.empty()) continue;
+          BackboneStep(kept, &g.h, &g.c);
+          g.states.insert(g.states.end(), g.h.begin(), g.h.end());
+          g.Append(kept, static_cast<int>(t));
+        }
+        it->second = static_cast<int>(state.groups.size());
+        state.groups.push_back(std::move(g));
+      }
+      state.group_of[b] = it->second;
+    }
+  }
+  state.epoch = serve_epoch_;
+  state.dirty = false;
+}
+
+std::vector<float> CauserModel::ScoreFromState(models::SessionState& state) {
+  auto* s = dynamic_cast<ServeState*>(&state);
+  CAUSER_CHECK(s != nullptr);
+  tensor::NoGradGuard guard;
+  EnsureCaches();
+  const int v = config_.num_items;
+  std::vector<float> out(v, 0.0f);
+  if (s->window.empty()) return out;  // ScoreAll's empty-history zeros
+  if (s->epoch != serve_epoch_) s->dirty = true;
+  if (s->dirty) RebuildServeState(*s);
+  // Scratch (reconstructed states, attention, pooling) lives on the arena;
+  // only the plain `out` floats leave the scope.
+  tensor::ArenaScope arena_scope;
+  std::vector<float> zero_bias;
+  const std::vector<float>* user_bias;
+  if (causer_config_.use_user_embedding) {
+    user_bias = &UserBiasFor(s->user);
+  } else {
+    zero_bias.assign(v, 0.0f);
+    user_bias = &zero_bias;
+  }
+
+  const int hd = config_.hidden_dim;
+  auto encode = [hd](const ServeState::GroupState& g) {
+    // The copied-out rows carry the exact floats RunBackbone's chained
+    // recurrence produces, so everything downstream matches ScoreAll.
+    return Tensor::FromData(static_cast<int>(g.step_index.size()), hd,
+                            g.states);
+  };
+
+  if (!causer_config_.use_causal) {
+    if (s->unfiltered.empty()) return out;  // only empty steps so far
+    Tensor states = encode(s->unfiltered);
+    Tensor alpha = StepWeights(states);
+    std::vector<int> members(v);
+    for (int b = 0; b < v; ++b) members[b] = b;
+    ScoreGroup(states, alpha, nullptr, members, *user_bias, &out);
+    return out;
+  }
+
+  std::vector<std::vector<int>> members(s->groups.size());
+  for (int b = 0; b < v; ++b) members[s->group_of[b]].push_back(b);
+  Tensor fb_states, fb_alpha;  // shared fallback encoding, built lazily
+  for (size_t gi = 0; gi < s->groups.size(); ++gi) {
+    if (members[gi].empty()) continue;
+    const ServeState::GroupState& g = s->groups[gi];
+    if (g.empty()) {
+      if (s->unfiltered.empty()) continue;  // degenerate: all steps empty
+      if (!fb_states.defined()) {
+        fb_states = encode(s->unfiltered);
+        fb_alpha = StepWeights(fb_states);
+      }
+      // Fallback semantics at inference: unfiltered states, What = 1.
+      ScoreGroup(fb_states, fb_alpha, nullptr, members[gi], *user_bias, &out);
+    } else {
+      Tensor states = encode(g);
+      Tensor alpha = StepWeights(states);
+      ScoreGroup(states, alpha, &g.kept_steps, members[gi], *user_bias, &out);
     }
   }
   return out;

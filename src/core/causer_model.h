@@ -1,9 +1,11 @@
 #ifndef CAUSER_CORE_CAUSER_MODEL_H_
 #define CAUSER_CORE_CAUSER_MODEL_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/cluster_graph.h"
@@ -119,6 +121,19 @@ class CauserModel : public models::SequentialRecommender {
   double TrainEpoch(const std::vector<data::Sequence>& train) override;
   void OnParametersRestored() override;
 
+  // Incremental serving (docs/PERFORMANCE.md, "Online serving"): the
+  // session caches the per-group backbone states (GRU h / LSTM (h, c)) and
+  // the hashed filtered-history group keys, so appending one interaction
+  // advances each of the ~K groups by a single cell step instead of
+  // replaying the backbone over the whole window. ScoreFromState stays
+  // bit-identical to ScoreAll over the appended history. After a parameter
+  // update (TrainEpoch / restore) the cached groups are invalidated and
+  // rebuilt from the window on the next call.
+  std::unique_ptr<models::SessionState> NewSessionState(int user) override;
+  void AdvanceState(models::SessionState& state,
+                    const data::Step& step) override;
+  std::vector<float> ScoreFromState(models::SessionState& state) override;
+
   /// Causer's resume state on top of the base RNG stream: the three Adam
   /// optimizers, the augmented-Lagrangian multipliers, the epoch counter
   /// (which gates warm-up and slow-update scheduling) and the frozen-graph
@@ -164,6 +179,8 @@ class CauserModel : public models::SequentialRecommender {
     bool fallback = false;  // true when filtering removed everything
   };
 
+  class ServeState;
+
   /// Recomputes the per-epoch caches (assignments + item-level W).
   void RefreshCaches();
   void EnsureCaches();
@@ -174,6 +191,37 @@ class CauserModel : public models::SequentialRecommender {
 
   /// Runs the backbone over explicit per-step item lists.
   nn::Tensor RunBackbone(const std::vector<std::vector<int>>& step_items);
+
+  /// One backbone input row for a step's item list (encoder output, plus
+  /// the optional free input embedding, mean-pooled over the items).
+  nn::Tensor StepInput(const std::vector<int>& items);
+
+  /// Advances the copied-out recurrent state (*h, and *c for the LSTM
+  /// backbone; empty = initial state) by one step over `items`. Produces
+  /// the same floats as the corresponding chained RunBackbone step.
+  void BackboneStep(const std::vector<int>& items, std::vector<float>* h,
+                    std::vector<float>* c);
+
+  /// The per-user affinity bias column e . u_k (satellite of ScoreAll's
+  /// Eq. 10 term), cached per user and invalidated alongside w_cache_.
+  /// Caller must not hold cache_mu_. The returned reference stays valid
+  /// until the next RefreshCaches (node-based map storage).
+  const std::vector<float>& UserBiasFor(int user);
+
+  /// Scores one group of candidates sharing the encoded `states` and
+  /// attention `alpha`, adding the user bias: the shared tail of ScoreAll
+  /// and ScoreFromState. `kept_steps` lists the filtered items per state
+  /// row for the What sums; null means What = 1 (fallback / non-causal).
+  void ScoreGroup(const nn::Tensor& states, const nn::Tensor& alpha,
+                  const std::vector<std::vector<int>>* kept_steps,
+                  const std::vector<int>& members,
+                  const std::vector<float>& user_bias,
+                  std::vector<float>* out);
+
+  /// Rebuilds a serve session's groups from its window (used after a
+  /// window slide or a cache refresh): the bounded O(max_history) step of
+  /// the otherwise O(1)-per-event serving path.
+  void RebuildServeState(ServeState& state);
 
   /// Attention weights over the encoded states: [T, 1].
   nn::Tensor StepWeights(const nn::Tensor& states);
@@ -227,6 +275,13 @@ class CauserModel : public models::SequentialRecommender {
   bool caches_stale_ = true;
   std::vector<float> w_cache_;       // item-level W, row-major [V * V]
   std::vector<float> assign_cache_;  // soft assignments, row-major [V * K]
+  /// Per-user affinity bias columns ([V] each), computed lazily by
+  /// UserBiasFor under cache_mu_ and cleared whenever w_cache_ refreshes.
+  std::unordered_map<int, std::vector<float>> user_bias_cache_;
+  /// Bumped by every RefreshCaches; serve sessions stamp the epoch their
+  /// cached groups were built under and rebuild on mismatch (the filter
+  /// sets depend on w_cache_).
+  uint64_t serve_epoch_ = 0;
   std::vector<float> epoch_sources_;  // per-transition history activations
   std::vector<float> epoch_targets_;  // per-transition target assignments
 };

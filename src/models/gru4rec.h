@@ -17,6 +17,16 @@ class Gru4Rec : public RepresentationModel {
 
   std::string name() const override { return "GRU4Rec"; }
 
+  // Incremental serving (docs/PERFORMANCE.md): the session caches the GRU
+  // hidden state, so appending an interaction is one cell step instead of a
+  // full backbone replay, and ScoreFromState stays bit-identical to
+  // ScoreAll over the appended history.
+  std::unique_ptr<SessionState> NewSessionState(int user) override;
+  void AdvanceState(SessionState& state, const data::Step& step) override;
+  std::vector<float> ScoreFromState(SessionState& state) override;
+  bool StateRep(SessionState& state, float* out) override;
+  const nn::Tensor* OutputItemTable() const override;
+
  protected:
   nn::Tensor Represent(int user,
                        const std::vector<data::Step>& history) override;
@@ -24,6 +34,14 @@ class Gru4Rec : public RepresentationModel {
   std::unique_ptr<nn::Embedding> in_items_;
   std::unique_ptr<nn::GruCell> cell_;
   std::unique_ptr<nn::Linear> out_proj_;  // hidden -> embedding space
+
+ private:
+  class State;
+  /// Replays the window into the cached hidden state after a window slide
+  /// (the one O(max_history) step of an otherwise O(1) session).
+  void RebuildIfDirty(State& state);
+  /// The state's current [1, embedding_dim] scoring representation.
+  nn::Tensor RepFromState(State& state);
 };
 
 }  // namespace causer::models

@@ -84,6 +84,54 @@ std::vector<data::Step> SequentialRecommender::Truncate(
   return std::vector<data::Step>(history.end() - cap, history.end());
 }
 
+namespace {
+
+/// Fallback session state: the (truncated) history window itself. Scoring
+/// replays ScoreAll, which is bit-identical to it by construction — models
+/// without an incremental override still satisfy the serving contract,
+/// just without the O(1) advance.
+class ReplaySessionState : public SessionState {
+ public:
+  int user = 0;
+  std::vector<data::Step> window;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionState> SequentialRecommender::NewSessionState(
+    int user) {
+  auto state = std::make_unique<ReplaySessionState>();
+  state->user = user;
+  return state;
+}
+
+void SequentialRecommender::AdvanceState(SessionState& state,
+                                         const data::Step& step) {
+  auto* s = dynamic_cast<ReplaySessionState*>(&state);
+  CAUSER_CHECK(s != nullptr);
+  s->window.push_back(step);
+  // Only the most recent max_history steps can influence ScoreAll (it
+  // truncates), so the window is bounded regardless of session length.
+  if (static_cast<int>(s->window.size()) > config_.max_history) {
+    s->window.erase(s->window.begin());
+  }
+}
+
+std::vector<float> SequentialRecommender::ScoreFromState(SessionState& state) {
+  auto* s = dynamic_cast<ReplaySessionState*>(&state);
+  CAUSER_CHECK(s != nullptr);
+  return ScoreAll(s->user, s->window);
+}
+
+bool SequentialRecommender::StateRep(SessionState& /*state*/,
+                                     float* /*out*/) {
+  return false;
+}
+
+const Tensor* SequentialRecommender::OutputItemTable() const {
+  return nullptr;
+}
+
 RepresentationModel::RepresentationModel(const ModelConfig& config)
     : SequentialRecommender(config) {
   out_items_ = std::make_unique<nn::Embedding>(config.num_items,

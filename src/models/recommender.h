@@ -76,6 +76,16 @@ struct ModelConfig {
   const std::vector<std::vector<float>>* item_features = nullptr;
 };
 
+/// Opaque per-user incremental inference state for online serving (see
+/// docs/PERFORMANCE.md, "Online serving"). Created by NewSessionState,
+/// advanced one interaction at a time by AdvanceState, scored against the
+/// full catalog by ScoreFromState; serve::SessionStore keeps one per active
+/// user. A state is only valid with the model that created it.
+class SessionState {
+ public:
+  virtual ~SessionState() = default;
+};
+
 /// Interface of every recommender in the comparison suite (Table IV).
 /// Inherits the nn::Module parameter registry so the trainer can snapshot
 /// and restore weights for early stopping.
@@ -117,6 +127,40 @@ class SequentialRecommender : public nn::Module {
   /// health sentinel's post-rollback halving. Base: no-op (models without
   /// an optimizer handle simply retry at the same rate).
   virtual void ScaleLearningRate(float factor);
+
+  // -- Incremental serving API (docs/PERFORMANCE.md, "Online serving") ----
+  // The contract for every override: after any sequence of AdvanceState
+  // calls appending steps h_0..h_{T-1}, ScoreFromState returns bit-identical
+  // floats to ScoreAll(user, {h_0..h_{T-1}}) at every thread count. The base
+  // implementation trivially satisfies it by keeping the (truncated) history
+  // window and replaying ScoreAll; models override with O(1) recurrent-cell
+  // advances (Gru4Rec, CauserModel).
+
+  /// Creates an empty incremental state for `user`.
+  virtual std::unique_ptr<SessionState> NewSessionState(int user);
+
+  /// Appends one interaction to the state. O(1) in the history length for
+  /// the incremental overrides while the appended history fits in
+  /// config_.max_history; past that the window slides and the next score
+  /// performs one bounded O(max_history) rebuild.
+  virtual void AdvanceState(SessionState& state, const data::Step& step);
+
+  /// Scores every item from the cached state (same output as ScoreAll on
+  /// the state's appended history).
+  virtual std::vector<float> ScoreFromState(SessionState& state);
+
+  /// Batched-GEMM hook: writes the state's scoring representation (the
+  /// [1, d] vector whose inner products with OutputItemTable() rows are the
+  /// ScoreFromState outputs) into `out` and returns true. Models whose
+  /// scoring is not a single inner product — or states with nothing to
+  /// represent yet (empty history) — return false, and the serving engine
+  /// falls back to ScoreFromState for that request. Base: false.
+  virtual bool StateRep(SessionState& state, float* out);
+
+  /// The [num_items, d] output embedding table StateRep representations are
+  /// scored against, or nullptr when the model has no single-GEMM scoring
+  /// form. Base: nullptr.
+  virtual const nn::Tensor* OutputItemTable() const;
 
   const ModelConfig& config() const { return config_; }
 

@@ -1,0 +1,217 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "common/log.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+#include "eval/metrics.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+
+namespace causer::serve {
+
+ServingEngine::ServingEngine(models::SequentialRecommender& model,
+                             const ServingConfig& config)
+    : model_(model),
+      config_([&config] {
+        ServingConfig c = config;
+        c.batch_max = std::max(1, c.batch_max);
+        c.batch_wait_us = std::max(0, c.batch_wait_us);
+        c.top_k = std::max(1, c.top_k);
+        return c;
+      }()),
+      store_(model, config.max_sessions),
+      dispatcher_([this] { DispatcherLoop(); }) {}
+
+ServingEngine::~ServingEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+Response ServingEngine::Handle(const Request& request) {
+  Stopwatch watch;
+  Pending pending;
+  pending.request = &request;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(&pending);
+    queue_cv_.notify_one();
+    done_cv_.wait(lock, [&] { return pending.done; });
+  }
+  if (metrics::Enabled()) {
+    ServeMetrics().request_seconds.Observe(watch.ElapsedSeconds());
+  }
+  return std::move(pending.response);
+}
+
+std::vector<Response> ServingEngine::ScoreBatch(
+    const std::vector<Request>& requests) {
+  std::vector<Pending> pendings(requests.size());
+  std::vector<Pending*> batch;
+  batch.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    pendings[i].request = &requests[i];
+    batch.push_back(&pendings[i]);
+  }
+  if (!batch.empty()) {
+    std::lock_guard<std::mutex> batch_lock(batch_mu_);
+    ProcessBatch(batch);
+  }
+  std::vector<Response> responses;
+  responses.reserve(pendings.size());
+  for (Pending& pending : pendings) {
+    responses.push_back(std::move(pending.response));
+  }
+  return responses;
+}
+
+void ServingEngine::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // A request is waiting: linger up to batch_wait_us for peers to
+    // coalesce, but dispatch immediately once the batch is full (or on
+    // shutdown, to drain).
+    if (config_.batch_wait_us > 0 &&
+        static_cast<int>(queue_.size()) < config_.batch_max) {
+      queue_cv_.wait_for(
+          lock, std::chrono::microseconds(config_.batch_wait_us), [&] {
+            return stop_ ||
+                   static_cast<int>(queue_.size()) >= config_.batch_max;
+          });
+    }
+    std::vector<Pending*> batch;
+    while (!queue_.empty() &&
+           static_cast<int>(batch.size()) < config_.batch_max) {
+      batch.push_back(queue_.front());
+      queue_.pop_front();
+    }
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> batch_lock(batch_mu_);
+      ProcessBatch(batch);
+    }
+    lock.lock();
+    for (Pending* pending : batch) pending->done = true;
+    done_cv_.notify_all();
+  }
+}
+
+void ServingEngine::ProcessBatch(const std::vector<Pending*>& batch) {
+  const bool measure = metrics::Enabled();
+  trace::TraceSpan batch_span("serve.batch");
+  batch_span.AddArg("size", static_cast<double>(batch.size()));
+  if (measure) {
+    ServeMetrics().requests.Add(static_cast<double>(batch.size()));
+    ServeMetrics().batches.Add();
+    ServeMetrics().batch_size.Observe(static_cast<double>(batch.size()));
+  }
+
+  // Phase 1 — advance sessions in arrival order. Duplicate users in one
+  // batch fold into a single session: each append lands in order and every
+  // duplicate scores the final state (exactly what sequential per-request
+  // handling would produce).
+  std::vector<models::SessionState*> states(batch.size());
+  std::vector<int> uniques;           // batch index of each unique user
+  std::unordered_map<int, int> seen;  // user -> position in `uniques`
+  std::vector<int> unique_of(batch.size());
+  {
+    Stopwatch watch;
+    trace::TraceSpan span("serve.advance");
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Request& request = *batch[i]->request;
+      models::SessionState& state =
+          store_.Acquire(request.user, request.bootstrap);
+      states[i] = &state;
+      if (request.append != nullptr) {
+        model_.AdvanceState(state, *request.append);
+      }
+      auto [it, inserted] =
+          seen.emplace(request.user, static_cast<int>(uniques.size()));
+      if (inserted) uniques.push_back(static_cast<int>(i));
+      unique_of[i] = it->second;
+    }
+    if (measure) {
+      ServeMetrics().advance_seconds.Observe(watch.ElapsedSeconds());
+    }
+  }
+
+  // Phase 2 — score each unique user once. When the model exposes the
+  // single-inner-product form, stack the reps into [B,d] and run one fused
+  // GEMM + top-k over the catalog; otherwise (or for states that decline,
+  // e.g. Causer's grouped scoring) fall back to per-user ScoreFromState.
+  const int num_unique = static_cast<int>(uniques.size());
+  const int k = config_.top_k;
+  std::vector<Response> unique_responses(num_unique);
+  {
+    Stopwatch watch;
+    trace::TraceSpan span("serve.score");
+    span.AddArg("unique_users", static_cast<double>(num_unique));
+    const tensor::Tensor* table = model_.OutputItemTable();
+    std::vector<int> fallback;
+    std::vector<int> gemm_rows;  // unique index of each packed rep row
+    std::vector<float> reps;
+    if (table != nullptr) {
+      const int dim = table->cols();
+      reps.resize(static_cast<size_t>(num_unique) * dim);
+      for (int u = 0; u < num_unique; ++u) {
+        float* row = reps.data() + static_cast<size_t>(gemm_rows.size()) * dim;
+        if (model_.StateRep(*states[uniques[u]], row)) {
+          gemm_rows.push_back(u);
+        } else {
+          fallback.push_back(u);
+        }
+      }
+    } else {
+      for (int u = 0; u < num_unique; ++u) fallback.push_back(u);
+    }
+    if (!gemm_rows.empty()) {
+      const int rows = static_cast<int>(gemm_rows.size());
+      const int dim = table->cols();
+      const int vocab = table->rows();
+      std::vector<tensor::kernels::TopKEntry> entries(
+          static_cast<size_t>(rows) * k);
+      tensor::kernels::MatMulTopK(reps.data(), table->data().data(), rows,
+                                  dim, vocab, k, entries.data());
+      for (int r = 0; r < rows; ++r) {
+        Response& response = unique_responses[gemm_rows[r]];
+        const tensor::kernels::TopKEntry* row =
+            entries.data() + static_cast<size_t>(r) * k;
+        for (int j = 0; j < k && row[j].index >= 0; ++j) {
+          response.items.push_back(row[j].index);
+          response.scores.push_back(row[j].score);
+        }
+      }
+    }
+    for (int u : fallback) {
+      const std::vector<float> scores =
+          model_.ScoreFromState(*states[uniques[u]]);
+      Response& response = unique_responses[u];
+      for (int item : eval::TopK(scores, k)) {
+        response.items.push_back(item);
+        response.scores.push_back(scores[item]);
+      }
+    }
+    if (measure) {
+      ServeMetrics().score_seconds.Observe(watch.ElapsedSeconds());
+    }
+  }
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i]->response = unique_responses[unique_of[i]];
+  }
+}
+
+}  // namespace causer::serve

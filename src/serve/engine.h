@@ -1,0 +1,102 @@
+#ifndef CAUSER_SERVE_ENGINE_H_
+#define CAUSER_SERVE_ENGINE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/recommender.h"
+#include "serve/session_store.h"
+
+namespace causer::serve {
+
+/// Serving engine knobs.
+struct ServingConfig {
+  /// Requests coalesced into one scoring batch at most.
+  int batch_max = 32;
+  /// How long the dispatcher waits for the batch to fill after the first
+  /// request arrives (0 = dispatch immediately with whatever is queued).
+  int batch_wait_us = 200;
+  /// Recommendations returned per request.
+  int top_k = 10;
+  /// Session-store LRU capacity (<= 0 = unbounded).
+  int max_sessions = 0;
+};
+
+/// One scoring request. Pointed-to data must stay alive until the call
+/// returns (Handle/ScoreBatch block, so stack storage works).
+struct Request {
+  int user = 0;
+  /// Interaction to append to the session before scoring; null = score the
+  /// session as it stands.
+  const data::Step* append = nullptr;
+  /// Prior history replayed if the user has no cached session (first sight
+  /// or post-eviction); null = start from an empty history.
+  const std::vector<data::Step>* bootstrap = nullptr;
+};
+
+/// Top-k recommendations, best first — exactly eval::TopK of the model's
+/// ScoreAll over the session's history.
+struct Response {
+  std::vector<int> items;
+  std::vector<float> scores;
+};
+
+/// Online inference engine: a session store for O(1) incremental advances
+/// plus a micro-batcher that coalesces concurrent requests and scores them
+/// with one batched GEMM + fused top-k pass (kernels::MatMulTopK) when the
+/// model exposes the single-inner-product form (StateRep/OutputItemTable),
+/// falling back to per-request ScoreFromState otherwise (Causer's grouped
+/// scoring). See docs/ARCHITECTURE.md for the request data flow.
+class ServingEngine {
+ public:
+  ServingEngine(models::SequentialRecommender& model,
+                const ServingConfig& config);
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Thread-safe blocking call: enqueues the request, wakes the dispatcher
+  /// and returns when the coalesced batch containing it was scored.
+  Response Handle(const Request& request);
+
+  /// Synchronous batch path bypassing the batcher (deterministic; used by
+  /// tests, benches and single-threaded replay). Requests for the same
+  /// user are advanced in order and score the same final session state.
+  std::vector<Response> ScoreBatch(const std::vector<Request>& requests);
+
+  SessionStore& store() { return store_; }
+  const ServingConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    const Request* request = nullptr;
+    Response response;
+    bool done = false;
+  };
+
+  void DispatcherLoop();
+  /// Advances every request's session, then scores them (batched GEMM +
+  /// fused top-k when available). Fills each Pending's response.
+  void ProcessBatch(const std::vector<Pending*>& batch);
+
+  models::SequentialRecommender& model_;
+  const ServingConfig config_;
+  SessionStore store_;
+
+  std::mutex mu_;
+  std::mutex batch_mu_;  // serializes ProcessBatch (dispatcher vs ScoreBatch)
+  std::condition_variable queue_cv_;  // dispatcher waits for work here
+  std::condition_variable done_cv_;   // callers wait for their response
+  std::deque<Pending*> queue_;
+  bool stop_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace causer::serve
+
+#endif  // CAUSER_SERVE_ENGINE_H_

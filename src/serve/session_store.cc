@@ -1,0 +1,115 @@
+#include "serve/session_store.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/log.h"
+
+namespace causer::serve {
+
+ServeMetricsT& ServeMetrics() {
+  static ServeMetricsT m{
+      metrics::GetCounter("serve.requests_total", "requests",
+                          "Scoring requests handled by the serving engine."),
+      metrics::GetCounter("serve.batches_total", "batches",
+                          "Micro-batches dispatched (coalesced request "
+                          "groups scored together)."),
+      metrics::GetCounter("serve.session_hits_total", "hits",
+                          "Requests whose user already had a cached "
+                          "incremental session state."),
+      metrics::GetCounter("serve.session_misses_total", "misses",
+                          "Requests that created a session state (first "
+                          "sight or post-eviction bootstrap replay)."),
+      metrics::GetCounter("serve.session_evictions_total", "evictions",
+                          "Sessions evicted by the store's LRU cap."),
+      metrics::GetGauge("serve.sessions", "sessions",
+                        "Incremental session states currently cached."),
+      metrics::GetHistogram("serve.batch_size", "requests",
+                            "Requests coalesced per dispatched micro-batch.",
+                            {1, 2, 4, 8, 16, 32, 64, 128}),
+      metrics::GetHistogram("serve.request_seconds", "seconds",
+                            "End-to-end request latency through the "
+                            "micro-batcher (enqueue to response).",
+                            metrics::ExponentialBuckets(1e-6, 10.0, 8)),
+      metrics::GetHistogram("serve.advance_seconds", "seconds",
+                            "Wall time of a batch's session-advance phase.",
+                            metrics::ExponentialBuckets(1e-6, 10.0, 8)),
+      metrics::GetHistogram("serve.score_seconds", "seconds",
+                            "Wall time of a batch's catalog-scoring phase "
+                            "(batched GEMM + fused top-k, or per-request "
+                            "fallback).",
+                            metrics::ExponentialBuckets(1e-6, 10.0, 8)),
+  };
+  return m;
+}
+
+SessionStore::SessionStore(models::SequentialRecommender& model,
+                           int max_sessions)
+    : model_(model), max_sessions_(max_sessions) {}
+
+models::SessionState& SessionStore::Acquire(
+    int user, const std::vector<data::Step>* bootstrap) {
+  const bool measure = metrics::Enabled();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(user);
+  if (it != sessions_.end()) {
+    it->second.stamp = ++clock_;
+    if (measure) ServeMetrics().session_hits.Add();
+    return *it->second.state;
+  }
+  if (max_sessions_ > 0 &&
+      static_cast<int>(sessions_.size()) >= max_sessions_) {
+    // Linear LRU scan: the store holds at most max_sessions entries and
+    // evictions are rare next to scoring work, so an index structure would
+    // buy nothing at this scale.
+    auto victim = sessions_.end();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (auto cand = sessions_.begin(); cand != sessions_.end(); ++cand) {
+      if (cand->second.stamp < oldest) {
+        oldest = cand->second.stamp;
+        victim = cand;
+      }
+    }
+    if (victim != sessions_.end()) {
+      sessions_.erase(victim);
+      if (measure) ServeMetrics().evictions.Add();
+    }
+  }
+  Entry entry;
+  entry.state = model_.NewSessionState(user);
+  entry.stamp = ++clock_;
+  if (bootstrap != nullptr) {
+    // Replay the prior history into the fresh state. Only the most recent
+    // max_history steps can influence scoring (ScoreAll truncates), so the
+    // replay starts at that suffix: O(max_history) however long the
+    // history is.
+    const size_t cap = static_cast<size_t>(model_.config().max_history);
+    const size_t start =
+        bootstrap->size() > cap ? bootstrap->size() - cap : 0;
+    for (size_t i = start; i < bootstrap->size(); ++i) {
+      model_.AdvanceState(*entry.state, (*bootstrap)[i]);
+    }
+  }
+  auto [pos, inserted] = sessions_.emplace(user, std::move(entry));
+  CAUSER_CHECK(inserted);
+  if (measure) {
+    ServeMetrics().session_misses.Add();
+    ServeMetrics().sessions.Set(static_cast<double>(sessions_.size()));
+  }
+  return *pos->second.state;
+}
+
+void SessionStore::Evict(int user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(user);
+  if (metrics::Enabled()) {
+    ServeMetrics().sessions.Set(static_cast<double>(sessions_.size()));
+  }
+}
+
+int SessionStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+}  // namespace causer::serve

@@ -1,0 +1,73 @@
+#ifndef CAUSER_SERVE_SESSION_STORE_H_
+#define CAUSER_SERVE_SESSION_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "data/dataset.h"
+#include "models/recommender.h"
+
+namespace causer::serve {
+
+/// Serving instruments (see docs/OBSERVABILITY.md), registered together on
+/// first touch and shared by the session store and the engine.
+struct ServeMetricsT {
+  metrics::Counter& requests;        ///< serve.requests_total
+  metrics::Counter& batches;         ///< serve.batches_total
+  metrics::Counter& session_hits;    ///< serve.session_hits_total
+  metrics::Counter& session_misses;  ///< serve.session_misses_total
+  metrics::Counter& evictions;       ///< serve.session_evictions_total
+  metrics::Gauge& sessions;          ///< serve.sessions
+  metrics::Histogram& batch_size;    ///< serve.batch_size
+  metrics::Histogram& request_seconds;  ///< serve.request_seconds
+  metrics::Histogram& advance_seconds;  ///< serve.advance_seconds
+  metrics::Histogram& score_seconds;    ///< serve.score_seconds
+};
+
+/// The shared serving instrument group.
+ServeMetricsT& ServeMetrics();
+
+/// Per-user cache of incremental inference states (models::SessionState):
+/// a hit turns scoring an event into an O(1) state advance instead of an
+/// O(T) history replay. Bounded by `max_sessions` with least-recently-used
+/// eviction; an evicted user is rebuilt from the request's bootstrap
+/// history on its next appearance, so eviction only costs time, never
+/// correctness. Thread-safe; states themselves are handed out under the
+/// engine's serialization (one dispatcher advances them).
+class SessionStore {
+ public:
+  /// `max_sessions` <= 0 means unbounded.
+  SessionStore(models::SequentialRecommender& model, int max_sessions);
+
+  /// Returns the session for `user`, creating it on miss — replaying
+  /// `bootstrap` (may be null = start empty) into the fresh state. The
+  /// reference stays valid until the session is evicted.
+  models::SessionState& Acquire(int user,
+                                const std::vector<data::Step>* bootstrap);
+
+  /// Drops a user's session (testing / explicit logout).
+  void Evict(int user);
+
+  int size() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<models::SessionState> state;
+    uint64_t stamp = 0;  // LRU clock value of the last Acquire
+  };
+
+  models::SequentialRecommender& model_;
+  const int max_sessions_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<int, Entry> sessions_;
+  uint64_t clock_ = 0;
+};
+
+}  // namespace causer::serve
+
+#endif  // CAUSER_SERVE_SESSION_STORE_H_

@@ -1,5 +1,6 @@
 #include "tensor/kernels.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -236,6 +237,77 @@ void MatMulAdd(const float* a, const float* b, float* c, int n, int m, int p,
     });
   } else {
     PanelKernel(a, be, c, 0, n, m, p);
+  }
+}
+
+namespace {
+
+/// eval::TopK's strict total order on (score, index): score descending,
+/// index ascending on ties. Shared by the bounded heap and the final sort
+/// so the fused kernel reproduces the evaluator's ranking exactly.
+inline bool BetterEntry(const TopKEntry& x, const TopKEntry& y) {
+  if (x.score != y.score) return x.score > y.score;
+  return x.index < y.index;
+}
+
+/// Candidate columns scanned per tile. At m = 64 a tile of B is 128 KiB —
+/// it stays in L2 while every row of the batch scores it, so B streams from
+/// memory once per kernel call instead of once per row.
+constexpr int kTopKTile = 512;
+
+/// Scores rows [row_begin, row_end) of A against all p rows of B, keeping
+/// the k best per row. Column-tiled: the j scan is still globally ascending
+/// per row, so heap updates see candidates in the same order a flat scan
+/// would (the selection result is order-independent anyway — the order on
+/// (score, index) is total).
+void TopKRows(const float* a, const float* b, int row_begin, int row_end,
+              int m, int p, int k, TopKEntry* out) {
+  std::vector<TopKEntry> heap;
+  heap.reserve(k);
+  for (int i = row_begin; i < row_end; ++i) {
+    const float* ai = a + static_cast<size_t>(i) * m;
+    heap.clear();
+    for (int jt = 0; jt < p; jt += kTopKTile) {
+      const int jend = jt + kTopKTile < p ? jt + kTopKTile : p;
+      for (int j = jt; j < jend; ++j) {
+        const float* bj = b + static_cast<size_t>(j) * m;
+        // Single ascending-k accumulator chain from zero — the exact
+        // rounding sequence of MatMulAddNaive on a zeroed output.
+        float acc = 0.0f;
+        for (int kk = 0; kk < m; ++kk) acc += ai[kk] * bj[kk];
+        const TopKEntry cand{j, acc};
+        if (static_cast<int>(heap.size()) < k) {
+          heap.push_back(cand);
+          std::push_heap(heap.begin(), heap.end(), BetterEntry);
+        } else if (BetterEntry(cand, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), BetterEntry);
+          heap.back() = cand;
+          std::push_heap(heap.begin(), heap.end(), BetterEntry);
+        }
+      }
+    }
+    std::sort(heap.begin(), heap.end(), BetterEntry);
+    TopKEntry* orow = out + static_cast<size_t>(i) * k;
+    for (int r = 0; r < k; ++r) {
+      orow[r] = r < static_cast<int>(heap.size()) ? heap[r] : TopKEntry{};
+    }
+  }
+}
+
+}  // namespace
+
+void MatMulTopK(const float* a, const float* b, int n, int m, int p, int k,
+                TopKEntry* out) {
+  if (n <= 0 || k <= 0) return;
+  // TopKRows fills the tail of each output row with {-1, 0} entries when
+  // p < k (the heap can never hold more than p candidates), so no separate
+  // clamping pass is needed.
+  if (ShouldParallelize(n, m, p)) {
+    DefaultPool().ParallelFor(0, n, [&](int row_begin, int row_end) {
+      TopKRows(a, b, row_begin, row_end, m, p, k, out);
+    });
+  } else {
+    TopKRows(a, b, 0, n, m, p, k, out);
   }
 }
 

@@ -3,6 +3,13 @@
 
 namespace causer::tensor::kernels {
 
+/// One selected candidate of a fused score-and-select row: the candidate's
+/// column index and its inner-product score.
+struct TopKEntry {
+  int index = -1;
+  float score = 0.0f;
+};
+
 /// Matmul microkernels: C[n,p] += op(A) * op(B) on raw row-major float
 /// buffers, where op transposes when the corresponding flag is set (so A is
 /// stored [m,n] under transpose_a and B is stored [p,m] under transpose_b).
@@ -28,6 +35,25 @@ void MatMulAddNaive(const float* a, const float* b, float* c, int n, int m,
 /// bit-identical to MatMulAddNaive at every thread count.
 void MatMulAdd(const float* a, const float* b, float* c, int n, int m, int p,
                bool transpose_a, bool transpose_b);
+
+/// Fused GEMM + top-k selection for the serving engine's catalog scoring:
+/// for every row i of A [n, m], scores all p rows of B [p, m] (both
+/// row-major, i.e. B is in transpose_b layout) by inner product and writes
+/// the k best candidates of row i into out[i*k .. i*k+k), sorted best-first.
+/// The full [n, p] score matrix is never materialized — B is streamed in
+/// cache-sized column tiles and each row keeps a bounded selection heap.
+///
+/// Exactness: every score is the same ascending-k single-accumulator dot
+/// product MatMulAddNaive computes (from a zero accumulator), and the
+/// selection order is eval::TopK's total order — score descending, index
+/// ascending on ties — so the result is bit-identical to a full matmul
+/// followed by eval::TopK at every thread count (rows may be sharded over
+/// the shared pool; each row's scan is sequential in j).
+///
+/// k is clamped to [0, p]; when k > p the trailing entries of each output
+/// row keep {index = -1, score = 0}.
+void MatMulTopK(const float* a, const float* b, int n, int m, int p, int k,
+                TopKEntry* out);
 
 }  // namespace causer::tensor::kernels
 

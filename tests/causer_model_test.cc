@@ -57,6 +57,32 @@ TEST(CauserModelTest, EmptyHistoryGivesZeroScores) {
   for (float s : scores) EXPECT_EQ(s, 0.0f);
 }
 
+TEST(CauserModelTest, UserBiasCacheInvalidatedWhenParametersChange) {
+  // ScoreAll caches the per-user bias GEMV (out_items * u_user) alongside
+  // the item-filter cache; restoring parameters must drop both, or stale
+  // biases leak into post-restore scores.
+  CauserModel model(TinyConfig());
+  const auto& inst = TinySplit().test[0];
+  auto before = model.ScoreAll(inst.user, inst.history);  // warms the cache
+  for (auto& p : model.Parameters())
+    for (auto& v : p.data()) v += 0.25f;
+  model.OnParametersRestored();
+  auto after = model.ScoreAll(inst.user, inst.history);
+  // Reference: a fresh model given the same perturbed parameters before its
+  // first ScoreAll never had a cache to go stale.
+  CauserModel fresh(TinyConfig());
+  auto fresh_params = fresh.Parameters();
+  auto params = model.Parameters();
+  ASSERT_EQ(fresh_params.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    fresh_params[i].data().assign(params[i].data().begin(),
+                                  params[i].data().end());
+  }
+  auto expected = fresh.ScoreAll(inst.user, inst.history);
+  EXPECT_EQ(after, expected);
+  EXPECT_NE(before, after);
+}
+
 TEST(CauserModelTest, ItemCausalWeightMatchesEquationNine) {
   CauserModel model(TinyConfig());
   // W[a][b] = assignment_a^T Wc assignment_b.

@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "eval/metrics.h"
 #include "tensor/autograd.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
@@ -64,6 +65,57 @@ TEST(KernelEquivalenceTest, MatchesNaiveAcrossShapesFlagsAndThreads) {
               kernels::MatMulAdd(a.data(), b.data(), actual.data(), n, m, p,
                                  ta, tb);
               ExpectBitwiseEqual(expected, actual, n, m, p, ta, tb, threads);
+            }
+          }
+        }
+      }
+    }
+  }
+  SetDefaultThreads(1);
+}
+
+TEST(KernelEquivalenceTest, MatMulTopKMatchesNaiveGemvPlusTopK) {
+  // The fused serving kernel must reproduce "materialize the [n,p] score
+  // matrix, then eval::TopK each row" bit-for-bit — same dot-product
+  // rounding as MatMulAddNaive, same score-descending / index-ascending
+  // total order — at every thread count, including p straddling the
+  // column-tile size and k > p (short rows padded with index -1).
+  const int ns[] = {1, 3, 17};
+  const int ms[] = {1, 8, 33};
+  const int ps[] = {1, 7, 100, 700};
+  const int ks[] = {1, 5, 64, 1000};
+  Rng rng(20260806);
+  for (int threads : {1, 2, 8}) {
+    SetDefaultThreads(threads);
+    for (int n : ns) {
+      for (int m : ms) {
+        for (int p : ps) {
+          for (int k : ks) {
+            auto a = RandomBuffer(static_cast<size_t>(n) * m, rng);
+            auto b = RandomBuffer(static_cast<size_t>(p) * m, rng);
+            std::vector<kernels::TopKEntry> fused(static_cast<size_t>(n) *
+                                                  k);
+            kernels::MatMulTopK(a.data(), b.data(), n, m, p, k,
+                                fused.data());
+            for (int i = 0; i < n; ++i) {
+              std::vector<float> scores(p, 0.0f);
+              kernels::MatMulAddNaive(a.data() + static_cast<size_t>(i) * m,
+                                      b.data(), scores.data(), 1, m, p,
+                                      false, true);
+              auto ranked = eval::TopK(scores, k);
+              const kernels::TopKEntry* row =
+                  fused.data() + static_cast<size_t>(i) * k;
+              for (int j = 0; j < k; ++j) {
+                if (j < static_cast<int>(ranked.size())) {
+                  ASSERT_EQ(row[j].index, ranked[j])
+                      << "row " << i << " rank " << j << " n=" << n
+                      << " m=" << m << " p=" << p << " k=" << k
+                      << " threads=" << threads;
+                  ASSERT_EQ(row[j].score, scores[ranked[j]]);
+                } else {
+                  ASSERT_EQ(row[j].index, -1);
+                }
+              }
             }
           }
         }

@@ -16,6 +16,7 @@
 #include "core/trainer.h"
 #include "data/generator.h"
 #include "data/split.h"
+#include "serve/engine.h"
 
 namespace causer {
 namespace {
@@ -38,6 +39,20 @@ void RunWorkloadTouchingEveryModuleImpl() {
   config.aux_steps_per_epoch = 2;
   core::CauserModel model(config);
   core::TrainCauser(model, split, {.max_epochs = 3, .patience = 3});
+  // A couple of requests through the serving engine (one with an LRU cap
+  // small enough to evict) registers the serve group.
+  {
+    serve::ServingConfig sc;
+    sc.top_k = 3;
+    sc.max_sessions = 1;
+    serve::ServingEngine engine(model, sc);
+    for (int u = 0; u < 2; ++u) {
+      serve::Request request;
+      request.user = split.test[u].user;
+      request.bootstrap = &split.test[u].history;
+      engine.Handle(request);
+    }
+  }
   SetDefaultThreads(1);
   metrics::SetEnabled(false);
 }
@@ -131,7 +146,8 @@ TEST(ObservabilityDocsTest, WorkloadActuallyRecordedEveryGroup) {
   for (const char* name :
        {"trainer.epochs_total", "notears.subproblems_total",
         "causal.matrix_exp_calls_total", "causer.graph_updates_total",
-        "eval.runs_total", "threadpool.regions_total"}) {
+        "eval.runs_total", "threadpool.regions_total",
+        "serve.requests_total", "serve.session_evictions_total"}) {
     bool found = false;
     for (const auto& entry : metrics::Snapshot()) {
       if (entry.name == name) {

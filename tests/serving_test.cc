@@ -1,0 +1,227 @@
+// Serving equivalence suite: the incremental session path (NewSessionState /
+// AdvanceState / ScoreFromState) must be bit-identical to scoring the full
+// appended history with ScoreAll — for the plain GRU4Rec backbone and for
+// Causer with either backbone, with and without the causal filter, at every
+// thread count, including window slides past max_history. The engine's
+// batched GEMM + fused top-k responses must in turn equal eval::TopK of
+// those scores.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "models/gru4rec.h"
+#include "serve/engine.h"
+#include "serve/session_store.h"
+
+namespace causer::serve {
+namespace {
+
+const data::Dataset& TinyData() {
+  static data::Dataset d = data::MakeDataset(data::TinySpec());
+  return d;
+}
+
+const data::Split& TinySplit() {
+  static data::Split s = data::LeaveLastOut(TinyData());
+  return s;
+}
+
+core::CauserConfig TinyConfig(core::Backbone backbone) {
+  core::CauserConfig c = core::DefaultCauserConfig(TinyData(), backbone);
+  c.base.embedding_dim = 8;
+  c.base.hidden_dim = 8;
+  c.encoder_hidden = 8;
+  c.cluster_dim = 8;
+  c.aux_steps_per_epoch = 5;
+  return c;
+}
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { SetDefaultThreads(1); }
+};
+
+/// Advances a session one step at a time and checks that every intermediate
+/// ScoreFromState equals ScoreAll over the appended prefix, float for float.
+void ExpectIncrementalMatchesReplay(models::SequentialRecommender& model,
+                                    int user,
+                                    const std::vector<data::Step>& history,
+                                    const std::string& label) {
+  auto state = model.NewSessionState(user);
+  std::vector<data::Step> prefix;
+  for (size_t t = 0; t < history.size(); ++t) {
+    model.AdvanceState(*state, history[t]);
+    prefix.push_back(history[t]);
+    auto incremental = model.ScoreFromState(*state);
+    auto replay = model.ScoreAll(user, prefix);
+    ASSERT_EQ(incremental.size(), replay.size()) << label << " step " << t;
+    for (size_t i = 0; i < replay.size(); ++i) {
+      ASSERT_EQ(incremental[i], replay[i])
+          << label << " user " << user << " step " << t << " item " << i;
+    }
+  }
+}
+
+/// A deterministic synthetic history longer than max_history (12), so the
+/// session window slides and the lazy rebuild path runs.
+std::vector<data::Step> LongHistory(int user, int num_items, int length) {
+  std::vector<data::Step> history(length);
+  for (int t = 0; t < length; ++t) {
+    history[t].items = {(user * 7 + t * 3) % num_items,
+                        (user * 11 + t * 5) % num_items};
+  }
+  return history;
+}
+
+TEST(ServingEquivalenceTest, Gru4RecIncrementalMatchesScoreAll) {
+  ThreadCountGuard guard;
+  models::ModelConfig config;
+  config.num_users = TinyData().num_users;
+  config.num_items = TinyData().num_items;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  models::Gru4Rec model(config);
+  for (int threads : {1, 8}) {
+    SetDefaultThreads(threads);
+    const std::string label = "gru4rec t" + std::to_string(threads);
+    for (int user : {0, 1, 2}) {
+      ExpectIncrementalMatchesReplay(model, user,
+                                     TinySplit().test[user].history, label);
+      // 30 steps > max_history = 12: the window slides every advance.
+      ExpectIncrementalMatchesReplay(
+          model, user, LongHistory(user, config.num_items, 30),
+          label + " long");
+    }
+  }
+}
+
+TEST(ServingEquivalenceTest, CauserIncrementalMatchesScoreAll) {
+  ThreadCountGuard guard;
+  for (auto backbone : {core::Backbone::kGru, core::Backbone::kLstm}) {
+    for (bool causal : {true, false}) {
+      core::CauserConfig config = TinyConfig(backbone);
+      config.use_causal = causal;
+      core::CauserModel model(config);
+      // A couple of epochs makes the learned filter (and so the candidate
+      // grouping) nontrivial before the equivalence check.
+      core::TrainCauser(model, TinySplit(), {.max_epochs = 2, .patience = 1});
+      for (int threads : {1, 8}) {
+        SetDefaultThreads(threads);
+        const std::string label =
+            std::string(backbone == core::Backbone::kGru ? "gru" : "lstm") +
+            (causal ? "+causal" : "-causal") + " t" +
+            std::to_string(threads);
+        for (int user : {0, 3}) {
+          ExpectIncrementalMatchesReplay(
+              model, user, TinySplit().test[user].history, label);
+          ExpectIncrementalMatchesReplay(
+              model, user,
+              LongHistory(user, TinyData().num_items, 30), label + " long");
+        }
+      }
+    }
+  }
+}
+
+TEST(ServingEngineTest, BatchedResponsesMatchScoreAllTopK) {
+  ThreadCountGuard guard;
+  core::CauserModel model(TinyConfig(core::Backbone::kGru));
+  core::TrainCauser(model, TinySplit(), {.max_epochs = 2, .patience = 1});
+  ServingConfig sc;
+  sc.batch_max = 8;
+  sc.batch_wait_us = 1000;
+  sc.top_k = 5;
+  ServingEngine engine(model, sc);
+  const int num_clients = 8;
+  std::vector<Response> responses(num_clients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      const auto& inst = TinySplit().test[c];
+      Request request;
+      request.user = inst.user;
+      request.bootstrap = &inst.history;
+      responses[c] = engine.Handle(request);
+    });
+  }
+  for (auto& client : clients) client.join();
+  for (int c = 0; c < num_clients; ++c) {
+    const auto& inst = TinySplit().test[c];
+    auto scores = model.ScoreAll(inst.user, inst.history);
+    auto ranked = eval::TopK(scores, sc.top_k);
+    ASSERT_EQ(responses[c].items.size(), ranked.size()) << "user " << c;
+    for (size_t j = 0; j < ranked.size(); ++j) {
+      EXPECT_EQ(responses[c].items[j], ranked[j]) << "user " << c;
+      EXPECT_EQ(responses[c].scores[j], scores[ranked[j]]) << "user " << c;
+    }
+  }
+}
+
+TEST(ServingEngineTest, DuplicateUsersInOneBatchFoldIntoOneSession) {
+  models::ModelConfig config;
+  config.num_users = TinyData().num_users;
+  config.num_items = TinyData().num_items;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  models::Gru4Rec model(config);
+  ServingConfig sc;
+  sc.top_k = 5;
+  ServingEngine engine(model, sc);
+  const auto& history = TinySplit().test[0].history;
+  ASSERT_GE(history.size(), 2u);
+  std::vector<data::Step> bootstrap(history.begin(), history.end() - 2);
+  Request first, second;
+  first.user = second.user = TinySplit().test[0].user;
+  first.bootstrap = second.bootstrap = &bootstrap;
+  first.append = &history[history.size() - 2];
+  second.append = &history[history.size() - 1];
+  auto responses = engine.ScoreBatch({first, second});
+  // Both appends land in order; both requests score the final state.
+  auto scores = model.ScoreAll(first.user, history);
+  auto ranked = eval::TopK(scores, sc.top_k);
+  for (const Response& response : responses) {
+    ASSERT_EQ(response.items.size(), ranked.size());
+    for (size_t j = 0; j < ranked.size(); ++j) {
+      EXPECT_EQ(response.items[j], ranked[j]);
+      EXPECT_EQ(response.scores[j], scores[ranked[j]]);
+    }
+  }
+}
+
+TEST(ServingEngineTest, SessionStoreEvictsLruAndRebuildsFromBootstrap) {
+  core::CauserModel model(TinyConfig(core::Backbone::kGru));
+  ServingConfig sc;
+  sc.top_k = 3;
+  sc.max_sessions = 4;
+  ServingEngine engine(model, sc);
+  const int num_users = 16;
+  for (int round = 0; round < 2; ++round) {
+    for (int u = 0; u < num_users; ++u) {
+      const auto& inst = TinySplit().test[u];
+      Request request;
+      request.user = inst.user;
+      request.bootstrap = &inst.history;
+      auto responses = engine.ScoreBatch({request});
+      ASSERT_EQ(responses.size(), 1u);
+      auto scores = model.ScoreAll(inst.user, inst.history);
+      auto ranked = eval::TopK(scores, sc.top_k);
+      ASSERT_EQ(responses[0].items.size(), ranked.size())
+          << "round " << round << " user " << u;
+      for (size_t j = 0; j < ranked.size(); ++j) {
+        EXPECT_EQ(responses[0].items[j], ranked[j]);
+      }
+      EXPECT_LE(engine.store().size(), sc.max_sessions);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace causer::serve

@@ -17,6 +17,12 @@
 //   explain   --data=<dir> --model=<file> --user=U [--top=3] [...]
 //     Prints the user's recommendation with per-step causal explanation.
 //
+//   serve     --data=<dir> --model=<file> [--serve-replay=N]
+//             [--batch-max=N] [--batch-wait-us=N] [--max-sessions=N]
+//     Replays the test split's requests through the online serving engine
+//     (incremental session states + micro-batched GEMM scoring) from
+//     --threads concurrent clients and reports p50/p99 latency and QPS.
+//
 // Model files carry only weights; the architecture flags at evaluate /
 // explain time must match those used at training time.
 //
@@ -26,12 +32,15 @@
 // (instrumentation stays compiled out of the hot path until one of them
 // turns it on). Run `causer_cli --help` for the full flag reference.
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/fault.h"
 #include "common/flags.h"
@@ -45,8 +54,10 @@
 #include "data/io.h"
 #include "data/split.h"
 #include "data/stats.h"
+#include "common/stopwatch.h"
 #include "eval/metrics.h"
 #include "nn/serialization.h"
+#include "serve/engine.h"
 #include "tensor/arena.h"
 
 namespace {
@@ -55,7 +66,7 @@ using namespace causer;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: causer_cli <generate|train|evaluate|explain> "
+               "usage: causer_cli <generate|train|evaluate|explain|serve> "
                "[--flags]\n(run causer_cli --help for the flag reference)\n");
   return 2;
 }
@@ -65,7 +76,8 @@ int Usage() {
 // against the table between the causer-cli-flags markers in README.md.
 int PrintHelp() {
   std::printf(
-      "usage: causer_cli <generate|train|evaluate|explain> [flags...]\n"
+      "usage: causer_cli <generate|train|evaluate|explain|serve> "
+      "[flags...]\n"
       "\n"
       "subcommands:\n"
       "  generate   Generate a synthetic causal dataset and save it as TSV.\n"
@@ -73,6 +85,8 @@ int PrintHelp() {
       "  evaluate   Evaluate a trained model on the leave-last-out split.\n"
       "  explain    Print a recommendation with per-step causal "
       "explanation.\n"
+      "  serve      Replay test-split requests through the online serving "
+      "engine and report latency/QPS.\n"
       "\n"
       "generate flags:\n"
       "  --spec=NAME          Dataset spec: tiny, epinions, foursquare, "
@@ -101,7 +115,18 @@ int PrintHelp() {
       "  --user=U             explain: user whose test instance to explain "
       "(default 0).\n"
       "  --top=N              explain: number of recommendations to "
-      "explain (default 3).\n"
+      "explain (default 3); serve: recommendations per response (default "
+      "10).\n"
+      "\n"
+      "serve flags (plus --data / --model / --top above):\n"
+      "  --serve-replay=N     Replay passes over the test split's requests "
+      "(default 1).\n"
+      "  --batch-max=N        Micro-batcher: most requests coalesced into "
+      "one scoring batch (default 32).\n"
+      "  --batch-wait-us=N    Micro-batcher: how long a batch waits to "
+      "fill after its first request, in microseconds (default 200).\n"
+      "  --max-sessions=N     Session-store LRU capacity (default 0 = "
+      "unbounded).\n"
       "\n"
       "model architecture flags (train, evaluate, explain — must match "
       "between training and loading):\n"
@@ -363,6 +388,104 @@ int CmdExplain(const Flags& flags) {
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  std::string data_dir = flags.GetString("data");
+  std::string model_path = flags.GetString("model");
+  if (data_dir.empty() || model_path.empty()) return Usage();
+  data::Dataset dataset;
+  if (!data::LoadDataset(data_dir, &dataset)) return 1;
+  data::Split split = data::LeaveLastOut(dataset);
+  if (split.test.empty()) {
+    std::fprintf(stderr, "test split is empty\n");
+    return 1;
+  }
+  core::CauserModel model(ConfigFromFlags(flags, dataset));
+  if (!nn::LoadParameters(model, model_path)) {
+    std::fprintf(stderr,
+                 "failed to load %s (architecture flags must match "
+                 "training)\n",
+                 model_path.c_str());
+    return 1;
+  }
+  model.OnParametersRestored();
+
+  serve::ServingConfig sc;
+  sc.batch_max = flags.GetInt("batch-max", 32);
+  sc.batch_wait_us = flags.GetInt("batch-wait-us", 200);
+  sc.top_k = flags.GetInt("top", 10);
+  sc.max_sessions = flags.GetInt("max-sessions", 0);
+  serve::ServingEngine engine(model, sc);
+
+  // Each test instance becomes one request: the history minus its last
+  // step bootstraps the session on first sight, the last step is the
+  // "live" interaction appended before scoring. Replay passes keep
+  // appending, exercising the incremental advance path.
+  struct Replayed {
+    int user;
+    std::vector<data::Step> bootstrap;
+    data::Step append;
+  };
+  std::vector<Replayed> requests;
+  requests.reserve(split.test.size());
+  for (const auto& inst : split.test) {
+    if (inst.history.empty()) continue;
+    Replayed r;
+    r.user = inst.user;
+    r.bootstrap.assign(inst.history.begin(), inst.history.end() - 1);
+    r.append = inst.history.back();
+    requests.push_back(std::move(r));
+  }
+  const int passes = std::max(1, flags.GetInt("serve-replay", 1));
+  const long total =
+      static_cast<long>(passes) * static_cast<long>(requests.size());
+  const int clients = std::max(1, DefaultThreads());
+
+  std::atomic<long> next{0};
+  std::vector<std::vector<double>> latencies(clients);
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (long i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+        const Replayed& r = requests[i % requests.size()];
+        serve::Request request;
+        request.user = r.user;
+        request.append = &r.append;
+        request.bootstrap = &r.bootstrap;
+        Stopwatch watch;
+        serve::Response response = engine.Handle(request);
+        latencies[c].push_back(watch.ElapsedSeconds());
+        if (response.items.empty()) {
+          std::fprintf(stderr, "empty response for user %d\n", r.user);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (const auto& local : latencies)
+    all.insert(all.end(), local.begin(), local.end());
+  std::sort(all.begin(), all.end());
+  auto percentile = [&](double q) {
+    if (all.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(q * (all.size() - 1));
+    return all[idx];
+  };
+  std::printf(
+      "served %ld requests (%d pass(es) x %zu instances, %d client "
+      "threads, batch-max %d, batch-wait %dus)\n",
+      total, passes, requests.size(), clients, sc.batch_max,
+      sc.batch_wait_us);
+  std::printf("p50 %.3f ms   p99 %.3f ms   %.0f req/s   %d sessions cached\n",
+              percentile(0.50) * 1e3, percentile(0.99) * 1e3,
+              wall_seconds > 0 ? total / wall_seconds : 0.0,
+              engine.store().size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -390,5 +513,6 @@ int main(int argc, char** argv) {
   if (command == "train") return CmdTrain(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "explain") return CmdExplain(flags);
+  if (command == "serve") return CmdServe(flags);
   return Usage();
 }
