@@ -1,0 +1,166 @@
+// Network serving benchmark: the TCP front-end (src/serve/server.h) over
+// the micro-batched engine, exercised in-process over loopback — wire
+// encode/decode, per-connection readers, the two-lane scheduler and worker
+// handoff all included, so the delta vs. BENCH_serving.json's in-process
+// Handle numbers is the protocol + scheduling overhead.
+//
+// Closed-loop: each client thread owns one connection and one in-flight
+// request (latency here is honest per-call round-trip time; the open-loop
+// tail hunter is tools/causer_loadgen.cc against a real process).
+//
+// Gates (exit code): every response kOk and bit-identical to the engine's
+// synchronous ScoreBatch for the same session, and QPS > 0. Writes a
+// BENCH_server.json report (path = argv[last], default ./BENCH_server.json).
+//
+// `--smoke` shrinks the request count for CI.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "eval/metrics.h"
+#include "serve/client.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace causer;
+
+constexpr int kNumItems = 500;
+constexpr int kClients = 4;
+
+models::ModelConfig BenchModelConfig() {
+  models::ModelConfig config;
+  config.num_users = 64;
+  config.num_items = kNumItems;
+  config.embedding_dim = 32;
+  config.hidden_dim = 32;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_server.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  bench::PrintHeader(
+      "Network serving: TCP front-end over the micro-batched engine",
+      "Wang et al., ICDE 2023 (serving engine; no paper figure)");
+  SetDefaultThreads(1);
+  const int per_client = smoke ? 200 : 2000;
+
+  models::Gru4Rec model(BenchModelConfig());
+  serve::ServingConfig sc;
+  sc.top_k = 10;
+  sc.batch_max = kClients;
+  sc.batch_wait_us = 100;
+  serve::ServingEngine engine(model, sc);
+  serve::ServerConfig server_config;
+  server_config.workers = kClients;
+  serve::Server server(engine, server_config);
+  if (!server.Start()) {
+    std::fprintf(stderr, "FAILED to bind the loopback server\n");
+    return 1;
+  }
+
+  // Reference answers from the synchronous engine path, one per user: the
+  // wire responses must match bit for bit (same sessions, no appends).
+  std::vector<serve::Response> expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    serve::Request request;
+    request.user = c;
+    expected[c] = engine.ScoreBatch({request})[0];
+  }
+
+  std::vector<std::vector<double>> latencies(kClients);
+  std::vector<long> wrong(kClients, 0);
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client;
+      if (!client.Connect("127.0.0.1", server.port())) {
+        wrong[c] = per_client;
+        return;
+      }
+      latencies[c].reserve(per_client);
+      for (int i = 0; i < per_client; ++i) {
+        serve::wire::RequestFrame request;
+        request.request_id = static_cast<uint32_t>(i);
+        request.user = c;
+        serve::wire::ResponseFrame response;
+        Stopwatch watch;
+        if (!client.Call(request, &response)) {
+          wrong[c] += per_client - i;
+          return;
+        }
+        latencies[c].push_back(watch.ElapsedSeconds());
+        const bool match =
+            response.status == serve::wire::Status::kOk &&
+            response.items.size() == expected[c].items.size() &&
+            std::equal(response.items.begin(), response.items.end(),
+                       expected[c].items.begin()) &&
+            std::equal(response.scores.begin(), response.scores.end(),
+                       expected[c].scores.begin());
+        if (!match) ++wrong[c];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+  server.Shutdown();
+
+  std::vector<double> all;
+  long bad = 0;
+  for (int c = 0; c < kClients; ++c) {
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    bad += wrong[c];
+  }
+  std::sort(all.begin(), all.end());
+  const auto pct = [&](double q) {
+    if (all.empty()) return 0.0;
+    return all[static_cast<size_t>(q * (all.size() - 1))] * 1e3;
+  };
+  const long total = static_cast<long>(kClients) * per_client;
+  const double qps = wall_seconds > 0 ? total / wall_seconds : 0.0;
+  const bool ok = bad == 0 && qps > 0;
+
+  std::printf("%ld requests over %d connections: p50 %.3f ms  p99 %.3f ms  "
+              "%.0f req/s  mismatches %ld\n",
+              total, kClients, pct(0.50), pct(0.99), qps, bad);
+  std::printf("gate (all responses OK and bit-identical, QPS > 0): %s\n",
+              ok ? "PASS" : "FAIL");
+
+  bench::JsonObject report;
+  report.Set("bench", std::string("server"))
+      .Set("smoke", smoke)
+      .Set("requests", static_cast<int>(total))
+      .Set("connections", kClients)
+      .Set("workers", server_config.workers)
+      .Set("p50_ms", pct(0.50))
+      .Set("p99_ms", pct(0.99))
+      .Set("qps", qps)
+      .Set("mismatches", static_cast<int>(bad))
+      .Set("pass", ok);
+  if (!bench::WriteTextFile(out_path, report.Str())) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("report -> %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+#ifndef CAUSER_COMMON_NET_H_
+#define CAUSER_COMMON_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace causer::net {
+
+// Dependency-free TCP + framing layer shared by the serving front-end
+// (src/serve/server.cc), its client (src/serve/client.cc) and the load
+// generator (tools/causer_loadgen.cc). All frames on a causer socket are
+// [u32 little-endian payload length][payload]; payload layouts live in
+// src/serve/protocol.h.
+
+// ---- sockets ----------------------------------------------------------
+
+/// Opens a listening TCP socket bound to host:port (port 0 = ephemeral)
+/// with SO_REUSEADDR. Returns the fd, or -1 on failure; `*bound_port`
+/// (may be null) receives the actually bound port.
+int ListenTcp(const std::string& host, int port, int backlog,
+              int* bound_port);
+
+/// Blocking connect to host:port (numeric IPv4 host). Returns fd or -1.
+int ConnectTcp(const std::string& host, int port);
+
+/// accept() retrying EINTR. Returns the connection fd, or -1 once the
+/// listener was shut down or failed.
+int AcceptConnection(int listen_fd);
+
+/// shutdown(fd, SHUT_RDWR): wakes any thread blocked reading the socket.
+void ShutdownSocket(int fd);
+
+/// close() retrying EINTR. Safe on -1 (no-op).
+void CloseSocket(int fd);
+
+/// SO_RCVTIMEO: blocking reads fail after `seconds` instead of hanging
+/// (the load generator's hung-connection detector). False on failure.
+bool SetRecvTimeout(int fd, double seconds);
+
+// ---- length-prefixed framing ------------------------------------------
+
+/// Reads exactly `n` bytes (retries EINTR and short reads). False on EOF
+/// or error.
+bool ReadFull(int fd, void* buf, size_t n);
+
+/// Writes exactly `n` bytes; uses MSG_NOSIGNAL so a closed peer yields an
+/// error instead of SIGPIPE. False on error.
+bool WriteFull(int fd, const void* buf, size_t n);
+
+/// Reads one frame into `*payload`. False on EOF, error, or a declared
+/// length above `max_bytes` (corruption / protocol-confusion guard).
+bool ReadFrame(int fd, std::vector<uint8_t>* payload, uint32_t max_bytes);
+
+/// Writes one frame.
+bool WriteFrame(int fd, const uint8_t* payload, size_t len);
+
+// ---- little-endian scalar packing (the wire byte order) ---------------
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v);
+void PutU16(std::vector<uint8_t>* out, uint16_t v);
+void PutU32(std::vector<uint8_t>* out, uint32_t v);
+void PutF32(std::vector<uint8_t>* out, float v);
+
+/// Bounds-checked little-endian reader: every getter past the end flips
+/// `ok` to false and returns 0, so decoders can check once at the end.
+struct Cursor {
+  const uint8_t* data = nullptr;
+  size_t len = 0;
+  size_t pos = 0;
+  bool ok = true;
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  float F32();
+  bool AtEnd() const { return pos == len; }
+};
+
+// ---- signal-driven shutdown (self-pipe) -------------------------------
+
+/// Installs SIGINT/SIGTERM handlers that record the request and write one
+/// byte to an internal pipe (async-signal-safe). Idempotent; returns
+/// false if the pipe or handlers could not be installed.
+bool InstallShutdownHandler();
+
+/// True once a shutdown signal arrived or TriggerShutdown() was called.
+bool ShutdownRequested();
+
+/// Blocks until ShutdownRequested() becomes true.
+void WaitForShutdown();
+
+/// Programmatic equivalent of the signal (tests, embedding).
+void TriggerShutdown();
+
+}  // namespace causer::net
+
+#endif  // CAUSER_COMMON_NET_H_

@@ -1,0 +1,39 @@
+#include "serve/client.h"
+
+#include <vector>
+
+#include "common/net.h"
+
+namespace causer::serve {
+
+bool Client::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = net::ConnectTcp(host, port);
+  return fd_ >= 0;
+}
+
+bool Client::Send(const wire::RequestFrame& request) {
+  if (fd_ < 0) return false;
+  std::vector<uint8_t> payload;
+  wire::EncodeRequest(request, &payload);
+  return net::WriteFrame(fd_, payload.data(), payload.size());
+}
+
+bool Client::Receive(wire::ResponseFrame* response) {
+  if (fd_ < 0) return false;
+  std::vector<uint8_t> payload;
+  if (!net::ReadFrame(fd_, &payload, wire::kMaxFrameBytes)) return false;
+  return wire::DecodeResponse(payload, response);
+}
+
+bool Client::Call(const wire::RequestFrame& request,
+                  wire::ResponseFrame* response) {
+  return Send(request) && Receive(response);
+}
+
+void Client::Close() {
+  net::CloseSocket(fd_);
+  fd_ = -1;
+}
+
+}  // namespace causer::serve

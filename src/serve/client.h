@@ -1,0 +1,44 @@
+#ifndef CAUSER_SERVE_CLIENT_H_
+#define CAUSER_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace causer::serve {
+
+/// Minimal blocking client for the serving wire protocol (tests, benches
+/// and simple tools; the open-loop load generator drives the protocol
+/// directly for pipelining). One Client per thread — no internal locking.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port (numeric IPv4). False on failure.
+  bool Connect(const std::string& host, int port);
+
+  /// Writes one request frame. False on a broken connection.
+  bool Send(const wire::RequestFrame& request);
+
+  /// Blocks for the next response frame (whatever its request_id — the
+  /// server may answer out of order). False on EOF/error.
+  bool Receive(wire::ResponseFrame* response);
+
+  /// Send + Receive. False on a broken connection or undecodable reply.
+  bool Call(const wire::RequestFrame& request,
+            wire::ResponseFrame* response);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace causer::serve
+
+#endif  // CAUSER_SERVE_CLIENT_H_

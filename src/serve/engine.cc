@@ -22,12 +22,17 @@ ServingEngine::ServingEngine(models::SequentialRecommender& model,
         c.batch_max = std::max(1, c.batch_max);
         c.batch_wait_us = std::max(0, c.batch_wait_us);
         c.top_k = std::max(1, c.top_k);
+        // A negative capacity must not silently mean unbounded: the store
+        // receives the clamped value, and 0 is the documented "no cap".
+        c.max_sessions = std::max(0, c.max_sessions);
         return c;
       }()),
-      store_(model, config.max_sessions),
+      store_(model, config_.max_sessions),
       dispatcher_([this] { DispatcherLoop(); }) {}
 
-ServingEngine::~ServingEngine() {
+ServingEngine::~ServingEngine() { Stop(); }
+
+void ServingEngine::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -42,6 +47,13 @@ Response ServingEngine::Handle(const Request& request) {
   pending.request = &request;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      // The dispatcher may already have drained and exited; enqueueing now
+      // would block on done_cv_ forever. Reject instead of hanging.
+      Response rejected;
+      rejected.status = ResponseStatus::kShuttingDown;
+      return rejected;
+    }
     queue_.push_back(&pending);
     queue_cv_.notify_one();
     done_cv_.wait(lock, [&] { return pending.done; });
@@ -62,8 +74,20 @@ std::vector<Response> ServingEngine::ScoreBatch(
     batch.push_back(&pendings[i]);
   }
   if (!batch.empty()) {
-    std::lock_guard<std::mutex> batch_lock(batch_mu_);
-    ProcessBatch(batch);
+    Stopwatch watch;
+    {
+      std::lock_guard<std::mutex> batch_lock(batch_mu_);
+      ProcessBatch(batch);
+    }
+    if (metrics::Enabled()) {
+      // Latency parity with Handle: the synchronous path must feed the
+      // same histogram, one observation per request, or replay/test
+      // traffic undercounts serve.request_seconds.
+      const double elapsed = watch.ElapsedSeconds();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        ServeMetrics().request_seconds.Observe(elapsed);
+      }
+    }
   }
   std::vector<Response> responses;
   responses.reserve(pendings.size());
@@ -122,8 +146,10 @@ void ServingEngine::ProcessBatch(const std::vector<Pending*>& batch) {
   // Phase 1 — advance sessions in arrival order. Duplicate users in one
   // batch fold into a single session: each append lands in order and every
   // duplicate scores the final state (exactly what sequential per-request
-  // handling would produce).
-  std::vector<models::SessionState*> states(batch.size());
+  // handling would produce). The handles pin every acquired session for
+  // the whole batch, so a later Acquire's LRU eviction cannot free a state
+  // Phase 2 still reads.
+  std::vector<SessionStore::Handle> states(batch.size());
   std::vector<int> uniques;           // batch index of each unique user
   std::unordered_map<int, int> seen;  // user -> position in `uniques`
   std::vector<int> unique_of(batch.size());
@@ -132,11 +158,9 @@ void ServingEngine::ProcessBatch(const std::vector<Pending*>& batch) {
     trace::TraceSpan span("serve.advance");
     for (size_t i = 0; i < batch.size(); ++i) {
       const Request& request = *batch[i]->request;
-      models::SessionState& state =
-          store_.Acquire(request.user, request.bootstrap);
-      states[i] = &state;
+      states[i] = store_.Acquire(request.user, request.bootstrap);
       if (request.append != nullptr) {
-        model_.AdvanceState(state, *request.append);
+        model_.AdvanceState(*states[i], *request.append);
       }
       auto [it, inserted] =
           seen.emplace(request.user, static_cast<int>(uniques.size()));

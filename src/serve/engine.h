@@ -22,7 +22,8 @@ struct ServingConfig {
   int batch_wait_us = 200;
   /// Recommendations returned per request.
   int top_k = 10;
-  /// Session-store LRU capacity (<= 0 = unbounded).
+  /// Session-store LRU capacity; 0 = unbounded (negative values are
+  /// clamped to 0 by the constructor, like batch_max/top_k).
   int max_sessions = 0;
 };
 
@@ -38,11 +39,23 @@ struct Request {
   const std::vector<data::Step>* bootstrap = nullptr;
 };
 
+/// Why a Response carries no recommendations.
+enum class ResponseStatus : uint8_t {
+  kOk = 0,
+  /// The engine was stopping when the request arrived; nothing was scored.
+  /// Handle fails fast with this instead of enqueueing onto a dispatcher
+  /// that already drained and exited (which would hang the caller forever)
+  /// — the contract the server's graceful drain is built on.
+  kShuttingDown = 1,
+};
+
 /// Top-k recommendations, best first — exactly eval::TopK of the model's
-/// ScoreAll over the session's history.
+/// ScoreAll over the session's history. Empty with a non-kOk status when
+/// the request was rejected instead of scored.
 struct Response {
   std::vector<int> items;
   std::vector<float> scores;
+  ResponseStatus status = ResponseStatus::kOk;
 };
 
 /// Online inference engine: a session store for O(1) incremental advances
@@ -61,8 +74,15 @@ class ServingEngine {
   ServingEngine& operator=(const ServingEngine&) = delete;
 
   /// Thread-safe blocking call: enqueues the request, wakes the dispatcher
-  /// and returns when the coalesced batch containing it was scored.
+  /// and returns when the coalesced batch containing it was scored. Once
+  /// the engine is stopping it returns a kShuttingDown Response instead of
+  /// blocking; requests enqueued before the stop are still drained.
   Response Handle(const Request& request);
+
+  /// Stops the dispatcher: requests already queued are drained and
+  /// answered, later Handle calls fail fast with kShuttingDown.
+  /// Idempotent; the destructor calls it.
+  void Stop();
 
   /// Synchronous batch path bypassing the batcher (deterministic; used by
   /// tests, benches and single-threaded replay). Requests for the same
@@ -71,6 +91,8 @@ class ServingEngine {
 
   SessionStore& store() { return store_; }
   const ServingConfig& config() const { return config_; }
+  /// The served model (e.g. for catalog-size request validation).
+  const models::SequentialRecommender& model() const { return model_; }
 
  private:
   struct Pending {

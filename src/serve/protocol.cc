@@ -1,0 +1,107 @@
+#include "serve/protocol.h"
+
+#include <limits>
+
+#include "common/net.h"
+
+namespace causer::serve::wire {
+
+void EncodeRequest(const RequestFrame& frame, std::vector<uint8_t>* out) {
+  out->clear();
+  net::PutU8(out, kVersion);
+  net::PutU8(out, static_cast<uint8_t>(frame.priority));
+  net::PutU16(out, 0);  // reserved
+  net::PutU32(out, frame.request_id);
+  net::PutU32(out, static_cast<uint32_t>(frame.user));
+  net::PutU32(out, frame.deadline_ms);
+  net::PutU16(out, static_cast<uint16_t>(frame.append.size()));
+  net::PutU16(out, static_cast<uint16_t>(frame.bootstrap.size()));
+  for (int32_t item : frame.append) {
+    net::PutU32(out, static_cast<uint32_t>(item));
+  }
+  for (const auto& step : frame.bootstrap) {
+    net::PutU16(out, static_cast<uint16_t>(step.size()));
+    for (int32_t item : step) net::PutU32(out, static_cast<uint32_t>(item));
+  }
+}
+
+bool DecodeRequest(const std::vector<uint8_t>& payload, RequestFrame* out) {
+  net::Cursor cursor{payload.data(), payload.size()};
+  if (cursor.U8() != kVersion) return false;
+  const uint8_t priority = cursor.U8();
+  if (priority > static_cast<uint8_t>(Priority::kHigh)) return false;
+  out->priority = static_cast<Priority>(priority);
+  cursor.U16();  // reserved
+  out->request_id = cursor.U32();
+  out->user = static_cast<int32_t>(cursor.U32());
+  out->deadline_ms = cursor.U32();
+  const uint16_t append_items = cursor.U16();
+  const uint16_t bootstrap_steps = cursor.U16();
+  out->append.clear();
+  out->append.reserve(append_items);
+  for (uint16_t i = 0; i < append_items && cursor.ok; ++i) {
+    out->append.push_back(static_cast<int32_t>(cursor.U32()));
+  }
+  out->bootstrap.clear();
+  out->bootstrap.reserve(bootstrap_steps);
+  for (uint16_t s = 0; s < bootstrap_steps && cursor.ok; ++s) {
+    const uint16_t count = cursor.U16();
+    std::vector<int32_t> step;
+    step.reserve(count);
+    for (uint16_t i = 0; i < count && cursor.ok; ++i) {
+      step.push_back(static_cast<int32_t>(cursor.U32()));
+    }
+    out->bootstrap.push_back(std::move(step));
+  }
+  return cursor.ok && cursor.AtEnd();
+}
+
+void EncodeResponse(const ResponseFrame& frame, std::vector<uint8_t>* out) {
+  out->clear();
+  net::PutU8(out, kVersion);
+  net::PutU8(out, static_cast<uint8_t>(frame.status));
+  net::PutU16(out, static_cast<uint16_t>(frame.items.size()));
+  net::PutU32(out, frame.request_id);
+  for (size_t i = 0; i < frame.items.size(); ++i) {
+    net::PutU32(out, static_cast<uint32_t>(frame.items[i]));
+    net::PutF32(out, i < frame.scores.size() ? frame.scores[i] : 0.0f);
+  }
+}
+
+bool DecodeResponse(const std::vector<uint8_t>& payload,
+                    ResponseFrame* out) {
+  net::Cursor cursor{payload.data(), payload.size()};
+  if (cursor.U8() != kVersion) return false;
+  const uint8_t status = cursor.U8();
+  if (status > static_cast<uint8_t>(Status::kBadRequest)) return false;
+  out->status = static_cast<Status>(status);
+  const uint16_t k = cursor.U16();
+  out->request_id = cursor.U32();
+  out->items.clear();
+  out->scores.clear();
+  out->items.reserve(k);
+  out->scores.reserve(k);
+  for (uint16_t i = 0; i < k && cursor.ok; ++i) {
+    out->items.push_back(static_cast<int32_t>(cursor.U32()));
+    out->scores.push_back(cursor.F32());
+  }
+  return cursor.ok && cursor.AtEnd();
+}
+
+const char* StatusName(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kQueueFull:
+      return "queue_full";
+    case Status::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::kShuttingDown:
+      return "shutting_down";
+    case Status::kBadRequest:
+      return "bad_request";
+  }
+  return "unknown";
+}
+
+}  // namespace causer::serve::wire

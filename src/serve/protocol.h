@@ -1,0 +1,98 @@
+#ifndef CAUSER_SERVE_PROTOCOL_H_
+#define CAUSER_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace causer::serve::wire {
+
+// The serving wire protocol: length-prefixed binary frames (the u32
+// little-endian length prefix lives in common/net.h; this header defines
+// the payloads). One request frame yields exactly one response frame with
+// the same request_id; responses may arrive out of request order, since
+// the server schedules across priority lanes and pipelined connections.
+//
+// Request payload (all integers little-endian):
+//   u8  version (= kVersion)
+//   u8  priority (Priority)
+//   u16 reserved (0)
+//   u32 request_id       echoed verbatim in the response
+//   u32 user             session key (any non-negative id; not bounded by
+//                        the model's training-time user count)
+//   u32 deadline_ms      relative deadline from server receipt; 0 = use
+//                        the server's default (--deadline-ms), which may
+//                        itself be 0 = none
+//   u16 append_items     number of items in the appended step; 0 = score
+//                        the session as it stands
+//   u16 bootstrap_steps  prior-history steps replayed if the user has no
+//                        cached session
+//   append_items  x u32  item ids of the appended step
+//   bootstrap_steps x [u16 count, count x u32 item ids]
+//
+// Response payload:
+//   u8  version
+//   u8  status (Status)
+//   u16 k                number of recommendations (0 unless kOk)
+//   u32 request_id
+//   k x [u32 item, f32 score]   best first
+
+inline constexpr uint8_t kVersion = 1;
+
+/// Upper bound on a frame payload; a declared length above this is a
+/// protocol error and closes the connection.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+enum class Status : uint8_t {
+  kOk = 0,
+  /// Admission control: the scheduler queue was at --queue-depth when the
+  /// request arrived. Back off and retry (the protocol's backpressure).
+  kQueueFull = 1,
+  /// The request's deadline expired while it queued; it was rejected
+  /// before scoring.
+  kDeadlineExceeded = 2,
+  /// The server is draining (or the engine stopped); nothing was scored.
+  kShuttingDown = 3,
+  /// Malformed or out-of-range request (e.g. an item id outside the
+  /// catalog). The connection stays open.
+  kBadRequest = 4,
+};
+
+enum class Priority : uint8_t {
+  kNormal = 0,
+  /// Scheduled ahead of every queued kNormal request (two-lane scheduler).
+  kHigh = 1,
+};
+
+struct RequestFrame {
+  uint32_t request_id = 0;
+  int32_t user = 0;
+  uint32_t deadline_ms = 0;
+  Priority priority = Priority::kNormal;
+  /// Item ids of the interaction appended before scoring; empty = none.
+  std::vector<int32_t> append;
+  /// Prior history replayed on session miss, oldest first.
+  std::vector<std::vector<int32_t>> bootstrap;
+};
+
+struct ResponseFrame {
+  uint32_t request_id = 0;
+  Status status = Status::kOk;
+  std::vector<int32_t> items;
+  std::vector<float> scores;
+};
+
+/// Serializes the payload (no length prefix) into `*out` (cleared first).
+void EncodeRequest(const RequestFrame& frame, std::vector<uint8_t>* out);
+void EncodeResponse(const ResponseFrame& frame, std::vector<uint8_t>* out);
+
+/// Parses a payload. False on truncation, trailing bytes, or an unknown
+/// version — the caller should treat the connection as broken.
+bool DecodeRequest(const std::vector<uint8_t>& payload, RequestFrame* out);
+bool DecodeResponse(const std::vector<uint8_t>& payload, ResponseFrame* out);
+
+/// Human-readable status label ("ok", "queue_full", ...).
+const char* StatusName(Status status);
+
+}  // namespace causer::serve::wire
+
+#endif  // CAUSER_SERVE_PROTOCOL_H_

@@ -47,7 +47,7 @@ SessionStore::SessionStore(models::SequentialRecommender& model,
                            int max_sessions)
     : model_(model), max_sessions_(max_sessions) {}
 
-models::SessionState& SessionStore::Acquire(
+SessionStore::Handle SessionStore::Acquire(
     int user, const std::vector<data::Step>* bootstrap) {
   const bool measure = metrics::Enabled();
   std::lock_guard<std::mutex> lock(mu_);
@@ -55,25 +55,30 @@ models::SessionState& SessionStore::Acquire(
   if (it != sessions_.end()) {
     it->second.stamp = ++clock_;
     if (measure) ServeMetrics().session_hits.Add();
-    return *it->second.state;
+    return it->second.state;
   }
-  if (max_sessions_ > 0 &&
-      static_cast<int>(sessions_.size()) >= max_sessions_) {
-    // Linear LRU scan: the store holds at most max_sessions entries and
-    // evictions are rare next to scoring work, so an index structure would
-    // buy nothing at this scale.
+  // Linear LRU scan: the store holds ~max_sessions entries and evictions
+  // are rare next to scoring work, so an index structure would buy nothing
+  // at this scale. Entries pinned by an in-flight batch (use_count > 1:
+  // handles only ever multiply under this mutex) are skipped — evicting
+  // one would not free memory anyway, and dropping its map entry
+  // mid-batch would fork the user's session. With every entry pinned the
+  // store transiently exceeds the cap by at most the batch size; the loop
+  // shrinks it back on the next Acquire that finds unpinned victims.
+  while (max_sessions_ > 0 &&
+         static_cast<int>(sessions_.size()) >= max_sessions_) {
     auto victim = sessions_.end();
     uint64_t oldest = std::numeric_limits<uint64_t>::max();
     for (auto cand = sessions_.begin(); cand != sessions_.end(); ++cand) {
+      if (cand->second.state.use_count() > 1) continue;  // pinned
       if (cand->second.stamp < oldest) {
         oldest = cand->second.stamp;
         victim = cand;
       }
     }
-    if (victim != sessions_.end()) {
-      sessions_.erase(victim);
-      if (measure) ServeMetrics().evictions.Add();
-    }
+    if (victim == sessions_.end()) break;  // everything pinned: overshoot
+    sessions_.erase(victim);
+    if (measure) ServeMetrics().evictions.Add();
   }
   Entry entry;
   entry.state = model_.NewSessionState(user);
@@ -96,7 +101,7 @@ models::SessionState& SessionStore::Acquire(
     ServeMetrics().session_misses.Add();
     ServeMetrics().sessions.Set(static_cast<double>(sessions_.size()));
   }
-  return *pos->second.state;
+  return pos->second.state;
 }
 
 void SessionStore::Evict(int user) {

@@ -40,14 +40,21 @@ ServeMetricsT& ServeMetrics();
 /// engine's serialization (one dispatcher advances them).
 class SessionStore {
  public:
-  /// `max_sessions` <= 0 means unbounded.
+  /// Shared ownership of a cached session. Holding a Handle pins the state:
+  /// the LRU scan skips pinned entries, so a batch that acquires more
+  /// distinct users than `max_sessions` cannot free a state an earlier
+  /// request in the same batch still points at. Eviction then only drops
+  /// the map entry; the state itself lives until its last Handle releases.
+  using Handle = std::shared_ptr<models::SessionState>;
+
+  /// `max_sessions` == 0 means unbounded (the engine clamps negatives).
   SessionStore(models::SequentialRecommender& model, int max_sessions);
 
   /// Returns the session for `user`, creating it on miss — replaying
   /// `bootstrap` (may be null = start empty) into the fresh state. The
-  /// reference stays valid until the session is evicted.
-  models::SessionState& Acquire(int user,
-                                const std::vector<data::Step>* bootstrap);
+  /// handle keeps the state alive across evictions; drop it when the
+  /// request's batch completes so the LRU cap can reclaim the entry.
+  Handle Acquire(int user, const std::vector<data::Step>* bootstrap);
 
   /// Drops a user's session (testing / explicit logout).
   void Evict(int user);
@@ -56,7 +63,7 @@ class SessionStore {
 
  private:
   struct Entry {
-    std::unique_ptr<models::SessionState> state;
+    std::shared_ptr<models::SessionState> state;
     uint64_t stamp = 0;  // LRU clock value of the last Acquire
   };
 

@@ -16,7 +16,9 @@
 #include "core/trainer.h"
 #include "data/generator.h"
 #include "data/split.h"
+#include "serve/client.h"
 #include "serve/engine.h"
+#include "serve/server.h"
 
 namespace causer {
 namespace {
@@ -51,6 +53,20 @@ void RunWorkloadTouchingEveryModuleImpl() {
       request.user = split.test[u].user;
       request.bootstrap = &split.test[u].history;
       engine.Handle(request);
+    }
+    // One wire round-trip through the TCP front-end registers the server
+    // group (connections, admission, queueing and latency instruments).
+    serve::Server server(engine, serve::ServerConfig{});
+    if (server.Start()) {
+      serve::Client client;
+      if (client.Connect("127.0.0.1", server.port())) {
+        serve::wire::RequestFrame request;
+        request.request_id = 1;
+        request.user = split.test[0].user;
+        serve::wire::ResponseFrame response;
+        client.Call(request, &response);
+      }
+      server.Shutdown();
     }
   }
   SetDefaultThreads(1);
@@ -147,7 +163,8 @@ TEST(ObservabilityDocsTest, WorkloadActuallyRecordedEveryGroup) {
        {"trainer.epochs_total", "notears.subproblems_total",
         "causal.matrix_exp_calls_total", "causer.graph_updates_total",
         "eval.runs_total", "threadpool.regions_total",
-        "serve.requests_total", "serve.session_evictions_total"}) {
+        "serve.requests_total", "serve.session_evictions_total",
+        "server.connections_total", "server.requests_total"}) {
     bool found = false;
     for (const auto& entry : metrics::Snapshot()) {
       if (entry.name == name) {

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/trainer.h"
 #include "data/generator.h"
@@ -196,6 +197,53 @@ TEST(ServingEngineTest, DuplicateUsersInOneBatchFoldIntoOneSession) {
   }
 }
 
+// Regression (ASan): a batch with more distinct users than max_sessions
+// used to LRU-evict an Entry whose SessionState* an earlier request in the
+// same ProcessBatch still held, so Phase 2's StateRep/ScoreFromState read
+// freed memory. Sessions referenced by the in-flight batch are now pinned
+// (shared handles) and skipped as eviction victims.
+TEST(ServingEngineTest, EvictionDuringBatchKeepsInFlightSessionsAlive) {
+  models::ModelConfig config;
+  config.num_users = TinyData().num_users;
+  config.num_items = TinyData().num_items;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  models::Gru4Rec model(config);
+  ServingConfig sc;
+  sc.top_k = 3;
+  sc.batch_max = 8;
+  sc.max_sessions = 2;  // < batch size: later Acquires must evict
+  ServingEngine engine(model, sc);
+  const int num_users = 8;
+  std::vector<Request> requests(num_users);
+  for (int u = 0; u < num_users; ++u) {
+    requests[u].user = TinySplit().test[u].user;
+    requests[u].bootstrap = &TinySplit().test[u].history;
+  }
+  auto responses = engine.ScoreBatch(requests);
+  ASSERT_EQ(responses.size(), static_cast<size_t>(num_users));
+  for (int u = 0; u < num_users; ++u) {
+    const auto& inst = TinySplit().test[u];
+    auto scores = model.ScoreAll(inst.user, inst.history);
+    auto ranked = eval::TopK(scores, sc.top_k);
+    ASSERT_EQ(responses[u].items.size(), ranked.size()) << "user " << u;
+    for (size_t j = 0; j < ranked.size(); ++j) {
+      EXPECT_EQ(responses[u].items[j], ranked[j]) << "user " << u;
+      EXPECT_EQ(responses[u].scores[j], scores[ranked[j]]) << "user " << u;
+    }
+  }
+  // The cap is exceeded only while the batch pins its sessions; the next
+  // session-creating acquire finds them unpinned and shrinks the store
+  // back under the cap.
+  EXPECT_LE(engine.store().size(), num_users);
+  Request fresh;
+  fresh.user = TinySplit().test[num_users].user;
+  fresh.bootstrap = &TinySplit().test[num_users].history;
+  auto follow_up = engine.ScoreBatch({fresh});
+  ASSERT_EQ(follow_up.size(), 1u);
+  EXPECT_LE(engine.store().size(), sc.max_sessions);
+}
+
 TEST(ServingEngineTest, SessionStoreEvictsLruAndRebuildsFromBootstrap) {
   core::CauserModel model(TinyConfig(core::Backbone::kGru));
   ServingConfig sc;
@@ -221,6 +269,89 @@ TEST(ServingEngineTest, SessionStoreEvictsLruAndRebuildsFromBootstrap) {
       EXPECT_LE(engine.store().size(), sc.max_sessions);
     }
   }
+}
+
+// Regression: a Handle racing engine shutdown used to enqueue onto a
+// dispatcher that had already drained and exited, blocking on done_cv_
+// forever. It must fail fast with kShuttingDown instead.
+TEST(ServingEngineTest, HandleAfterStopFailsFastInsteadOfHanging) {
+  models::ModelConfig config;
+  config.num_users = TinyData().num_users;
+  config.num_items = TinyData().num_items;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  models::Gru4Rec model(config);
+  ServingConfig sc;
+  sc.top_k = 3;
+  ServingEngine engine(model, sc);
+  Request request;
+  request.user = TinySplit().test[0].user;
+  request.bootstrap = &TinySplit().test[0].history;
+  Response before = engine.Handle(request);
+  EXPECT_EQ(before.status, ResponseStatus::kOk);
+  EXPECT_FALSE(before.items.empty());
+  engine.Stop();
+  // Would deadlock before the fix; gtest has no timeout, so a hang here is
+  // the failure mode the CI job surfaces.
+  Response after = engine.Handle(request);
+  EXPECT_EQ(after.status, ResponseStatus::kShuttingDown);
+  EXPECT_TRUE(after.items.empty());
+  engine.Stop();  // idempotent
+}
+
+// A negative LRU capacity must clamp to 0 (= unbounded) rather than
+// reaching the store raw; the documented contract of the flag table.
+TEST(ServingEngineTest, NegativeMaxSessionsClampsToUnbounded) {
+  models::ModelConfig config;
+  config.num_users = TinyData().num_users;
+  config.num_items = TinyData().num_items;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  models::Gru4Rec model(config);
+  ServingConfig sc;
+  sc.top_k = 3;
+  sc.max_sessions = -5;
+  ServingEngine engine(model, sc);
+  EXPECT_EQ(engine.config().max_sessions, 0);
+  std::vector<Request> requests(6);
+  for (int u = 0; u < 6; ++u) {
+    requests[u].user = TinySplit().test[u].user;
+    requests[u].bootstrap = &TinySplit().test[u].history;
+  }
+  engine.ScoreBatch(requests);
+  EXPECT_EQ(engine.store().size(), 6);
+}
+
+// serve.request_seconds must count one observation per request on both the
+// micro-batcher path (Handle) and the synchronous path (ScoreBatch), or
+// latency histograms undercount under test/replay traffic.
+TEST(ServingEngineTest, RequestSecondsObservedOnBothPaths) {
+  models::ModelConfig config;
+  config.num_users = TinyData().num_users;
+  config.num_items = TinyData().num_items;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  models::Gru4Rec model(config);
+  ServingConfig sc;
+  sc.top_k = 3;
+  ServingEngine engine(model, sc);
+  metrics::SetEnabled(true);
+  const uint64_t before = ServeMetrics().request_seconds.Count();
+  const uint64_t before_requests = ServeMetrics().requests.Value();
+  std::vector<Request> requests(3);
+  for (int u = 0; u < 3; ++u) {
+    requests[u].user = TinySplit().test[u].user;
+    requests[u].bootstrap = &TinySplit().test[u].history;
+  }
+  engine.ScoreBatch(requests);  // synchronous path: 3 requests
+  for (int u = 0; u < 2; ++u) {
+    engine.Handle(requests[u]);  // micro-batcher path: 2 requests
+  }
+  const uint64_t observed = ServeMetrics().request_seconds.Count() - before;
+  const uint64_t counted = ServeMetrics().requests.Value() - before_requests;
+  metrics::SetEnabled(false);
+  EXPECT_EQ(observed, 5u);
+  EXPECT_EQ(observed, counted);
 }
 
 }  // namespace

@@ -19,9 +19,13 @@
 //
 //   serve     --data=<dir> --model=<file> [--serve-replay=N]
 //             [--batch-max=N] [--batch-wait-us=N] [--max-sessions=N]
-//     Replays the test split's requests through the online serving engine
-//     (incremental session states + micro-batched GEMM scoring) from
-//     --threads concurrent clients and reports p50/p99 latency and QPS.
+//             [--serve-port=N] [--deadline-ms=N] [--queue-depth=N]
+//     Without --serve-port: replays the test split's requests through the
+//     online serving engine (incremental session states + micro-batched
+//     GEMM scoring) from --threads concurrent clients and reports p50/p99
+//     latency and QPS. With --serve-port (0 = ephemeral): binds the TCP
+//     front-end (src/serve/server.h, wire format in src/serve/protocol.h)
+//     and serves until SIGINT/SIGTERM, then drains gracefully.
 //
 // Model files carry only weights; the architecture flags at evaluate /
 // explain time must match those used at training time.
@@ -45,6 +49,7 @@
 #include "common/fault.h"
 #include "common/flags.h"
 #include "common/metrics.h"
+#include "common/net.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/checkpoint.h"
@@ -58,6 +63,7 @@
 #include "eval/metrics.h"
 #include "nn/serialization.h"
 #include "serve/engine.h"
+#include "serve/server.h"
 #include "tensor/arena.h"
 
 namespace {
@@ -127,6 +133,14 @@ int PrintHelp() {
       "fill after its first request, in microseconds (default 200).\n"
       "  --max-sessions=N     Session-store LRU capacity (default 0 = "
       "unbounded).\n"
+      "  --serve-port=N       Bind the TCP front-end on this port instead "
+      "of replaying (0 = ephemeral; serves until SIGINT/SIGTERM, then "
+      "drains gracefully).\n"
+      "  --deadline-ms=N      Default per-request deadline applied when a "
+      "frame carries none; expired requests are rejected before scoring "
+      "(default 0 = no deadline).\n"
+      "  --queue-depth=N      Admission cap across both priority lanes; "
+      "arrivals beyond it are rejected with QUEUE_FULL (default 256).\n"
       "\n"
       "model architecture flags (train, evaluate, explain — must match "
       "between training and loading):\n"
@@ -415,6 +429,35 @@ int CmdServe(const Flags& flags) {
   sc.top_k = flags.GetInt("top", 10);
   sc.max_sessions = flags.GetInt("max-sessions", 0);
   serve::ServingEngine engine(model, sc);
+
+  if (flags.Has("serve-port")) {
+    serve::ServerConfig server_config;
+    server_config.port = flags.GetInt("serve-port", 0);
+    server_config.deadline_ms = flags.GetInt("deadline-ms", 0);
+    server_config.queue_depth = flags.GetInt("queue-depth", 256);
+    server_config.workers = std::max(1, DefaultThreads());
+    serve::Server server(engine, server_config);
+    if (!server.Start()) {
+      std::fprintf(stderr, "failed to bind %s:%d\n",
+                   server_config.host.c_str(), server_config.port);
+      return 1;
+    }
+    net::InstallShutdownHandler();
+    // Parsed by scripts (CI smoke, loadgen wrappers): keep the format.
+    std::printf(
+        "serving on %s:%d (workers %d, queue-depth %d, deadline %d ms)\n",
+        server_config.host.c_str(), server.port(), server_config.workers,
+        server_config.queue_depth, server_config.deadline_ms);
+    std::fflush(stdout);
+    net::WaitForShutdown();
+    std::printf("shutdown requested, draining\n");
+    std::fflush(stdout);
+    server.Shutdown();
+    engine.Stop();
+    std::printf("drained cleanly, %d sessions cached\n",
+                engine.store().size());
+    return 0;
+  }
 
   // Each test instance becomes one request: the history minus its last
   // step bootstraps the session on first sight, the last step is the

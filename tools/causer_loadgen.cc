@@ -1,0 +1,303 @@
+// causer_loadgen: open-loop load generator for the serving TCP front-end
+// (`causer_cli serve --serve-port=...`, wire format in src/serve/protocol.h).
+//
+// Open-loop means request i is *due* at start + i/qps regardless of how
+// fast the server answers, and latency is measured from that due time —
+// a server that stalls accumulates the backlog in the reported tail
+// instead of silently slowing the offered load (coordinated omission).
+//
+// Users and items are Zipf-distributed over configurably huge id spaces
+// (millions of distinct users exercise session-store eviction; the skew
+// exercises the cache-hit path), sampled in O(1) per draw via Hörmann's
+// rejection-inversion, so no per-id state is kept.
+//
+// Exit status is a gate for CI: nonzero when any protocol error occurred,
+// when no request succeeded, when achieved OK-throughput fell below
+// --min-qps, or when a connection was left hanging (a response never
+// arrived within --drain-wait-s after the last send).
+//
+//   causer_loadgen --port=P [--host=127.0.0.1] [--qps=5000]
+//                  [--duration-s=5] [--connections=4] [--users=1000000]
+//                  [--items=0] [--zipf=1.1] [--deadline-ms=0]
+//                  [--high-pct=10] [--min-qps=0] [--drain-wait-s=5]
+//                  [--seed=1] [--smoke]
+//
+// --items=N (> 0) appends one sampled item per request, exercising the
+// incremental-advance path; item ids must fit the served model's catalog.
+// --smoke shrinks the defaults for a fast CI run (2s at 2000 qps).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/net.h"
+#include "common/rng.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using namespace causer;
+using Clock = std::chrono::steady_clock;
+
+/// Zipf(s) sampler over {0, ..., n-1} by Hörmann's rejection-inversion
+/// (as in "Rejection-inversion to generate variates from monotone
+/// discrete distributions", ACM TOMACS 6(3), 1996): O(1) expected time
+/// per draw and O(1) memory, so the id space can be in the millions.
+class ZipfSampler {
+ public:
+  ZipfSampler(long n, double s) : n_(n), s_(s) {
+    h_n_ = H(n_ + 0.5);
+    dist_ = h_n_ - H(0.5);
+  }
+
+  long Sample(Rng& rng) {
+    if (n_ <= 1) return 0;
+    for (;;) {
+      const double u = h_n_ - rng.Uniform() * dist_;
+      const double x = Hinv(u);
+      long k = std::lround(x);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      // Accept k exactly when u falls inside its probability bar.
+      if (u >= H(k + 0.5) - std::exp(-std::log(k) * s_)) return k - 1;
+    }
+  }
+
+ private:
+  // H is the integral of the (unnormalized) density x^-s, extended to
+  // non-integers; its inverse drives the inversion step.
+  double H(double x) const {
+    return s_ == 1.0 ? std::log(x)
+                     : (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+  }
+  double Hinv(double x) const {
+    return s_ == 1.0 ? std::exp(x)
+                     : std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+  }
+
+  long n_;
+  double s_;
+  double h_n_ = 0.0;
+  double dist_ = 0.0;
+};
+
+/// Everything one connection accumulates; merged after the join.
+struct ConnStats {
+  long sent = 0;
+  long send_failures = 0;
+  long protocol_errors = 0;  // undecodable response payloads
+  long hung = 0;             // responses that never arrived
+  long by_status[5] = {0, 0, 0, 0, 0};
+  std::vector<double> latencies;  // seconds, from scheduled due time
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: causer_loadgen --port=P [--host=A] [--qps=N] "
+               "[--duration-s=S] [--connections=N] [--users=N] [--items=N] "
+               "[--zipf=S] [--deadline-ms=N] [--high-pct=N] [--min-qps=N] "
+               "[--drain-wait-s=S] [--seed=N] [--smoke]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  if (flags.GetBool("help", false)) return Usage();
+  if (!flags.Has("port")) return Usage();
+
+  const bool smoke = flags.GetBool("smoke", false);
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int port = flags.GetInt("port", 0);
+  const double qps = flags.GetDouble("qps", smoke ? 2000.0 : 5000.0);
+  const double duration_s =
+      flags.GetDouble("duration-s", smoke ? 2.0 : 5.0);
+  const int connections = std::max(1, flags.GetInt("connections", 4));
+  const long users = std::max(1, flags.GetInt("users", 1000000));
+  const long items = std::max(0, flags.GetInt("items", 0));
+  const double zipf_s = flags.GetDouble("zipf", 1.1);
+  const uint32_t deadline_ms =
+      static_cast<uint32_t>(std::max(0, flags.GetInt("deadline-ms", 0)));
+  const int high_pct =
+      std::min(100, std::max(0, flags.GetInt("high-pct", 10)));
+  const double min_qps = flags.GetDouble("min-qps", 0.0);
+  const double drain_wait_s =
+      std::max(0.5, flags.GetDouble("drain-wait-s", 5.0));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const long total =
+      std::max<long>(1, std::lround(qps * std::max(0.1, duration_s)));
+
+  std::vector<int> fds(connections, -1);
+  for (int c = 0; c < connections; ++c) {
+    fds[c] = net::ConnectTcp(host, port);
+    if (fds[c] < 0) {
+      std::fprintf(stderr, "connect %s:%d failed (connection %d)\n",
+                   host.c_str(), port, c);
+      for (int fd : fds) net::CloseSocket(fd);
+      return 1;
+    }
+    net::SetRecvTimeout(fds[c], drain_wait_s);
+  }
+
+  std::printf(
+      "offering %ld requests at %.0f qps over %d connection(s): "
+      "%ld users / %ld items (zipf %.2f), %d%% high priority, "
+      "deadline %u ms\n",
+      total, qps, connections, users, items, zipf_s, high_pct, deadline_ms);
+  std::fflush(stdout);
+
+  const Clock::time_point start = Clock::now() + std::chrono::milliseconds(20);
+  const auto due = [&](long i) {
+    return start + std::chrono::nanoseconds(
+                       static_cast<long long>(i * 1e9 / qps));
+  };
+
+  std::vector<ConnStats> stats(connections);
+  std::vector<std::thread> senders, receivers;
+  // sent[c] counts frames connection c put on the wire; the receiver for c
+  // drains until it has one response per sent frame (or times out).
+  std::vector<std::atomic<long>> sent_on(connections);
+  std::vector<std::atomic<bool>> sender_done(connections);
+  for (int c = 0; c < connections; ++c) {
+    sent_on[c].store(0);
+    sender_done[c].store(false);
+  }
+
+  for (int c = 0; c < connections; ++c) {
+    senders.emplace_back([&, c] {
+      Rng rng(seed * 7919 + static_cast<uint64_t>(c));
+      ZipfSampler user_zipf(users, zipf_s);
+      ZipfSampler item_zipf(std::max<long>(1, items), zipf_s);
+      std::vector<uint8_t> payload;
+      // Connection c owns request indices i ≡ c (mod connections); the
+      // request_id encodes i so the receiver can recover the due time.
+      for (long i = c; i < total; i += connections) {
+        std::this_thread::sleep_until(due(i));
+        serve::wire::RequestFrame frame;
+        frame.request_id = static_cast<uint32_t>(i);
+        frame.user = static_cast<int32_t>(user_zipf.Sample(rng));
+        frame.deadline_ms = deadline_ms;
+        frame.priority = (i % 100) < high_pct
+                             ? serve::wire::Priority::kHigh
+                             : serve::wire::Priority::kNormal;
+        if (items > 0) {
+          frame.append.push_back(
+              static_cast<int32_t>(item_zipf.Sample(rng)));
+        }
+        serve::wire::EncodeRequest(frame, &payload);
+        if (!net::WriteFrame(fds[c], payload.data(), payload.size())) {
+          ++stats[c].send_failures;
+          break;
+        }
+        sent_on[c].fetch_add(1, std::memory_order_release);
+      }
+      sender_done[c].store(true, std::memory_order_release);
+    });
+    receivers.emplace_back([&, c] {
+      ConnStats& s = stats[c];
+      std::vector<uint8_t> payload;
+      long received = 0;
+      for (;;) {
+        const long target = sent_on[c].load(std::memory_order_acquire);
+        if (received >= target &&
+            sender_done[c].load(std::memory_order_acquire)) {
+          break;
+        }
+        if (!net::ReadFrame(fds[c], &payload, serve::wire::kMaxFrameBytes)) {
+          const long owed = sent_on[c].load(std::memory_order_acquire);
+          if (received >= owed &&
+              !sender_done[c].load(std::memory_order_acquire)) {
+            // SO_RCVTIMEO fired while nothing was owed (slow offered
+            // rate); keep waiting for the sender.
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            continue;
+          }
+          // Timeout with responses outstanding, EOF or error: everything
+          // still owed on this connection counts as hung.
+          s.hung = owed - received;
+          break;
+        }
+        serve::wire::ResponseFrame response;
+        ++received;
+        if (!serve::wire::DecodeResponse(payload, &response)) {
+          ++s.protocol_errors;
+          continue;
+        }
+        const int status = static_cast<int>(response.status);
+        if (status >= 0 && status < 5) ++s.by_status[status];
+        const double latency =
+            std::chrono::duration<double>(Clock::now() -
+                                          due(response.request_id))
+                .count();
+        s.latencies.push_back(latency);
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  for (auto& t : receivers) t.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (int fd : fds) net::CloseSocket(fd);
+
+  ConnStats all;
+  for (int c = 0; c < connections; ++c) {
+    const ConnStats& s = stats[c];
+    all.sent += sent_on[c].load();
+    all.send_failures += s.send_failures;
+    all.protocol_errors += s.protocol_errors;
+    all.hung += s.hung;
+    for (int k = 0; k < 5; ++k) all.by_status[k] += s.by_status[k];
+    all.latencies.insert(all.latencies.end(), s.latencies.begin(),
+                         s.latencies.end());
+  }
+  std::sort(all.latencies.begin(), all.latencies.end());
+  const auto pct = [&](double q) {
+    if (all.latencies.empty()) return 0.0;
+    const size_t idx =
+        static_cast<size_t>(q * (all.latencies.size() - 1));
+    return all.latencies[idx] * 1e3;  // ms
+  };
+  const long ok = all.by_status[0];
+  const double achieved = wall > 0 ? ok / wall : 0.0;
+
+  std::printf("sent %ld (%ld send failures), responses %zu: ", all.sent,
+              all.send_failures, all.latencies.size());
+  for (int k = 0; k < 5; ++k) {
+    std::printf("%s%s %ld", k > 0 ? "  " : "",
+                serve::wire::StatusName(static_cast<serve::wire::Status>(k)),
+                all.by_status[k]);
+  }
+  std::printf("\nprotocol errors %ld, hung %ld\n", all.protocol_errors,
+              all.hung);
+  std::printf("latency p50 %.3f ms  p99 %.3f ms  p99.9 %.3f ms\n",
+              pct(0.50), pct(0.99), pct(0.999));
+  std::printf("achieved %.0f ok-req/s over %.2f s (offered %.0f qps)\n",
+              achieved, wall, qps);
+
+  int failures = 0;
+  if (all.protocol_errors > 0) {
+    std::fprintf(stderr, "FAIL: %ld protocol errors\n", all.protocol_errors);
+    ++failures;
+  }
+  if (ok == 0) {
+    std::fprintf(stderr, "FAIL: no request succeeded\n");
+    ++failures;
+  }
+  if (all.hung > 0) {
+    std::fprintf(stderr, "FAIL: %ld responses never arrived\n", all.hung);
+    ++failures;
+  }
+  if (min_qps > 0 && achieved < min_qps) {
+    std::fprintf(stderr, "FAIL: achieved %.0f qps < --min-qps=%.0f\n",
+                 achieved, min_qps);
+    ++failures;
+  }
+  return failures > 0 ? 1 : 0;
+}
