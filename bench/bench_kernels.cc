@@ -3,18 +3,22 @@
 //
 // Three sections, all single-process:
 //   (1) GEMM: naive reference kernel vs. the packed/blocked production
-//       kernel (single thread, so the number is the microkernel itself, not
-//       parallelism), with a bitwise-equality check per shape;
+//       kernel on every compiled+supported ISA tier (scalar / avx2 /
+//       avx512, pinned per measurement via cpu::SetIsaOverride; single
+//       thread, so the number is the microkernel itself, not parallelism),
+//       with a bitwise-equality check per shape and tier;
 //   (2) TopK: bounded-heap selection vs. a full argsort of the catalog;
 //   (3) end-to-end: GRU4Rec TrainEpoch steps/sec with the arena enabled vs.
 //       disabled, asserting bit-identical epoch losses either way.
 //
 // Writes a BENCH_kernels.json report (path = argv[last], default
-// ./BENCH_kernels.json).
+// ./BENCH_kernels.json) including the resolved ISA selection and the
+// per-tier GFLOP/s rows the docs/KERNELS.md table is refreshed from.
 //
-// `--smoke` shrinks the timed work for CI and turns the "packed must not be
-// slower than naive on the large transpose-B shape" check into the exit
-// code, so a regression that loses the packing win fails the pipeline.
+// `--smoke` shrinks the timed work for CI and turns two checks into the
+// exit code: packed must not be slower than naive on the large transpose-B
+// shape, and the avx2 tier must beat scalar by kSimdGateMinSpeedup on the
+// same shape (skipped with a notice when the runner lacks AVX2).
 
 #include <algorithm>
 #include <cstdio>
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/cpu.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "eval/metrics.h"
@@ -55,10 +60,26 @@ const GemmShape kGemmShapes[] = {
 };
 const char* kSmokeGateLabel = "grad_a_transB_64x64x512";
 
+// Smoke gate on the explicit-SIMD layer: AVX2 must beat the scalar tier by
+// at least this factor on the gate shape (the scalar tier still
+// auto-vectorizes at the SSE2 baseline, so this is 256-bit explicit
+// intrinsics vs. 128-bit compiler output, not vs. straight-line code).
+constexpr double kSimdGateMinSpeedup = 1.5;
+
+/// One ISA tier's numbers on one shape, measured through the production
+/// MatMulAdd with that tier pinned via cpu::SetIsaOverride.
+struct IsaGemm {
+  std::string isa;
+  double gflops = 0.0;
+  double speedup_vs_naive = 0.0;
+  bool bit_identical = true;
+};
+
 struct GemmResult {
   std::string label;
   double naive_gflops = 0.0;
-  double packed_gflops = 0.0;
+  std::vector<IsaGemm> variants;  // every compiled+supported tier
+  double packed_gflops = 0.0;     // the auto-selected (strongest) tier
   double speedup = 0.0;
   bool bit_identical = true;
 };
@@ -94,16 +115,13 @@ GemmResult RunGemmShape(const GemmShape& s, bool smoke) {
   std::vector<float> c_naive(static_cast<size_t>(s.n) * s.p, 0.0f);
   std::vector<float> c_packed(c_naive.size(), 0.0f);
 
-  // Correctness first: one accumulating call each, compared bitwise.
   tensor::kernels::MatMulAddNaive(a.data(), b.data(), c_naive.data(), s.n,
                                   s.m, s.p, s.ta, s.tb);
-  tensor::kernels::MatMulAdd(a.data(), b.data(), c_packed.data(), s.n, s.m,
-                             s.p, s.ta, s.tb);
+  // Timed loops clobber c_naive below; keep the single-call result as the
+  // reference for the per-tier bitwise checks.
+  const std::vector<float> c_ref = c_naive;
   GemmResult result;
   result.label = s.label;
-  result.bit_identical =
-      std::memcmp(c_naive.data(), c_packed.data(),
-                  c_naive.size() * sizeof(float)) == 0;
 
   // Size the timed loop to a roughly constant op budget per shape.
   const double target_ops = smoke ? 4e7 : 4e8;
@@ -113,10 +131,46 @@ GemmResult RunGemmShape(const GemmShape& s, bool smoke) {
   result.naive_gflops =
       MeasureGflops(tensor::kernels::MatMulAddNaive, a, b, c_naive, s, iters,
                     repeats);
-  result.packed_gflops = MeasureGflops(tensor::kernels::MatMulAdd, a, b,
-                                       c_packed, s, iters, repeats);
-  result.speedup = result.packed_gflops / result.naive_gflops;
+
+  // Every runnable tier through the production kernel: correctness first
+  // (one accumulating call compared bitwise against naive), then timing.
+  for (cpu::Isa isa : cpu::CompiledIsas()) {
+    if (!cpu::IsaSupported(isa)) continue;
+    cpu::SetIsaOverride(cpu::IsaName(isa));
+    IsaGemm v;
+    v.isa = cpu::IsaName(isa);
+    std::fill(c_packed.begin(), c_packed.end(), 0.0f);
+    tensor::kernels::MatMulAdd(a.data(), b.data(), c_packed.data(), s.n, s.m,
+                               s.p, s.ta, s.tb);
+    v.bit_identical = std::memcmp(c_ref.data(), c_packed.data(),
+                                  c_ref.size() * sizeof(float)) == 0;
+    v.gflops = MeasureGflops(tensor::kernels::MatMulAdd, a, b, c_packed, s,
+                             iters, repeats);
+    v.speedup_vs_naive = v.gflops / result.naive_gflops;
+    result.variants.push_back(std::move(v));
+  }
+  cpu::SetIsaOverride("auto");
+
+  // The strongest tier is what auto-dispatch selects; keep it as the
+  // headline packed number so the naive-vs-packed gate stays meaningful.
+  result.bit_identical = true;
+  for (const IsaGemm& v : result.variants) {
+    result.bit_identical = result.bit_identical && v.bit_identical;
+  }
+  if (!result.variants.empty()) {
+    result.packed_gflops = result.variants.back().gflops;
+    result.speedup = result.variants.back().speedup_vs_naive;
+  }
   return result;
+}
+
+/// The per-variant gflops for `isa` on a measured shape, or 0 if that tier
+/// did not run (not compiled / not supported on this machine).
+double VariantGflops(const GemmResult& r, const char* isa) {
+  for (const IsaGemm& v : r.variants) {
+    if (v.isa == isa) return v.gflops;
+  }
+  return 0.0;
 }
 
 // ---------------------------------------------------------------------------
@@ -254,24 +308,53 @@ int main(int argc, char** argv) {
 
   bool ok = true;
 
-  std::printf("GEMM (single thread, best-of-n):\n");
-  std::printf("%-28s %12s %12s %9s %6s\n", "shape", "naive GF/s",
-              "packed GF/s", "speedup", "exact");
+  const cpu::IsaSelection selection = cpu::ActiveSelection();
+  std::printf("cpu ISA: active=%s (source=%s%s), compiled:",
+              cpu::IsaName(selection.active),
+              selection.source == cpu::IsaSource::kFlag  ? "flag"
+              : selection.source == cpu::IsaSource::kEnv ? "env"
+                                                         : "cpuid",
+              selection.fell_back ? ", fell back" : "");
+  for (cpu::Isa isa : cpu::CompiledIsas()) {
+    std::printf(" %s%s", cpu::IsaName(isa),
+                cpu::IsaSupported(isa) ? "" : "(unsupported here)");
+  }
+  std::printf("\n\n");
+
+  std::printf("GEMM (single thread, best-of-n, per ISA tier):\n");
+  std::printf("%-28s %12s %12s %12s %12s %9s %6s\n", "shape", "naive GF/s",
+              "scalar GF/s", "avx2 GF/s", "avx512 GF/s", "speedup", "exact");
   std::vector<std::string> gemm_rows;
   double gate_speedup = 0.0;
+  double gate_scalar_gflops = 0.0, gate_avx2_gflops = 0.0;
   for (const GemmShape& s : kGemmShapes) {
     GemmResult r = RunGemmShape(s, smoke);
     ok = ok && r.bit_identical;
-    if (r.label == kSmokeGateLabel) gate_speedup = r.speedup;
-    std::printf("%-28s %12.2f %12.2f %8.2fx %6s\n", r.label.c_str(),
-                r.naive_gflops, r.packed_gflops, r.speedup,
-                r.bit_identical ? "yes" : "NO");
+    if (r.label == kSmokeGateLabel) {
+      gate_speedup = r.speedup;
+      gate_scalar_gflops = VariantGflops(r, "scalar");
+      gate_avx2_gflops = VariantGflops(r, "avx2");
+    }
+    std::printf("%-28s %12.2f %12.2f %12.2f %12.2f %8.2fx %6s\n",
+                r.label.c_str(), r.naive_gflops, VariantGflops(r, "scalar"),
+                VariantGflops(r, "avx2"), VariantGflops(r, "avx512"),
+                r.speedup, r.bit_identical ? "yes" : "NO");
+    std::vector<std::string> variant_rows;
+    for (const IsaGemm& v : r.variants) {
+      bench::JsonObject vrow;
+      vrow.Set("isa", v.isa)
+          .Set("gflops", v.gflops)
+          .Set("speedup_vs_naive", v.speedup_vs_naive)
+          .Set("bit_identical", v.bit_identical);
+      variant_rows.push_back(vrow.Str());
+    }
     bench::JsonObject row;
     row.Set("shape", r.label)
         .Set("naive_gflops", r.naive_gflops)
         .Set("packed_gflops", r.packed_gflops)
         .Set("speedup", r.speedup)
-        .Set("bit_identical", r.bit_identical);
+        .Set("bit_identical", r.bit_identical)
+        .SetRaw("variants", bench::JsonArray(variant_rows));
     gemm_rows.push_back(row.Str());
   }
 
@@ -305,10 +388,29 @@ int main(int argc, char** argv) {
               train.steps_per_sec_arena_on, train.speedup,
               train.losses_bit_identical ? "bit-identical" : "DIVERGED");
 
+  std::vector<std::string> compiled_names, supported_names;
+  for (cpu::Isa isa : cpu::CompiledIsas()) {
+    compiled_names.push_back(bench::JsonObject::Quote(cpu::IsaName(isa)));
+    if (cpu::IsaSupported(isa)) {
+      supported_names.push_back(bench::JsonObject::Quote(cpu::IsaName(isa)));
+    }
+  }
+  bench::JsonObject isa_info;
+  isa_info.Set("active", std::string(cpu::IsaName(selection.active)))
+      .Set("source", std::string(selection.source == cpu::IsaSource::kFlag
+                                     ? "flag"
+                                 : selection.source == cpu::IsaSource::kEnv
+                                     ? "env"
+                                     : "cpuid"))
+      .Set("fell_back", selection.fell_back)
+      .SetRaw("compiled", bench::JsonArray(compiled_names))
+      .SetRaw("supported", bench::JsonArray(supported_names));
+
   bench::JsonObject report;
   report.Set("bench", std::string("bench_kernels"))
       .Set("smoke", smoke)
       .Set("threads", 1)
+      .SetRaw("cpu_isa", isa_info.Str())
       .SetRaw("gemm", bench::JsonArray(gemm_rows))
       .SetRaw("topk", bench::JsonArray(topk_rows));
   bench::JsonObject train_row;
@@ -340,6 +442,23 @@ int main(int argc, char** argv) {
                  "(%.2fx)\n",
                  kSmokeGateLabel, gate_speedup);
     return 1;
+  }
+  if (smoke) {
+    if (gate_avx2_gflops <= 0.0) {
+      // Skip-with-notice, not silent: runners without AVX2 can't measure
+      // the SIMD gate, and pretending they did would hide a regression.
+      std::fprintf(stderr,
+                   "notice: avx2 tier unavailable on this runner; skipping "
+                   "the avx2-vs-scalar gate on %s\n",
+                   kSmokeGateLabel);
+    } else if (gate_avx2_gflops < kSimdGateMinSpeedup * gate_scalar_gflops) {
+      std::fprintf(stderr,
+                   "FATAL: avx2 tier only %.2fx scalar on %s "
+                   "(%.2f vs %.2f GF/s, gate %.1fx)\n",
+                   gate_avx2_gflops / gate_scalar_gflops, kSmokeGateLabel,
+                   gate_avx2_gflops, gate_scalar_gflops, kSimdGateMinSpeedup);
+      return 1;
+    }
   }
   return 0;
 }

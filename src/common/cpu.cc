@@ -1,0 +1,205 @@
+#include "common/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+
+#include "common/log.h"
+
+namespace causer::cpu {
+namespace {
+
+/// The compiled-in set is decided at build time: CMake defines
+/// CAUSER_ISA_AVX2_COMPILED / CAUSER_ISA_AVX512_COMPILED project-wide
+/// exactly when it also compiles the matching primitives_*.cc translation
+/// unit, so this file and the dispatch registry can never disagree.
+constexpr bool kAvx2Compiled =
+#ifdef CAUSER_ISA_AVX2_COMPILED
+    true;
+#else
+    false;
+#endif
+constexpr bool kAvx512Compiled =
+#ifdef CAUSER_ISA_AVX512_COMPILED
+    true;
+#else
+    false;
+#endif
+
+bool CpuHas(Isa isa) {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case Isa::kAvx512:
+      // The AVX-512 variant uses only AVX-512F ops (plus the AVX2 ones it
+      // shares with the 256-bit variant, implied by -mavx512f).
+      return __builtin_cpu_supports("avx512f");
+  }
+  return false;
+#else
+  return isa == Isa::kScalar;
+#endif
+}
+
+/// Selection state: the flag override (highest precedence) plus the cached
+/// resolution. `generation`-free by design — hot paths read `active`
+/// with one relaxed atomic load; mutation is rare (startup, tests, bench)
+/// and serialized by `mu`.
+struct State {
+  std::mutex mu;
+  std::optional<Isa> flag_override;
+  std::atomic<int> active{-1};  // -1 = not resolved yet
+  IsaSelection selection;      // valid iff active != -1, guarded by mu
+};
+
+State& GetState() {
+  static State s;
+  return s;
+}
+
+/// Walks the fallback chain: the strongest supported tier at or below
+/// `want`. kScalar is always compiled and supported, so this terminates.
+Isa Degrade(Isa want) {
+  for (int t = static_cast<int>(want); t > 0; --t) {
+    if (IsaSupported(static_cast<Isa>(t))) return static_cast<Isa>(t);
+  }
+  return Isa::kScalar;
+}
+
+/// Computes the selection under the precedence flag > env > cpuid.
+/// A malformed CAUSER_CPU_ISA value is logged and ignored (cpuid wins);
+/// a malformed flag never reaches here (SetIsaOverride rejects it).
+IsaSelection Resolve(const std::optional<Isa>& flag_override) {
+  IsaSelection sel;
+  if (flag_override.has_value()) {
+    sel.source = IsaSource::kFlag;
+    sel.requested = *flag_override;
+  } else if (const char* env = std::getenv("CAUSER_CPU_ISA");
+             env != nullptr && env[0] != '\0') {
+    Isa parsed;
+    if (ParseIsa(env, &parsed)) {
+      sel.source = IsaSource::kEnv;
+      sel.requested = parsed;
+    } else {
+      CAUSER_LOG(Warning) << "cpu: ignoring malformed CAUSER_CPU_ISA='"
+                          << env
+                          << "' (expected scalar|avx2|avx512|auto)";
+      sel.source = IsaSource::kCpuid;
+      sel.requested = DetectBest();
+    }
+  } else {
+    sel.source = IsaSource::kCpuid;
+    sel.requested = DetectBest();
+  }
+  sel.active = Degrade(sel.requested);
+  sel.fell_back = sel.active != sel.requested;
+  if (sel.fell_back) {
+    CAUSER_LOG(Warning) << "cpu: requested ISA '" << IsaName(sel.requested)
+                        << "' unavailable (compiled="
+                        << (IsaCompiled(sel.requested) ? 1 : 0)
+                        << ", cpu=" << (CpuHas(sel.requested) ? 1 : 0)
+                        << "); falling back to '" << IsaName(sel.active)
+                        << "'";
+  }
+  return sel;
+}
+
+/// Resolves-and-caches under the lock; returns the active tier.
+Isa ResolveLocked(State& s) {
+  s.selection = Resolve(s.flag_override);
+  s.active.store(static_cast<int>(s.selection.active),
+                 std::memory_order_release);
+  return s.selection.active;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseIsa(const std::string& name, Isa* out) {
+  if (name == "scalar") {
+    *out = Isa::kScalar;
+  } else if (name == "avx2") {
+    *out = Isa::kAvx2;
+  } else if (name == "avx512") {
+    *out = Isa::kAvx512;
+  } else if (name == "auto") {
+    *out = DetectBest();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool IsaCompiled(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      return kAvx2Compiled;
+    case Isa::kAvx512:
+      return kAvx512Compiled;
+  }
+  return false;
+}
+
+bool IsaSupported(Isa isa) { return IsaCompiled(isa) && CpuHas(isa); }
+
+Isa DetectBest() { return Degrade(Isa::kAvx512); }
+
+std::vector<Isa> CompiledIsas() {
+  std::vector<Isa> out = {Isa::kScalar};
+  if (IsaCompiled(Isa::kAvx2)) out.push_back(Isa::kAvx2);
+  if (IsaCompiled(Isa::kAvx512)) out.push_back(Isa::kAvx512);
+  return out;
+}
+
+Isa ActiveIsa() {
+  State& s = GetState();
+  int cached = s.active.load(std::memory_order_acquire);
+  if (cached >= 0) return static_cast<Isa>(cached);
+  std::lock_guard<std::mutex> lock(s.mu);
+  cached = s.active.load(std::memory_order_relaxed);
+  if (cached >= 0) return static_cast<Isa>(cached);
+  return ResolveLocked(s);
+}
+
+IsaSelection ActiveSelection() {
+  ActiveIsa();  // ensure resolved
+  State& s = GetState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.selection;
+}
+
+bool SetIsaOverride(const std::string& name) {
+  Isa parsed;
+  if (!ParseIsa(name, &parsed)) return false;
+  State& s = GetState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.flag_override = parsed;
+  ResolveLocked(s);
+  return true;
+}
+
+void ResetIsaForTest() {
+  State& s = GetState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.flag_override.reset();
+  s.active.store(-1, std::memory_order_release);
+}
+
+}  // namespace causer::cpu

@@ -1,0 +1,90 @@
+#ifndef CAUSER_COMMON_CPU_H_
+#define CAUSER_COMMON_CPU_H_
+
+#include <string>
+#include <vector>
+
+namespace causer::cpu {
+
+/// Instruction-set tiers the compute-primitive layer
+/// (`src/tensor/primitives/`) ships explicit variants for, ordered from
+/// weakest to strongest. The numeric order is the fallback chain: when a
+/// requested tier is unavailable, selection walks down to the strongest
+/// available one below it.
+enum class Isa : int {
+  kScalar = 0,  ///< Portable C++; the compiler may auto-vectorize at the
+                ///< build baseline (SSE2 on x86-64). Always compiled in.
+  kAvx2 = 1,    ///< 256-bit explicit intrinsics (no FMA — see the fp32
+                ///< bit-identity contract in docs/KERNELS.md).
+  kAvx512 = 2,  ///< 512-bit explicit intrinsics (AVX-512F, no FMA).
+};
+
+/// Where the active ISA came from — the override precedence is
+/// flag > env > cpuid, enforced by Resolve() and tested by cpu_test.
+enum class IsaSource : int {
+  kCpuid = 0,  ///< Hardware detection picked the strongest supported tier.
+  kEnv = 1,    ///< The CAUSER_CPU_ISA environment variable.
+  kFlag = 2,   ///< The --cpu-isa command-line flag (SetIsaOverride).
+};
+
+/// One resolved selection: what runs, what was asked for, and whether the
+/// request had to fall back because the tier is not compiled in or the
+/// CPU lacks it.
+struct IsaSelection {
+  Isa active = Isa::kScalar;
+  Isa requested = Isa::kScalar;
+  IsaSource source = IsaSource::kCpuid;
+  bool fell_back = false;  ///< requested != active (graceful degradation).
+};
+
+/// Lower-case variant name ("scalar", "avx2", "avx512") — the spelling
+/// used by --cpu-isa, CAUSER_CPU_ISA, BENCH_kernels.json, and the
+/// docs/KERNELS.md ISA table (diffed by tools/check_docs.sh).
+const char* IsaName(Isa isa);
+
+/// Parses an IsaName spelling (or "auto" → strongest supported tier,
+/// reported as requested = DetectBest()). Returns false on anything else;
+/// `*out` is untouched on failure.
+bool ParseIsa(const std::string& name, Isa* out);
+
+/// True when this binary contains the variant's translation unit (the
+/// build compiles AVX TUs only when the compiler targets x86-64 and
+/// accepts the -m flags). kScalar is always true.
+bool IsaCompiled(Isa isa);
+
+/// True when the variant is compiled in AND the running CPU reports the
+/// feature via cpuid (__builtin_cpu_supports). kScalar is always true.
+bool IsaSupported(Isa isa);
+
+/// Strongest supported tier — what runs with no override installed.
+Isa DetectBest();
+
+/// All compiled-in tiers, weakest first. Used by bench_kernels to measure
+/// every variant and by the docs drift check.
+std::vector<Isa> CompiledIsas();
+
+/// The process-wide active ISA, resolved once on first use (flag override
+/// if installed, else CAUSER_CPU_ISA, else cpuid) and cached. Hot paths
+/// read this through tensor::primitives::Active(); the cached read is one
+/// atomic load.
+Isa ActiveIsa();
+
+/// Full detail of the cached selection (resolves first if needed).
+IsaSelection ActiveSelection();
+
+/// Installs the flag-level override (--cpu-isa) and re-resolves
+/// immediately. Highest precedence. An unavailable tier degrades to the
+/// strongest available one below it (logged, and visible as fell_back in
+/// ActiveSelection()). Returns false — with no state change — when `name`
+/// is not a known tier. Must not be called while kernels are running on
+/// the pool.
+bool SetIsaOverride(const std::string& name);
+
+/// Drops the flag override and the cached selection so the next
+/// resolution re-reads CAUSER_CPU_ISA / cpuid. Testing only (the
+/// precedence tests in cpu_test flip the env var between resolutions).
+void ResetIsaForTest();
+
+}  // namespace causer::cpu
+
+#endif  // CAUSER_COMMON_CPU_H_

@@ -6,6 +6,7 @@
 #include "causal/acyclicity.h"
 #include "nn/init.h"
 #include "tensor/ops.h"
+#include "tensor/primitives/primitives.h"
 
 namespace causer::core {
 
@@ -100,11 +101,13 @@ double ClusterCausalGraph::ApplyPenaltySteps(double lr, double beta1,
 void ClusterCausalGraph::ClampNonNegative() {
   auto& node = *wc_.node();
   const int k = wc_.rows();
+  // max(0, w) through the active ISA's clamp (identical -0/NaN selects in
+  // every variant), then re-zero the diagonal it may not touch.
+  tensor::primitives::Active().clamp(
+      static_cast<std::size_t>(k) * k, 0.0f,
+      std::numeric_limits<float>::infinity(), node.value.data());
   for (int i = 0; i < k; ++i) {
-    for (int j = 0; j < k; ++j) {
-      float& w = node.value[static_cast<size_t>(i) * k + j];
-      if (i == j || w < 0.0f) w = 0.0f;
-    }
+    node.value[static_cast<std::size_t>(i) * k + i] = 0.0f;
   }
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/fault.h"
+#include "tensor/primitives/primitives.h"
 
 namespace causer::nn {
 
@@ -121,32 +122,22 @@ void Adam::Step() {
   const double bc2 =
       1.0 - std::pow(static_cast<double>(beta2_),
                      static_cast<double>(step_count_));
-  // Fused single pass per parameter: moment updates and the write-back run
-  // over hoisted raw pointers with the (1-beta) factors precomputed, so the
-  // loop carries no aliasing reloads of the vector headers. Arithmetic is
+  // Fused single pass per parameter through the active ISA's adam_step
+  // primitive (tensor/primitives/): moment updates and the write-back in
+  // one sweep, with the (1-beta) factors precomputed. The primitive is
   // term-for-term the classic three-statement update (same operand order
-  // and rounding), so trajectories are bit-identical — enforced by
-  // nn_test's AdamFusedStepMatchesReferenceTrajectory.
+  // and rounding in every variant), so trajectories are bit-identical —
+  // enforced by nn_test's AdamFusedStepMatchesReferenceTrajectory and by
+  // primitives_test across ISAs.
   const float one_minus_b1 = 1.0f - beta1_;
   const float one_minus_b2 = 1.0f - beta2_;
+  const auto& ops = tensor::primitives::Active();
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& node = *params_[i].node();
     if (node.grad.empty()) continue;
-    const size_t count = node.value.size();
-    float* __restrict__ w = node.value.data();
-    const float* __restrict__ g = node.grad.data();
-    float* __restrict__ m = m_[i].data();
-    float* __restrict__ v = v_[i].data();
-    for (size_t j = 0; j < count; ++j) {
-      const float gj = g[j];
-      const float mj = beta1_ * m[j] + one_minus_b1 * gj;
-      const float vj = beta2_ * v[j] + one_minus_b2 * gj * gj;
-      m[j] = mj;
-      v[j] = vj;
-      const float mhat = static_cast<float>(mj / bc1);
-      const float vhat = static_cast<float>(vj / bc2);
-      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    ops.adam_step(node.value.size(), lr_, beta1_, beta2_, one_minus_b1,
+                  one_minus_b2, bc1, bc2, eps_, node.value.data(),
+                  node.grad.data(), m_[i].data(), v_[i].data());
   }
 }
 

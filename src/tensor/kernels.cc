@@ -7,6 +7,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "tensor/primitives/primitives.h"
 
 namespace causer::tensor::kernels {
 namespace {
@@ -66,53 +67,42 @@ const float* PackB(const float* b, int rows, int cols) {
 }
 
 /// Row-major panel kernel: c rows [row_begin, row_end) += a * b with a
-/// effectively [n? ,m] and b [m,p], both contiguous. Four output rows share
-/// each streamed b row (register blocking), and the contiguous j loop
-/// auto-vectorizes. Per element the k-summation stays ascending with one
-/// rounding per add — bit-identical to the naive reference.
+/// effectively [n? ,m] and b [m,p], both contiguous. Delegates to the
+/// active ISA's register-blocked gemm panels (a_step = 1: A rows are
+/// contiguous in k). Per element the k-summation stays ascending with one
+/// rounding per multiply and add — bit-identical to the naive reference
+/// whichever primitives::Ops variant is live (see tensor/primitives/).
 void PanelKernel(const float* a, const float* b, float* c, int row_begin,
                  int row_end, int m, int p) {
+  const primitives::Ops& ops = primitives::Active();
   int i = row_begin;
   for (; i + 4 <= row_end; i += 4) {
     const float* a0 = a + static_cast<size_t>(i) * m;
-    const float* a1 = a0 + m;
-    const float* a2 = a1 + m;
-    const float* a3 = a2 + m;
-    float* __restrict__ c0 = c + static_cast<size_t>(i) * p;
-    float* __restrict__ c1 = c0 + p;
-    float* __restrict__ c2 = c1 + p;
-    float* __restrict__ c3 = c2 + p;
-    for (int k = 0; k < m; ++k) {
-      const float av0 = a0[k];
-      const float av1 = a1[k];
-      const float av2 = a2[k];
-      const float av3 = a3[k];
-      const float* bk = b + static_cast<size_t>(k) * p;
-      for (int j = 0; j < p; ++j) {
-        c0[j] += av0 * bk[j];
-        c1[j] += av1 * bk[j];
-        c2[j] += av2 * bk[j];
-        c3[j] += av3 * bk[j];
-      }
-    }
+    float* c0 = c + static_cast<size_t>(i) * p;
+    ops.gemm_panel4(m, p, a0, a0 + m, a0 + 2 * m, a0 + 3 * m, /*a_step=*/1,
+                    b, /*ldb=*/p, c0, c0 + p, c0 + 2 * p, c0 + 3 * p);
   }
   for (; i < row_end; ++i) {
-    const float* ai = a + static_cast<size_t>(i) * m;
-    float* __restrict__ ci = c + static_cast<size_t>(i) * p;
-    for (int k = 0; k < m; ++k) {
-      const float av = ai[k];
-      const float* bk = b + static_cast<size_t>(k) * p;
-      for (int j = 0; j < p; ++j) ci[j] += av * bk[j];
-    }
+    ops.gemm_panel1(m, p, a + static_cast<size_t>(i) * m, /*a_step=*/1, b,
+                    /*ldb=*/p, c + static_cast<size_t>(i) * p);
   }
 }
 
 /// Single-output-row kernel for transpose_b: each b row is contiguous, so
 /// the dot products stream both operands instead of striding across b.
-/// The accumulator chain is strictly sequential in k (never split into
-/// partial sums), matching the reference rounding exactly.
+/// Eight dots advance together through the active ISA's dot8 (lanes =
+/// distinct output columns, seeded from the incoming c values); the
+/// j-remainder keeps the seeded scalar chain inline — `dot` starts from
+/// zero, and folding c[j] in afterwards would round differently. Every
+/// accumulator chain is strictly sequential in k, matching the reference
+/// rounding exactly.
 void DotRowKernel(const float* a, const float* b, float* c, int m, int p) {
-  for (int j = 0; j < p; ++j) {
+  const primitives::Ops& ops = primitives::Active();
+  int j = 0;
+  for (; j + 8 <= p; j += 8) {
+    ops.dot8(m, a, b + static_cast<size_t>(j) * m, /*stride=*/m, c + j);
+  }
+  for (; j < p; ++j) {
     const float* bj = b + static_cast<size_t>(j) * m;
     float acc = c[j];
     for (int k = 0; k < m; ++k) acc += a[k] * bj[k];
@@ -128,45 +118,29 @@ void DotRowKernel(const float* a, const float* b, float* c, int m, int p) {
 /// rounding per add. Computes output rows [row_begin, row_end).
 void TransAKernel(const float* a, const float* b, float* c, int row_begin,
                   int row_end, int n, int m, int p) {
+  const primitives::Ops& ops = primitives::Active();
   if (p == 1) {
-    // Single output column: k-outer vectorizes over i instead (each c[i]
-    // still accumulates its own ascending-k chain).
-    float* __restrict__ cc = c;
+    // Single output column: k-outer vectorizes over i instead — one axpy
+    // per k, so each c[i] still accumulates its own ascending-k chain
+    // (call r advances every chain by exactly term r).
     for (int k = 0; k < m; ++k) {
-      const float* arow = a + static_cast<size_t>(k) * n;
-      const float bv = b[k];
-      for (int i = row_begin; i < row_end; ++i) cc[i] += arow[i] * bv;
+      ops.axpy(row_end - row_begin, b[k],
+               a + static_cast<size_t>(k) * n + row_begin, c + row_begin);
     }
     return;
   }
+  // Four consecutive logical rows of A^T are four adjacent stored columns:
+  // base pointers a+i..a+i+3 with a_step = n.
   int i = row_begin;
   for (; i + 4 <= row_end; i += 4) {
-    float* __restrict__ c0 = c + static_cast<size_t>(i) * p;
-    float* __restrict__ c1 = c0 + p;
-    float* __restrict__ c2 = c1 + p;
-    float* __restrict__ c3 = c2 + p;
-    for (int k = 0; k < m; ++k) {
-      const float* arow = a + static_cast<size_t>(k) * n + i;
-      const float av0 = arow[0];
-      const float av1 = arow[1];
-      const float av2 = arow[2];
-      const float av3 = arow[3];
-      const float* bk = b + static_cast<size_t>(k) * p;
-      for (int j = 0; j < p; ++j) {
-        c0[j] += av0 * bk[j];
-        c1[j] += av1 * bk[j];
-        c2[j] += av2 * bk[j];
-        c3[j] += av3 * bk[j];
-      }
-    }
+    float* c0 = c + static_cast<size_t>(i) * p;
+    ops.gemm_panel4(m, p, a + i, a + i + 1, a + i + 2, a + i + 3,
+                    /*a_step=*/n, b, /*ldb=*/p, c0, c0 + p, c0 + 2 * p,
+                    c0 + 3 * p);
   }
   for (; i < row_end; ++i) {
-    float* __restrict__ ci = c + static_cast<size_t>(i) * p;
-    for (int k = 0; k < m; ++k) {
-      const float av = a[static_cast<size_t>(k) * n + i];
-      const float* bk = b + static_cast<size_t>(k) * p;
-      for (int j = 0; j < p; ++j) ci[j] += av * bk[j];
-    }
+    ops.gemm_panel1(m, p, a + i, /*a_step=*/n, b, /*ldb=*/p,
+                    c + static_cast<size_t>(i) * p);
   }
 }
 
@@ -262,28 +236,39 @@ constexpr int kTopKTile = 512;
 /// (score, index) is total).
 void TopKRows(const float* a, const float* b, int row_begin, int row_end,
               int m, int p, int k, TopKEntry* out) {
+  const primitives::Ops& ops = primitives::Active();
   std::vector<TopKEntry> heap;
   heap.reserve(k);
+  // Heap maintenance on (score, index) is a total order, so batching the
+  // dots eight at a time changes nothing observable as long as candidates
+  // are offered in ascending j — which the scores buffer preserves.
+  auto offer = [&](int j, float score) {
+    const TopKEntry cand{j, score};
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), BetterEntry);
+    } else if (BetterEntry(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), BetterEntry);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), BetterEntry);
+    }
+  };
   for (int i = row_begin; i < row_end; ++i) {
     const float* ai = a + static_cast<size_t>(i) * m;
     heap.clear();
     for (int jt = 0; jt < p; jt += kTopKTile) {
       const int jend = jt + kTopKTile < p ? jt + kTopKTile : p;
-      for (int j = jt; j < jend; ++j) {
-        const float* bj = b + static_cast<size_t>(j) * m;
-        // Single ascending-k accumulator chain from zero — the exact
-        // rounding sequence of MatMulAddNaive on a zeroed output.
-        float acc = 0.0f;
-        for (int kk = 0; kk < m; ++kk) acc += ai[kk] * bj[kk];
-        const TopKEntry cand{j, acc};
-        if (static_cast<int>(heap.size()) < k) {
-          heap.push_back(cand);
-          std::push_heap(heap.begin(), heap.end(), BetterEntry);
-        } else if (BetterEntry(cand, heap.front())) {
-          std::pop_heap(heap.begin(), heap.end(), BetterEntry);
-          heap.back() = cand;
-          std::push_heap(heap.begin(), heap.end(), BetterEntry);
-        }
+      int j = jt;
+      for (; j + 8 <= jend; j += 8) {
+        // Eight ascending-k accumulator chains from zero — per column the
+        // exact rounding sequence of MatMulAddNaive on a zeroed output.
+        float scores[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+        ops.dot8(m, ai, b + static_cast<size_t>(j) * m, /*stride=*/m,
+                 scores);
+        for (int l = 0; l < 8; ++l) offer(j + l, scores[l]);
+      }
+      for (; j < jend; ++j) {
+        offer(j, ops.dot(m, ai, b + static_cast<size_t>(j) * m));
       }
     }
     std::sort(heap.begin(), heap.end(), BetterEntry);

@@ -16,23 +16,34 @@ struct TopKEntry {
 ///
 /// Both entry points compute, for every output element, the same ascending-k
 /// sequence of single-rounded multiply-adds — the bit-exactness contract the
-/// parallel training/eval paths rely on (see docs/PERFORMANCE.md). They may
-/// reorder across *distinct* elements (row blocking, j-vectorization, thread
-/// partitioning) but never reassociate within one dot product.
+/// parallel training/eval paths rely on (see docs/KERNELS.md and
+/// docs/PERFORMANCE.md). They may reorder across *distinct* elements (row
+/// blocking, SIMD lanes over j, thread partitioning) but never reassociate
+/// within one dot product.
+///
+/// This header is a *dispatch point*, not an implementation tier: the
+/// kernels' inner loops run on the active tensor::primitives::Ops variant
+/// (explicit scalar / AVX2 / AVX-512 translation units), selected once per
+/// process via cpu::ActiveIsa() — precedence --cpu-isa flag >
+/// CAUSER_CPU_ISA env > cpuid, with graceful fallback. Because every
+/// variant honors the contract above, the selected tier changes throughput
+/// only, never a single output bit.
 
 /// Reference kernel: the plain ikj triple loop, kept for the equivalence
 /// suite and as the bench_kernels baseline. Always runs on the calling
-/// thread.
+/// thread and never dispatches to the SIMD variants — it *defines* the
+/// rounding sequence the primitive layer must reproduce.
 void MatMulAddNaive(const float* a, const float* b, float* c, int n, int m,
                     int p, bool transpose_a, bool transpose_b);
 
 /// Production kernel: packs a transposed B into contiguous row-major panels
 /// (reusable thread-local pack buffer; a transposed A is consumed in place —
-/// its blocked row loads are already contiguous), then runs a
-/// register-blocked kernel whose contiguous j loop auto-vectorizes. Large
-/// products are sharded over output rows on the shared thread pool; every
-/// partition computes the identical per-element sums, so results are
-/// bit-identical to MatMulAddNaive at every thread count.
+/// its blocked row loads are already contiguous), then runs the active
+/// ISA's register-blocked gemm panels (gemm_panel4/gemm_panel1, or
+/// dot8/axpy on the degenerate shapes). Large products are sharded over
+/// output rows on the shared thread pool; every partition computes the
+/// identical per-element sums, so results are bit-identical to
+/// MatMulAddNaive at every thread count and on every ISA tier.
 void MatMulAdd(const float* a, const float* b, float* c, int n, int m, int p,
                bool transpose_a, bool transpose_b);
 
@@ -44,11 +55,13 @@ void MatMulAdd(const float* a, const float* b, float* c, int n, int m, int p,
 /// cache-sized column tiles and each row keeps a bounded selection heap.
 ///
 /// Exactness: every score is the same ascending-k single-accumulator dot
-/// product MatMulAddNaive computes (from a zero accumulator), and the
-/// selection order is eval::TopK's total order — score descending, index
-/// ascending on ties — so the result is bit-identical to a full matmul
-/// followed by eval::TopK at every thread count (rows may be sharded over
-/// the shared pool; each row's scan is sequential in j).
+/// product MatMulAddNaive computes (from a zero accumulator — eight of
+/// them advance per dot8 call on the SIMD tiers, one output element per
+/// lane), and the selection order is eval::TopK's total order — score
+/// descending, index ascending on ties — so the result is bit-identical to
+/// a full matmul followed by eval::TopK at every thread count and on every
+/// ISA tier (rows may be sharded over the shared pool; each row's scan
+/// offers candidates in ascending j).
 ///
 /// k is clamped to [0, p]; when k > p the trailing entries of each output
 /// row keep {index = -1, score = 0}.

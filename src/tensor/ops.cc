@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "tensor/kernels.h"
+#include "tensor/primitives/primitives.h"
 
 namespace causer::tensor {
 namespace {
@@ -280,16 +281,17 @@ Tensor SoftmaxRows(const Tensor& a, float temperature) {
             ga[c] += y[c] * (gy[c] - dot) / temperature;
         }
       });
+  const auto& ops = primitives::Active();
   for (int r = 0; r < n; ++r) {
     const float* x = an->value.data() + static_cast<size_t>(r) * m;
     float* y = out.data().data() + static_cast<size_t>(r) * m;
-    float mx = x[0];
-    for (int c = 1; c < m; ++c) mx = std::max(mx, x[c]);
+    // reduce_max is value-exact across ISAs; a +0/-0 tie can flip the
+    // sign of mx, but exp((x - ±0)/t) lands on the same value either way.
+    const float mx = ops.reduce_max(static_cast<std::size_t>(m), x);
+    for (int c = 0; c < m; ++c) y[c] = (x[c] - mx) / temperature;
+    ops.exp_apply(static_cast<std::size_t>(m), y);
     float total = 0.0f;
-    for (int c = 0; c < m; ++c) {
-      y[c] = std::exp((x[c] - mx) / temperature);
-      total += y[c];
-    }
+    for (int c = 0; c < m; ++c) total += y[c];
     for (int c = 0; c < m; ++c) y[c] /= total;
   }
   return out;

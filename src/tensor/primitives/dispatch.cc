@@ -1,0 +1,35 @@
+#include "tensor/primitives/primitives.h"
+
+#include "tensor/primitives/variants.h"
+
+namespace causer::tensor::primitives {
+
+const Ops* ForIsa(cpu::Isa isa) {
+  switch (isa) {
+    case cpu::Isa::kScalar:
+      return &kScalarOps;
+    case cpu::Isa::kAvx2:
+#ifdef CAUSER_ISA_AVX2_COMPILED
+      return &kAvx2Ops;
+#else
+      return nullptr;
+#endif
+    case cpu::Isa::kAvx512:
+#ifdef CAUSER_ISA_AVX512_COMPILED
+      return &kAvx512Ops;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const Ops& Active() {
+  // cpu::ActiveIsa() only ever returns a supported tier (the fallback
+  // chain bottoms out at scalar), so the lookup cannot miss; the scalar
+  // default is belt-and-braces.
+  const Ops* ops = ForIsa(cpu::ActiveIsa());
+  return ops != nullptr ? *ops : kScalarOps;
+}
+
+}  // namespace causer::tensor::primitives

@@ -1,0 +1,142 @@
+#ifndef CAUSER_TENSOR_PRIMITIVES_PRIMITIVES_H_
+#define CAUSER_TENSOR_PRIMITIVES_PRIMITIVES_H_
+
+#include <cstddef>
+
+#include "common/cpu.h"
+
+/// The compute-primitive layer: the small set of inner loops every fp32
+/// hot path (GEMM microkernels, the fused Adam update, MatMulTopK's tile
+/// scan) is built from, with one explicit implementation per cpu::Isa
+/// tier. `Active()` is the dispatch point — resolved once at startup from
+/// cpuid with a flag/env override (precedence: --cpu-isa flag >
+/// CAUSER_CPU_ISA env > cpuid; see common/cpu.h) — and the per-ISA tables
+/// (`ForIsa`) are the implementations.
+///
+/// ## The fp32 bit-identity contract (hard invariant)
+///
+/// Every variant of every primitive produces bit-identical results to the
+/// scalar reference, on every input, at every thread count. The layer
+/// guarantees this *by construction*, not by tolerance:
+///
+///  1. **A vector lane owns a whole output element.** SIMD runs across
+///     distinct output elements (the `j` direction / distinct dots /
+///     distinct parameters) — never across the `k` direction inside one
+///     reduction. Each element's summation stays the ascending-k,
+///     single-accumulator chain of `kernels::MatMulAddNaive`, whatever
+///     the lane width; widening the ISA changes how many chains advance
+///     per instruction, never the order within a chain.
+///  2. **Multiply and add are rounded separately.** No FMA contraction:
+///     the AVX TUs are compiled without -mfma-generated contraction
+///     (-ffp-contract=off, mul/add intrinsics), because a fused
+///     multiply-add rounds once where the reference rounds twice.
+///  3. **Per-lane ops are IEEE-exact.** vmulps/vaddps/vdivps/vsqrtps and
+///     the float<->double conversions are correctly rounded per lane, so
+///     lane arithmetic is indistinguishable from scalar arithmetic.
+///
+/// Two documented exceptions: `reduce_max` is value-exact (`==`) but may
+/// return the other sign of zero when +0 and -0 tie for the maximum, and
+/// `exp_apply` stays scalar libm in every variant (there is no
+/// bit-compatible vector exp; it exists here so the future int8 path can
+/// swap in a tolerance-gated one behind the same dispatch point).
+///
+/// The contract is enforced by tests/primitives_test.cc (every compiled
+/// variant vs. scalar, GEMM/Adam/TopK, threads 1/2/8) and documented for
+/// humans in docs/KERNELS.md.
+namespace causer::tensor::primitives {
+
+/// One ISA variant's implementation table. All pointers are always
+/// non-null. Function-pointer indirection costs one predictable call per
+/// *panel/array*, not per element — noise next to the O(m·p) work inside.
+struct Ops {
+  /// IsaName(isa) spelling; keys the BENCH_kernels.json variant rows and
+  /// the docs/KERNELS.md ISA table.
+  const char* name;
+  /// The tier this table implements.
+  cpu::Isa isa;
+
+  /// Four-row fused multiply-add panel — the GEMM microkernel body.
+  /// For r in 0..3, j in [0,p):
+  ///   c_r[j] += sum_{k ascending in [0,m)} a_r[k*a_step] * b[k*ldb + j]
+  /// accumulated element-wise in ascending k through c_r[j] itself (the
+  /// chain starts from the incoming c value; each product and each add
+  /// rounds once). `a_step` is 1 for row-major A panels and `n` when
+  /// consuming a transposed A in place (kernels::MatMulAdd's TransA
+  /// path). The four c rows must not alias each other or b.
+  void (*gemm_panel4)(int m, int p, const float* a0, const float* a1,
+                      const float* a2, const float* a3, int a_step,
+                      const float* b, int ldb, float* c0, float* c1,
+                      float* c2, float* c3);
+
+  /// Single-row tail of gemm_panel4 (same contract, one row).
+  void (*gemm_panel1)(int m, int p, const float* a, int a_step,
+                      const float* b, int ldb, float* c);
+
+  /// y[j] += alpha * x[j] for j in [0,n): one rounded multiply and one
+  /// rounded add per element. Used by the single-output-column TransA
+  /// path (k-outer loop: one axpy per k keeps each y[i] chain ascending
+  /// in k across calls).
+  void (*axpy)(int n, float alpha, const float* x, float* y);
+
+  /// Eight interleaved dot products against eight consecutive rows of a
+  /// row-major matrix: for lane l in 0..7,
+  ///   io[l] += sum_{k ascending in [0,m)} a[k] * b[l*stride + k]
+  /// with io[l] seeding lane l's accumulator chain (pass zeros for a
+  /// from-scratch dot). Lanes are distinct output elements, so the AVX
+  /// variants transpose 8xW input tiles to keep per-lane k order — they
+  /// never split one dot across lanes. Powers DotRowKernel (GEMV against
+  /// a transposed B) and MatMulTopK's tile scan.
+  void (*dot8)(int m, const float* a, const float* b, std::size_t stride,
+               float* io);
+
+  /// One sequential ascending-k dot product from a zero accumulator —
+  /// the j-remainder companion of dot8. Identical code in every variant
+  /// (a single chain cannot vectorize under invariant 1).
+  float (*dot)(int m, const float* a, const float* b);
+
+  /// Fused Adam element update, term-for-term the classic three-statement
+  /// form (see nn::Adam::Step). For each j:
+  ///   m[j] = beta1*m[j] + one_minus_b1*g[j]
+  ///   v[j] = beta2*v[j] + (one_minus_b2*g[j])*g[j]
+  ///   w[j] -= lr * (float)(m[j]/bc1) / (sqrt((float)(v[j]/bc2)) + eps)
+  /// Bias corrections divide in double then round to float exactly like
+  /// the scalar reference (lanes widen/narrow through cvtps_pd/cvtpd_ps,
+  /// both correctly rounded).
+  void (*adam_step)(std::size_t count, float lr, float beta1, float beta2,
+                    float one_minus_b1, float one_minus_b2, double bc1,
+                    double bc2, float eps, float* w, const float* g,
+                    float* m, float* v);
+
+  /// Maximum of x[0..n), n >= 1. Tiled: per-lane running maxima folded at
+  /// the end — exact because float max is associative/commutative on
+  /// NaN-free input (the one primitive specified value-exact rather than
+  /// bit-exact: a +0/-0 tie may return either zero). Feeds the softmax
+  /// max-subtraction.
+  float (*reduce_max)(std::size_t n, const float* x);
+
+  /// x[i] = min(hi, max(lo, x[i])) with maxps/minps select semantics
+  /// (constant operand first): a NaN x[i] propagates unchanged and signed
+  /// zeros resolve identically in every variant. Requires lo <= hi.
+  void (*clamp)(std::size_t n, float lo, float hi, float* x);
+
+  /// x[i] = exp(x[i]) via scalar std::exp in every variant — see the
+  /// contract note above.
+  void (*exp_apply)(std::size_t n, float* x);
+};
+
+/// The dispatch point: the table for cpu::ActiveIsa(). First call
+/// resolves the ISA (flag > env > cpuid, with graceful fallback); later
+/// calls are one atomic load plus a table lookup. Hot kernels hoist the
+/// reference once per call, not per element.
+const Ops& Active();
+
+/// The table for one specific tier, or nullptr when that variant is not
+/// compiled into this binary. For the equivalence tests and bench_kernels
+/// only — production code goes through Active(). Calling a table whose
+/// ISA the running CPU lacks is undefined (SIGILL); guard with
+/// cpu::IsaSupported.
+const Ops* ForIsa(cpu::Isa isa);
+
+}  // namespace causer::tensor::primitives
+
+#endif  // CAUSER_TENSOR_PRIMITIVES_PRIMITIVES_H_

@@ -1,0 +1,346 @@
+// AVX-512 variant of the compute-primitive layer: 512-bit intrinsics,
+// compiled with -mavx512f (which implies AVX2 for the 256-bit remainders
+// here, but NOT FMA — plus -ffp-contract=off — so multiply and add keep
+// their separate roundings; see primitives.h). Only AVX512F instructions
+// are used: the double-precision Adam bias corrections move between zmm
+// and 128-bit quarters via extractf32x4/insertf32x4 rather than the
+// AVX512DQ 256-bit extracts. Lanes always map to distinct output
+// elements; per-lane chains are the scalar reference chains.
+//
+// All helpers have internal linkage — the comdat-folding/SIGILL rule of
+// variants.h applies doubly to this most-privileged TU.
+
+#include <cmath>
+#include <cstddef>
+#include <immintrin.h>
+
+#include "tensor/primitives/variants.h"
+
+namespace causer::tensor::primitives {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GEMM panels: 32-wide j tiles (two zmm per row) with the full ascending-k
+// sweep in registers; 16- and 8-wide remainders, then scalar.
+
+void GemmPanel4(int m, int p, const float* a0, const float* a1,
+                const float* a2, const float* a3, int a_step, const float* b,
+                int ldb, float* c0, float* c1, float* c2, float* c3) {
+  int j = 0;
+  for (; j + 32 <= p; j += 32) {
+    __m512 x00 = _mm512_loadu_ps(c0 + j), x01 = _mm512_loadu_ps(c0 + j + 16);
+    __m512 x10 = _mm512_loadu_ps(c1 + j), x11 = _mm512_loadu_ps(c1 + j + 16);
+    __m512 x20 = _mm512_loadu_ps(c2 + j), x21 = _mm512_loadu_ps(c2 + j + 16);
+    __m512 x30 = _mm512_loadu_ps(c3 + j), x31 = _mm512_loadu_ps(c3 + j + 16);
+    for (int k = 0; k < m; ++k) {
+      const float* bk = b + static_cast<std::size_t>(k) * ldb + j;
+      const __m512 b0 = _mm512_loadu_ps(bk);
+      const __m512 b1 = _mm512_loadu_ps(bk + 16);
+      const std::size_t ak = static_cast<std::size_t>(k) * a_step;
+      __m512 av;
+      av = _mm512_set1_ps(a0[ak]);
+      x00 = _mm512_add_ps(x00, _mm512_mul_ps(av, b0));
+      x01 = _mm512_add_ps(x01, _mm512_mul_ps(av, b1));
+      av = _mm512_set1_ps(a1[ak]);
+      x10 = _mm512_add_ps(x10, _mm512_mul_ps(av, b0));
+      x11 = _mm512_add_ps(x11, _mm512_mul_ps(av, b1));
+      av = _mm512_set1_ps(a2[ak]);
+      x20 = _mm512_add_ps(x20, _mm512_mul_ps(av, b0));
+      x21 = _mm512_add_ps(x21, _mm512_mul_ps(av, b1));
+      av = _mm512_set1_ps(a3[ak]);
+      x30 = _mm512_add_ps(x30, _mm512_mul_ps(av, b0));
+      x31 = _mm512_add_ps(x31, _mm512_mul_ps(av, b1));
+    }
+    _mm512_storeu_ps(c0 + j, x00);
+    _mm512_storeu_ps(c0 + j + 16, x01);
+    _mm512_storeu_ps(c1 + j, x10);
+    _mm512_storeu_ps(c1 + j + 16, x11);
+    _mm512_storeu_ps(c2 + j, x20);
+    _mm512_storeu_ps(c2 + j + 16, x21);
+    _mm512_storeu_ps(c3 + j, x30);
+    _mm512_storeu_ps(c3 + j + 16, x31);
+  }
+  for (; j + 16 <= p; j += 16) {
+    __m512 x0 = _mm512_loadu_ps(c0 + j);
+    __m512 x1 = _mm512_loadu_ps(c1 + j);
+    __m512 x2 = _mm512_loadu_ps(c2 + j);
+    __m512 x3 = _mm512_loadu_ps(c3 + j);
+    for (int k = 0; k < m; ++k) {
+      const __m512 bk =
+          _mm512_loadu_ps(b + static_cast<std::size_t>(k) * ldb + j);
+      const std::size_t ak = static_cast<std::size_t>(k) * a_step;
+      x0 = _mm512_add_ps(x0, _mm512_mul_ps(_mm512_set1_ps(a0[ak]), bk));
+      x1 = _mm512_add_ps(x1, _mm512_mul_ps(_mm512_set1_ps(a1[ak]), bk));
+      x2 = _mm512_add_ps(x2, _mm512_mul_ps(_mm512_set1_ps(a2[ak]), bk));
+      x3 = _mm512_add_ps(x3, _mm512_mul_ps(_mm512_set1_ps(a3[ak]), bk));
+    }
+    _mm512_storeu_ps(c0 + j, x0);
+    _mm512_storeu_ps(c1 + j, x1);
+    _mm512_storeu_ps(c2 + j, x2);
+    _mm512_storeu_ps(c3 + j, x3);
+  }
+  for (; j + 8 <= p; j += 8) {
+    __m256 x0 = _mm256_loadu_ps(c0 + j);
+    __m256 x1 = _mm256_loadu_ps(c1 + j);
+    __m256 x2 = _mm256_loadu_ps(c2 + j);
+    __m256 x3 = _mm256_loadu_ps(c3 + j);
+    for (int k = 0; k < m; ++k) {
+      const __m256 bk =
+          _mm256_loadu_ps(b + static_cast<std::size_t>(k) * ldb + j);
+      const std::size_t ak = static_cast<std::size_t>(k) * a_step;
+      x0 = _mm256_add_ps(x0, _mm256_mul_ps(_mm256_set1_ps(a0[ak]), bk));
+      x1 = _mm256_add_ps(x1, _mm256_mul_ps(_mm256_set1_ps(a1[ak]), bk));
+      x2 = _mm256_add_ps(x2, _mm256_mul_ps(_mm256_set1_ps(a2[ak]), bk));
+      x3 = _mm256_add_ps(x3, _mm256_mul_ps(_mm256_set1_ps(a3[ak]), bk));
+    }
+    _mm256_storeu_ps(c0 + j, x0);
+    _mm256_storeu_ps(c1 + j, x1);
+    _mm256_storeu_ps(c2 + j, x2);
+    _mm256_storeu_ps(c3 + j, x3);
+  }
+  for (; j < p; ++j) {
+    float s0 = c0[j], s1 = c1[j], s2 = c2[j], s3 = c3[j];
+    for (int k = 0; k < m; ++k) {
+      const float* bk = b + static_cast<std::size_t>(k) * ldb;
+      const std::size_t ak = static_cast<std::size_t>(k) * a_step;
+      s0 += a0[ak] * bk[j];
+      s1 += a1[ak] * bk[j];
+      s2 += a2[ak] * bk[j];
+      s3 += a3[ak] * bk[j];
+    }
+    c0[j] = s0;
+    c1[j] = s1;
+    c2[j] = s2;
+    c3[j] = s3;
+  }
+}
+
+void GemmPanel1(int m, int p, const float* a, int a_step, const float* b,
+                int ldb, float* c) {
+  int j = 0;
+  for (; j + 64 <= p; j += 64) {
+    __m512 x0 = _mm512_loadu_ps(c + j);
+    __m512 x1 = _mm512_loadu_ps(c + j + 16);
+    __m512 x2 = _mm512_loadu_ps(c + j + 32);
+    __m512 x3 = _mm512_loadu_ps(c + j + 48);
+    for (int k = 0; k < m; ++k) {
+      const float* bk = b + static_cast<std::size_t>(k) * ldb + j;
+      const __m512 av =
+          _mm512_set1_ps(a[static_cast<std::size_t>(k) * a_step]);
+      x0 = _mm512_add_ps(x0, _mm512_mul_ps(av, _mm512_loadu_ps(bk)));
+      x1 = _mm512_add_ps(x1, _mm512_mul_ps(av, _mm512_loadu_ps(bk + 16)));
+      x2 = _mm512_add_ps(x2, _mm512_mul_ps(av, _mm512_loadu_ps(bk + 32)));
+      x3 = _mm512_add_ps(x3, _mm512_mul_ps(av, _mm512_loadu_ps(bk + 48)));
+    }
+    _mm512_storeu_ps(c + j, x0);
+    _mm512_storeu_ps(c + j + 16, x1);
+    _mm512_storeu_ps(c + j + 32, x2);
+    _mm512_storeu_ps(c + j + 48, x3);
+  }
+  for (; j + 16 <= p; j += 16) {
+    __m512 x0 = _mm512_loadu_ps(c + j);
+    for (int k = 0; k < m; ++k) {
+      const __m512 av =
+          _mm512_set1_ps(a[static_cast<std::size_t>(k) * a_step]);
+      x0 = _mm512_add_ps(
+          x0, _mm512_mul_ps(
+                  av, _mm512_loadu_ps(b + static_cast<std::size_t>(k) * ldb +
+                                      j)));
+    }
+    _mm512_storeu_ps(c + j, x0);
+  }
+  for (; j < p; ++j) {
+    float s = c[j];
+    for (int k = 0; k < m; ++k) {
+      s += a[static_cast<std::size_t>(k) * a_step] *
+           b[static_cast<std::size_t>(k) * ldb + j];
+    }
+    c[j] = s;
+  }
+}
+
+void Axpy(int n, float alpha, const float* x, float* y) {
+  const __m512 av = _mm512_set1_ps(alpha);
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 xv = _mm512_loadu_ps(x + i);
+    const __m512 yv = _mm512_loadu_ps(y + i);
+    _mm512_storeu_ps(y + i, _mm512_add_ps(yv, _mm512_mul_ps(av, xv)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+// ---------------------------------------------------------------------------
+// Dot8's interface is eight rows wide, so the natural register is ymm even
+// in this tier; the 8x8 transpose trick is the same as the AVX2 variant
+// (duplicated rather than shared — internal linkage rule).
+
+void Dot8(int m, const float* a, const float* b, std::size_t stride,
+          float* io) {
+  __m256 acc = _mm256_loadu_ps(io);
+  int k = 0;
+  for (; k + 8 <= m; k += 8) {
+    __m256 r0 = _mm256_loadu_ps(b + 0 * stride + k);
+    __m256 r1 = _mm256_loadu_ps(b + 1 * stride + k);
+    __m256 r2 = _mm256_loadu_ps(b + 2 * stride + k);
+    __m256 r3 = _mm256_loadu_ps(b + 3 * stride + k);
+    __m256 r4 = _mm256_loadu_ps(b + 4 * stride + k);
+    __m256 r5 = _mm256_loadu_ps(b + 5 * stride + k);
+    __m256 r6 = _mm256_loadu_ps(b + 6 * stride + k);
+    __m256 r7 = _mm256_loadu_ps(b + 7 * stride + k);
+    const __m256 u0 = _mm256_unpacklo_ps(r0, r1);
+    const __m256 u1 = _mm256_unpackhi_ps(r0, r1);
+    const __m256 u2 = _mm256_unpacklo_ps(r2, r3);
+    const __m256 u3 = _mm256_unpackhi_ps(r2, r3);
+    const __m256 u4 = _mm256_unpacklo_ps(r4, r5);
+    const __m256 u5 = _mm256_unpackhi_ps(r4, r5);
+    const __m256 u6 = _mm256_unpacklo_ps(r6, r7);
+    const __m256 u7 = _mm256_unpackhi_ps(r6, r7);
+    const __m256 s0 = _mm256_shuffle_ps(u0, u2, _MM_SHUFFLE(1, 0, 1, 0));
+    const __m256 s1 = _mm256_shuffle_ps(u0, u2, _MM_SHUFFLE(3, 2, 3, 2));
+    const __m256 s2 = _mm256_shuffle_ps(u1, u3, _MM_SHUFFLE(1, 0, 1, 0));
+    const __m256 s3 = _mm256_shuffle_ps(u1, u3, _MM_SHUFFLE(3, 2, 3, 2));
+    const __m256 s4 = _mm256_shuffle_ps(u4, u6, _MM_SHUFFLE(1, 0, 1, 0));
+    const __m256 s5 = _mm256_shuffle_ps(u4, u6, _MM_SHUFFLE(3, 2, 3, 2));
+    const __m256 s6 = _mm256_shuffle_ps(u5, u7, _MM_SHUFFLE(1, 0, 1, 0));
+    const __m256 s7 = _mm256_shuffle_ps(u5, u7, _MM_SHUFFLE(3, 2, 3, 2));
+    const __m256 t0 = _mm256_permute2f128_ps(s0, s4, 0x20);
+    const __m256 t1 = _mm256_permute2f128_ps(s1, s5, 0x20);
+    const __m256 t2 = _mm256_permute2f128_ps(s2, s6, 0x20);
+    const __m256 t3 = _mm256_permute2f128_ps(s3, s7, 0x20);
+    const __m256 t4 = _mm256_permute2f128_ps(s0, s4, 0x31);
+    const __m256 t5 = _mm256_permute2f128_ps(s1, s5, 0x31);
+    const __m256 t6 = _mm256_permute2f128_ps(s2, s6, 0x31);
+    const __m256 t7 = _mm256_permute2f128_ps(s3, s7, 0x31);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a[k + 0]), t0));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a[k + 1]), t1));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a[k + 2]), t2));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a[k + 3]), t3));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a[k + 4]), t4));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a[k + 5]), t5));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a[k + 6]), t6));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a[k + 7]), t7));
+  }
+  _mm256_storeu_ps(io, acc);
+  for (; k < m; ++k) {
+    for (int l = 0; l < 8; ++l) {
+      io[l] += a[k] * b[static_cast<std::size_t>(l) * stride + k];
+    }
+  }
+}
+
+float Dot(int m, const float* a, const float* b) {
+  float acc = 0.0f;
+  for (int k = 0; k < m; ++k) acc += a[k] * b[k];
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+
+void AdamStep(std::size_t count, float lr, float beta1, float beta2,
+              float one_minus_b1, float one_minus_b2, double bc1, double bc2,
+              float eps, float* w, const float* g, float* m, float* v) {
+  const __m512 b1v = _mm512_set1_ps(beta1);
+  const __m512 b2v = _mm512_set1_ps(beta2);
+  const __m512 omb1v = _mm512_set1_ps(one_minus_b1);
+  const __m512 omb2v = _mm512_set1_ps(one_minus_b2);
+  const __m512 lrv = _mm512_set1_ps(lr);
+  const __m512 epsv = _mm512_set1_ps(eps);
+  const __m256d bc1v = _mm256_set1_pd(bc1);
+  const __m256d bc2v = _mm256_set1_pd(bc2);
+  // Widen each 128-bit quarter to double, divide once, narrow once —
+  // all three steps correctly rounded, so each lane matches the scalar
+  // static_cast<float>(x / bc). AVX512F only (extract/insertf32x4).
+  const auto div_quarter = [](__m128 quarter, __m256d d) -> __m128 {
+    return _mm256_cvtpd_ps(_mm256_div_pd(_mm256_cvtps_pd(quarter), d));
+  };
+  const auto div_by_double = [div_quarter](__m512 x, __m256d d) -> __m512 {
+    // extract/insertf32x4 take immediates, hence the unrolled quarters.
+    __m512 out = x;
+    out = _mm512_insertf32x4(out, div_quarter(_mm512_extractf32x4_ps(x, 0), d), 0);
+    out = _mm512_insertf32x4(out, div_quarter(_mm512_extractf32x4_ps(x, 1), d), 1);
+    out = _mm512_insertf32x4(out, div_quarter(_mm512_extractf32x4_ps(x, 2), d), 2);
+    out = _mm512_insertf32x4(out, div_quarter(_mm512_extractf32x4_ps(x, 3), d), 3);
+    return out;
+  };
+  std::size_t j = 0;
+  for (; j + 16 <= count; j += 16) {
+    const __m512 gj = _mm512_loadu_ps(g + j);
+    const __m512 mj = _mm512_add_ps(_mm512_mul_ps(b1v, _mm512_loadu_ps(m + j)),
+                                    _mm512_mul_ps(omb1v, gj));
+    const __m512 vj = _mm512_add_ps(
+        _mm512_mul_ps(b2v, _mm512_loadu_ps(v + j)),
+        _mm512_mul_ps(_mm512_mul_ps(omb2v, gj), gj));
+    _mm512_storeu_ps(m + j, mj);
+    _mm512_storeu_ps(v + j, vj);
+    const __m512 mhat = div_by_double(mj, bc1v);
+    const __m512 vhat = div_by_double(vj, bc2v);
+    const __m512 denom = _mm512_add_ps(_mm512_sqrt_ps(vhat), epsv);
+    const __m512 upd = _mm512_div_ps(_mm512_mul_ps(lrv, mhat), denom);
+    _mm512_storeu_ps(w + j, _mm512_sub_ps(_mm512_loadu_ps(w + j), upd));
+  }
+  for (; j < count; ++j) {
+    const float gj = g[j];
+    const float mj = beta1 * m[j] + one_minus_b1 * gj;
+    const float vj = beta2 * v[j] + one_minus_b2 * gj * gj;
+    m[j] = mj;
+    v[j] = vj;
+    const float mhat = static_cast<float>(mj / bc1);
+    const float vhat = static_cast<float>(vj / bc2);
+    w[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+float ReduceMax(std::size_t n, const float* x) {
+  if (n < 16) {
+    float mx = x[0];
+    for (std::size_t i = 1; i < n; ++i) mx = mx < x[i] ? x[i] : mx;
+    return mx;
+  }
+  __m512 mv = _mm512_loadu_ps(x);
+  std::size_t i = 16;
+  for (; i + 16 <= n; i += 16) mv = _mm512_max_ps(mv, _mm512_loadu_ps(x + i));
+  alignas(64) float lanes[16];
+  _mm512_store_ps(lanes, mv);
+  float mx = lanes[0];
+  for (int l = 1; l < 16; ++l) mx = mx < lanes[l] ? lanes[l] : mx;
+  for (; i < n; ++i) mx = mx < x[i] ? x[i] : mx;
+  return mx;
+}
+
+void Clamp(std::size_t n, float lo, float hi, float* x) {
+  const __m512 lov = _mm512_set1_ps(lo);
+  const __m512 hiv = _mm512_set1_ps(hi);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 xv = _mm512_loadu_ps(x + i);
+    _mm512_storeu_ps(x + i, _mm512_min_ps(hiv, _mm512_max_ps(lov, xv)));
+  }
+  for (; i < n; ++i) {
+    const float t = lo > x[i] ? lo : x[i];
+    x[i] = hi < t ? hi : t;
+  }
+}
+
+void ExpApply(std::size_t n, float* x) {
+  // Scalar libm by contract — see primitives.h.
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::exp(x[i]);
+}
+
+}  // namespace
+
+const Ops kAvx512Ops = {
+    /*name=*/"avx512",
+    /*isa=*/cpu::Isa::kAvx512,
+    /*gemm_panel4=*/GemmPanel4,
+    /*gemm_panel1=*/GemmPanel1,
+    /*axpy=*/Axpy,
+    /*dot8=*/Dot8,
+    /*dot=*/Dot,
+    /*adam_step=*/AdamStep,
+    /*reduce_max=*/ReduceMax,
+    /*clamp=*/Clamp,
+    /*exp_apply=*/ExpApply,
+};
+
+}  // namespace causer::tensor::primitives

@@ -1,0 +1,132 @@
+// Scalar reference variant of the compute-primitive layer. Portable C++
+// compiled at the project baseline (SSE2 auto-vectorization on x86-64) —
+// the rounding reference every explicit-SIMD variant must reproduce
+// bit-for-bit (tests/primitives_test.cc). Always compiled, always the
+// fallback tier.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "tensor/primitives/variants.h"
+
+namespace causer::tensor::primitives {
+namespace {
+
+// The 4-row register-blocked panel, formerly kernels.cc's PanelKernel /
+// TransAKernel body: the four row accumulations share each streamed b row
+// and the contiguous j loop auto-vectorizes (lanes = distinct j). Per
+// element the k-summation is ascending through the incoming c value with
+// one rounding per multiply and per add.
+void GemmPanel4(int m, int p, const float* a0, const float* a1,
+                const float* a2, const float* a3, int a_step, const float* b,
+                int ldb, float* c0, float* c1, float* c2, float* c3) {
+  float* __restrict__ r0 = c0;
+  float* __restrict__ r1 = c1;
+  float* __restrict__ r2 = c2;
+  float* __restrict__ r3 = c3;
+  for (int k = 0; k < m; ++k) {
+    const std::size_t ak = static_cast<std::size_t>(k) * a_step;
+    const float av0 = a0[ak];
+    const float av1 = a1[ak];
+    const float av2 = a2[ak];
+    const float av3 = a3[ak];
+    const float* bk = b + static_cast<std::size_t>(k) * ldb;
+    for (int j = 0; j < p; ++j) {
+      r0[j] += av0 * bk[j];
+      r1[j] += av1 * bk[j];
+      r2[j] += av2 * bk[j];
+      r3[j] += av3 * bk[j];
+    }
+  }
+}
+
+void GemmPanel1(int m, int p, const float* a, int a_step, const float* b,
+                int ldb, float* c) {
+  float* __restrict__ cc = c;
+  for (int k = 0; k < m; ++k) {
+    const float av = a[static_cast<std::size_t>(k) * a_step];
+    const float* bk = b + static_cast<std::size_t>(k) * ldb;
+    for (int j = 0; j < p; ++j) cc[j] += av * bk[j];
+  }
+}
+
+void Axpy(int n, float alpha, const float* x, float* y) {
+  float* __restrict__ yy = y;
+  for (int i = 0; i < n; ++i) yy[i] += alpha * x[i];
+}
+
+void Dot8(int m, const float* a, const float* b, std::size_t stride,
+          float* io) {
+  // Eight independent ascending-k chains, each seeded from io[l] —
+  // exactly what one SIMD register of lanes computes in the AVX tiers.
+  for (int l = 0; l < 8; ++l) {
+    const float* bl = b + static_cast<std::size_t>(l) * stride;
+    float acc = io[l];
+    for (int k = 0; k < m; ++k) acc += a[k] * bl[k];
+    io[l] = acc;
+  }
+}
+
+float Dot(int m, const float* a, const float* b) {
+  float acc = 0.0f;
+  for (int k = 0; k < m; ++k) acc += a[k] * b[k];
+  return acc;
+}
+
+void AdamStep(std::size_t count, float lr, float beta1, float beta2,
+              float one_minus_b1, float one_minus_b2, double bc1, double bc2,
+              float eps, float* w, const float* g, float* m, float* v) {
+  float* __restrict__ wr = w;
+  const float* __restrict__ gr = g;
+  float* __restrict__ mr = m;
+  float* __restrict__ vr = v;
+  for (std::size_t j = 0; j < count; ++j) {
+    const float gj = gr[j];
+    const float mj = beta1 * mr[j] + one_minus_b1 * gj;
+    const float vj = beta2 * vr[j] + one_minus_b2 * gj * gj;
+    mr[j] = mj;
+    vr[j] = vj;
+    const float mhat = static_cast<float>(mj / bc1);
+    const float vhat = static_cast<float>(vj / bc2);
+    wr[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+float ReduceMax(std::size_t n, const float* x) {
+  float mx = x[0];
+  for (std::size_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  return mx;
+}
+
+void Clamp(std::size_t n, float lo, float hi, float* x) {
+  // Explicit ternaries, constant on the left: the exact semantics of
+  // maxps(lo, x) / minps(hi, ·) — a NaN x falls through both selects, so
+  // every variant propagates it identically.
+  for (std::size_t i = 0; i < n; ++i) {
+    const float t = lo > x[i] ? lo : x[i];
+    x[i] = hi < t ? hi : t;
+  }
+}
+
+void ExpApply(std::size_t n, float* x) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::exp(x[i]);
+}
+
+}  // namespace
+
+const Ops kScalarOps = {
+    /*name=*/"scalar",
+    /*isa=*/cpu::Isa::kScalar,
+    /*gemm_panel4=*/GemmPanel4,
+    /*gemm_panel1=*/GemmPanel1,
+    /*axpy=*/Axpy,
+    /*dot8=*/Dot8,
+    /*dot=*/Dot,
+    /*adam_step=*/AdamStep,
+    /*reduce_max=*/ReduceMax,
+    /*clamp=*/Clamp,
+    /*exp_apply=*/ExpApply,
+};
+
+}  // namespace causer::tensor::primitives

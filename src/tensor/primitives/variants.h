@@ -1,0 +1,29 @@
+#ifndef CAUSER_TENSOR_PRIMITIVES_VARIANTS_H_
+#define CAUSER_TENSOR_PRIMITIVES_VARIANTS_H_
+
+#include "tensor/primitives/primitives.h"
+
+/// Internal registry of the per-ISA tables, one per primitives_<isa>.cc
+/// translation unit (that filename <-> variant mapping is what
+/// tools/check_docs.sh diffs against the docs/KERNELS.md ISA table). The
+/// AVX tables exist only when CMake compiled their TU — the same build
+/// check that defines CAUSER_ISA_*_COMPILED project-wide, so cpu.cc's
+/// IsaCompiled() and this registry cannot disagree.
+///
+/// Each variant TU keeps every helper at internal linkage: the TUs are
+/// compiled with different -m flags, and a shared inline helper emitted
+/// weakly from more than one of them could be comdat-folded into the copy
+/// holding AVX instructions — a SIGILL on older CPUs.
+namespace causer::tensor::primitives {
+
+extern const Ops kScalarOps;
+#ifdef CAUSER_ISA_AVX2_COMPILED
+extern const Ops kAvx2Ops;
+#endif
+#ifdef CAUSER_ISA_AVX512_COMPILED
+extern const Ops kAvx512Ops;
+#endif
+
+}  // namespace causer::tensor::primitives
+
+#endif  // CAUSER_TENSOR_PRIMITIVES_VARIANTS_H_

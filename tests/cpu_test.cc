@@ -1,0 +1,139 @@
+// ISA selection suite: the override precedence (--cpu-isa flag >
+// CAUSER_CPU_ISA env > cpuid), graceful degradation to the strongest
+// available tier, and the parse/name round-trips that the CLI, the bench
+// and the docs table all rely on. Selection state is process-global, so
+// every test goes through the fixture's reset.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/cpu.h"
+
+namespace causer::cpu {
+namespace {
+
+class CpuIsaTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Clear(); }
+  void TearDown() override { Clear(); }
+  static void Clear() {
+    unsetenv("CAUSER_CPU_ISA");
+    ResetIsaForTest();
+  }
+};
+
+TEST_F(CpuIsaTest, NamesAndParseRoundTrip) {
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    Isa parsed = Isa::kScalar;
+    ASSERT_TRUE(ParseIsa(IsaName(isa), &parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+  Isa parsed = Isa::kAvx2;
+  EXPECT_TRUE(ParseIsa("auto", &parsed));
+  EXPECT_EQ(parsed, DetectBest());
+  // Unknown names fail without touching the output.
+  parsed = Isa::kAvx512;
+  EXPECT_FALSE(ParseIsa("", &parsed));
+  EXPECT_FALSE(ParseIsa("AVX2", &parsed));
+  EXPECT_FALSE(ParseIsa("sse", &parsed));
+  EXPECT_FALSE(ParseIsa("avx-512", &parsed));
+  EXPECT_EQ(parsed, Isa::kAvx512);
+}
+
+TEST_F(CpuIsaTest, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(IsaCompiled(Isa::kScalar));
+  EXPECT_TRUE(IsaSupported(Isa::kScalar));
+  const auto compiled = CompiledIsas();
+  ASSERT_FALSE(compiled.empty());
+  EXPECT_EQ(compiled.front(), Isa::kScalar);
+  // Weakest-first order, and every listed tier really is compiled.
+  for (size_t i = 0; i < compiled.size(); ++i) {
+    EXPECT_TRUE(IsaCompiled(compiled[i]));
+    if (i > 0) {
+      EXPECT_GT(static_cast<int>(compiled[i]),
+                static_cast<int>(compiled[i - 1]));
+    }
+  }
+}
+
+TEST_F(CpuIsaTest, CpuidDefaultPicksStrongestSupported) {
+  const IsaSelection sel = ActiveSelection();
+  EXPECT_EQ(sel.source, IsaSource::kCpuid);
+  EXPECT_EQ(sel.active, DetectBest());
+  EXPECT_FALSE(sel.fell_back);
+  EXPECT_TRUE(IsaSupported(sel.active));
+}
+
+TEST_F(CpuIsaTest, EnvOverrideBeatsCpuid) {
+  setenv("CAUSER_CPU_ISA", "scalar", 1);
+  ResetIsaForTest();
+  const IsaSelection sel = ActiveSelection();
+  EXPECT_EQ(sel.source, IsaSource::kEnv);
+  EXPECT_EQ(sel.requested, Isa::kScalar);
+  EXPECT_EQ(sel.active, Isa::kScalar);
+  EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+}
+
+TEST_F(CpuIsaTest, FlagOverrideBeatsEnv) {
+  // Env asks for the strongest tier; the flag pins scalar and must win.
+  setenv("CAUSER_CPU_ISA", IsaName(DetectBest()), 1);
+  ResetIsaForTest();
+  ASSERT_TRUE(SetIsaOverride("scalar"));
+  const IsaSelection sel = ActiveSelection();
+  EXPECT_EQ(sel.source, IsaSource::kFlag);
+  EXPECT_EQ(sel.active, Isa::kScalar);
+  EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+}
+
+TEST_F(CpuIsaTest, MalformedEnvFallsBackToCpuid) {
+  setenv("CAUSER_CPU_ISA", "turbo9000", 1);
+  ResetIsaForTest();
+  const IsaSelection sel = ActiveSelection();
+  EXPECT_EQ(sel.source, IsaSource::kCpuid);
+  EXPECT_EQ(sel.active, DetectBest());
+  EXPECT_FALSE(sel.fell_back);
+}
+
+TEST_F(CpuIsaTest, BadFlagRejectedWithoutStateChange) {
+  const Isa before = ActiveIsa();
+  EXPECT_FALSE(SetIsaOverride("turbo9000"));
+  EXPECT_FALSE(SetIsaOverride(""));
+  const IsaSelection sel = ActiveSelection();
+  EXPECT_EQ(sel.source, IsaSource::kCpuid);
+  EXPECT_EQ(sel.active, before);
+}
+
+TEST_F(CpuIsaTest, RequestedTiersDegradeGracefully) {
+  // Whatever this machine supports, requesting any tier must yield a
+  // supported tier at or below it, with fell_back set exactly when the
+  // request could not be honored.
+  for (Isa want : {Isa::kAvx512, Isa::kAvx2, Isa::kScalar}) {
+    ASSERT_TRUE(SetIsaOverride(IsaName(want)));
+    const IsaSelection sel = ActiveSelection();
+    EXPECT_EQ(sel.source, IsaSource::kFlag);
+    EXPECT_EQ(sel.requested, want);
+    EXPECT_TRUE(IsaSupported(sel.active));
+    EXPECT_LE(static_cast<int>(sel.active), static_cast<int>(want));
+    EXPECT_EQ(sel.fell_back, sel.active != want);
+    if (IsaSupported(want)) {
+      EXPECT_EQ(sel.active, want);
+      EXPECT_FALSE(sel.fell_back);
+    }
+  }
+}
+
+TEST_F(CpuIsaTest, UnsupportedEnvRequestDegradesInsteadOfFailing) {
+  // avx512 may or may not run here; either way the selection must land on
+  // a supported tier and record the env as the source.
+  setenv("CAUSER_CPU_ISA", "avx512", 1);
+  ResetIsaForTest();
+  const IsaSelection sel = ActiveSelection();
+  EXPECT_EQ(sel.source, IsaSource::kEnv);
+  EXPECT_EQ(sel.requested, Isa::kAvx512);
+  EXPECT_TRUE(IsaSupported(sel.active));
+  EXPECT_EQ(sel.fell_back, sel.active != Isa::kAvx512);
+}
+
+}  // namespace
+}  // namespace causer::cpu

@@ -1,0 +1,290 @@
+// Compute-primitive dispatch suite: every ISA variant compiled into this
+// binary (and supported by the running CPU) must be bit-identical to the
+// scalar reference — both called directly through its Ops table and
+// dispatched end-to-end through the production kernels (MatMulAdd,
+// MatMulTopK, the fused Adam update) at thread counts 1/2/8. This is the
+// executable form of the fp32 bit-identity contract in
+// tensor/primitives/primitives.h and docs/KERNELS.md.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/cpu.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/kernels.h"
+#include "tensor/primitives/primitives.h"
+
+namespace causer::tensor::primitives {
+namespace {
+
+std::vector<float> RandomBuffer(size_t size, Rng& rng) {
+  std::vector<float> out(size);
+  for (auto& v : out) {
+    v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    if (rng.Uniform(0.0, 1.0) < 0.1) v = 0.0f;
+  }
+  return out;
+}
+
+bool BitwiseEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Variants that can actually execute here: always the scalar table, plus
+/// every compiled SIMD tier the CPU reports support for (calling an
+/// unsupported table would SIGILL, not fail an EXPECT).
+std::vector<const Ops*> RunnableVariants() {
+  std::vector<const Ops*> out;
+  for (cpu::Isa isa : cpu::CompiledIsas()) {
+    if (cpu::IsaSupported(isa)) out.push_back(ForIsa(isa));
+  }
+  return out;
+}
+
+class PrimitivesTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    cpu::ResetIsaForTest();
+    SetDefaultThreads(1);
+  }
+};
+
+TEST_F(PrimitivesTest, EveryCompiledVariantHasATable) {
+  for (cpu::Isa isa : cpu::CompiledIsas()) {
+    const Ops* ops = ForIsa(isa);
+    ASSERT_NE(ops, nullptr) << cpu::IsaName(isa);
+    EXPECT_EQ(ops->isa, isa);
+    EXPECT_STREQ(ops->name, cpu::IsaName(isa));
+  }
+  EXPECT_EQ(&Active(), ForIsa(cpu::ActiveIsa()));
+}
+
+TEST_F(PrimitivesTest, GemmPanelsMatchScalarBitwise) {
+  const Ops* scalar = ForIsa(cpu::Isa::kScalar);
+  Rng rng(20260808);
+  // Sizes straddle every vector width and remainder path: 8/16/32/64-wide
+  // tiles plus scalar tails, and a_step > 1 exercises the TransA layout.
+  const int ms[] = {1, 3, 8, 17};
+  const int ps[] = {1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 130};
+  for (const Ops* ops : RunnableVariants()) {
+    if (ops->isa == cpu::Isa::kScalar) continue;
+    for (int m : ms) {
+      for (int p : ps) {
+        for (int a_step : {1, 4}) {
+          auto a = RandomBuffer(static_cast<size_t>(m) * a_step * 4 + 3, rng);
+          auto b = RandomBuffer(static_cast<size_t>(m) * p, rng);
+          auto c_ref = RandomBuffer(static_cast<size_t>(4) * p, rng);
+          auto c_simd = c_ref;
+          auto call4 = [&](const Ops* o, std::vector<float>& c) {
+            o->gemm_panel4(m, p, a.data(), a.data() + 1, a.data() + 2,
+                           a.data() + 3, a_step, b.data(), p, c.data(),
+                           c.data() + p, c.data() + 2 * p, c.data() + 3 * p);
+          };
+          call4(scalar, c_ref);
+          call4(ops, c_simd);
+          EXPECT_TRUE(BitwiseEqual(c_ref, c_simd))
+              << ops->name << " gemm_panel4 m=" << m << " p=" << p
+              << " a_step=" << a_step;
+
+          auto c1_ref = RandomBuffer(static_cast<size_t>(p), rng);
+          auto c1_simd = c1_ref;
+          scalar->gemm_panel1(m, p, a.data(), a_step, b.data(), p,
+                              c1_ref.data());
+          ops->gemm_panel1(m, p, a.data(), a_step, b.data(), p,
+                           c1_simd.data());
+          EXPECT_TRUE(BitwiseEqual(c1_ref, c1_simd))
+              << ops->name << " gemm_panel1 m=" << m << " p=" << p
+              << " a_step=" << a_step;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(PrimitivesTest, AxpyDotAndDot8MatchScalarBitwise) {
+  const Ops* scalar = ForIsa(cpu::Isa::kScalar);
+  Rng rng(20260809);
+  for (const Ops* ops : RunnableVariants()) {
+    if (ops->isa == cpu::Isa::kScalar) continue;
+    for (int n : {1, 7, 8, 9, 16, 17, 33, 130}) {
+      auto x = RandomBuffer(static_cast<size_t>(n), rng);
+      auto y_ref = RandomBuffer(static_cast<size_t>(n), rng);
+      auto y_simd = y_ref;
+      const float alpha = static_cast<float>(rng.Uniform(-1.5, 1.5));
+      scalar->axpy(n, alpha, x.data(), y_ref.data());
+      ops->axpy(n, alpha, x.data(), y_simd.data());
+      EXPECT_TRUE(BitwiseEqual(y_ref, y_simd)) << ops->name << " axpy n=" << n;
+    }
+    for (int m : {1, 5, 7, 8, 9, 16, 24, 33, 130}) {
+      const std::size_t stride = static_cast<std::size_t>(m) + 3;
+      auto a = RandomBuffer(static_cast<size_t>(m), rng);
+      auto b = RandomBuffer(stride * 8, rng);
+      auto io_ref = RandomBuffer(8, rng);
+      auto io_simd = io_ref;
+      scalar->dot8(m, a.data(), b.data(), stride, io_ref.data());
+      ops->dot8(m, a.data(), b.data(), stride, io_simd.data());
+      EXPECT_TRUE(BitwiseEqual(io_ref, io_simd))
+          << ops->name << " dot8 m=" << m;
+      const float d_ref = scalar->dot(m, a.data(), b.data());
+      const float d_simd = ops->dot(m, a.data(), b.data());
+      EXPECT_EQ(std::memcmp(&d_ref, &d_simd, sizeof(float)), 0)
+          << ops->name << " dot m=" << m;
+    }
+  }
+}
+
+TEST_F(PrimitivesTest, ReduceMaxClampExpMatchScalar) {
+  const Ops* scalar = ForIsa(cpu::Isa::kScalar);
+  Rng rng(20260810);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (const Ops* ops : RunnableVariants()) {
+    if (ops->isa == cpu::Isa::kScalar) continue;
+    for (int n : {1, 2, 7, 8, 9, 15, 16, 17, 31, 32, 33, 130}) {
+      auto x = RandomBuffer(static_cast<size_t>(n), rng);
+      // reduce_max: value-exact across variants (no NaNs by contract).
+      EXPECT_EQ(scalar->reduce_max(x.size(), x.data()),
+                ops->reduce_max(x.size(), x.data()))
+          << ops->name << " reduce_max n=" << n;
+
+      // clamp: bit-exact, including NaN propagation and signed zeros.
+      auto y_ref = x;
+      auto y_simd = x;
+      if (n >= 3) {
+        y_ref[0] = y_simd[0] = nan;
+        y_ref[1] = y_simd[1] = -0.0f;
+        y_ref[2] = y_simd[2] = 0.0f;
+      }
+      scalar->clamp(y_ref.size(), -0.75f, 0.75f, y_ref.data());
+      ops->clamp(y_simd.size(), -0.75f, 0.75f, y_simd.data());
+      EXPECT_EQ(std::memcmp(y_ref.data(), y_simd.data(),
+                            y_ref.size() * sizeof(float)),
+                0)
+          << ops->name << " clamp n=" << n;
+      if (n >= 3) {
+        EXPECT_TRUE(std::isnan(y_simd[0])) << ops->name;
+      }
+
+      auto e_ref = x;
+      auto e_simd = x;
+      scalar->exp_apply(e_ref.size(), e_ref.data());
+      ops->exp_apply(e_simd.size(), e_simd.data());
+      EXPECT_TRUE(BitwiseEqual(e_ref, e_simd))
+          << ops->name << " exp_apply n=" << n;
+    }
+  }
+}
+
+TEST_F(PrimitivesTest, AdamStepTrajectoryMatchesScalarBitwise) {
+  const Ops* scalar = ForIsa(cpu::Isa::kScalar);
+  const float lr = 0.001f, beta1 = 0.9f, beta2 = 0.999f, eps = 1e-8f;
+  for (const Ops* ops : RunnableVariants()) {
+    if (ops->isa == cpu::Isa::kScalar) continue;
+    for (int count : {1, 7, 8, 9, 16, 17, 33, 257}) {
+      Rng rng(777);  // same trajectory inputs for both runs
+      auto w_ref = RandomBuffer(static_cast<size_t>(count), rng);
+      auto w_simd = w_ref;
+      std::vector<float> m_ref(count, 0.0f), v_ref(count, 0.0f);
+      auto m_simd = m_ref;
+      auto v_simd = v_ref;
+      for (int step = 1; step <= 5; ++step) {
+        const double bc1 = 1.0 - std::pow(static_cast<double>(beta1), step);
+        const double bc2 = 1.0 - std::pow(static_cast<double>(beta2), step);
+        auto g = RandomBuffer(static_cast<size_t>(count), rng);
+        scalar->adam_step(count, lr, beta1, beta2, 1.0f - beta1,
+                          1.0f - beta2, bc1, bc2, eps, w_ref.data(), g.data(),
+                          m_ref.data(), v_ref.data());
+        ops->adam_step(count, lr, beta1, beta2, 1.0f - beta1, 1.0f - beta2,
+                       bc1, bc2, eps, w_simd.data(), g.data(), m_simd.data(),
+                       v_simd.data());
+      }
+      EXPECT_TRUE(BitwiseEqual(w_ref, w_simd))
+          << ops->name << " adam w count=" << count;
+      EXPECT_TRUE(BitwiseEqual(m_ref, m_simd))
+          << ops->name << " adam m count=" << count;
+      EXPECT_TRUE(BitwiseEqual(v_ref, v_simd))
+          << ops->name << " adam v count=" << count;
+    }
+  }
+}
+
+TEST_F(PrimitivesTest, DispatchedMatMulAddMatchesNaivePerIsaAndThreads) {
+  const int ns[] = {1, 3, 8, 33};
+  const int ms[] = {1, 5, 17, 64};
+  const int ps[] = {1, 5, 17, 64};
+  for (cpu::Isa isa : cpu::CompiledIsas()) {
+    if (!cpu::IsaSupported(isa)) {
+      // Not skippable silently: record which tier could not run here.
+      std::fprintf(stderr, "note: %s compiled but unsupported on this CPU\n",
+                   cpu::IsaName(isa));
+      continue;
+    }
+    ASSERT_TRUE(cpu::SetIsaOverride(cpu::IsaName(isa)));
+    ASSERT_EQ(Active().isa, isa);
+    Rng rng(20260811);  // identical inputs for every tier
+    for (int threads : {1, 2, 8}) {
+      SetDefaultThreads(threads);
+      for (int n : ns) {
+        for (int m : ms) {
+          for (int p : ps) {
+            for (bool ta : {false, true}) {
+              for (bool tb : {false, true}) {
+                auto a = RandomBuffer(static_cast<size_t>(n) * m, rng);
+                auto b = RandomBuffer(static_cast<size_t>(m) * p, rng);
+                auto c0 = RandomBuffer(static_cast<size_t>(n) * p, rng);
+                auto expected = c0;
+                auto actual = c0;
+                kernels::MatMulAddNaive(a.data(), b.data(), expected.data(),
+                                        n, m, p, ta, tb);
+                kernels::MatMulAdd(a.data(), b.data(), actual.data(), n, m,
+                                   p, ta, tb);
+                EXPECT_TRUE(BitwiseEqual(expected, actual))
+                    << cpu::IsaName(isa) << " n=" << n << " m=" << m
+                    << " p=" << p << " ta=" << ta << " tb=" << tb
+                    << " threads=" << threads;
+              }
+            }
+          }
+        }
+      }
+    }
+    SetDefaultThreads(1);
+  }
+}
+
+TEST_F(PrimitivesTest, DispatchedMatMulTopKMatchesScalarPerIsaAndThreads) {
+  const int n = 9, m = 24, p = 700, k = 40;  // p straddles the column tile
+  Rng rng(20260812);
+  auto a = RandomBuffer(static_cast<size_t>(n) * m, rng);
+  auto b = RandomBuffer(static_cast<size_t>(p) * m, rng);
+  // Scalar tier at one thread defines the expectation.
+  ASSERT_TRUE(cpu::SetIsaOverride("scalar"));
+  SetDefaultThreads(1);
+  std::vector<kernels::TopKEntry> expected(static_cast<size_t>(n) * k);
+  kernels::MatMulTopK(a.data(), b.data(), n, m, p, k, expected.data());
+  for (cpu::Isa isa : cpu::CompiledIsas()) {
+    if (!cpu::IsaSupported(isa)) continue;
+    ASSERT_TRUE(cpu::SetIsaOverride(cpu::IsaName(isa)));
+    for (int threads : {1, 2, 8}) {
+      SetDefaultThreads(threads);
+      std::vector<kernels::TopKEntry> actual(static_cast<size_t>(n) * k);
+      kernels::MatMulTopK(a.data(), b.data(), n, m, p, k, actual.data());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(expected[i].index, actual[i].index)
+            << cpu::IsaName(isa) << " threads=" << threads << " entry " << i;
+        ASSERT_EQ(std::memcmp(&expected[i].score, &actual[i].score,
+                              sizeof(float)),
+                  0)
+            << cpu::IsaName(isa) << " threads=" << threads << " entry " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace causer::tensor::primitives

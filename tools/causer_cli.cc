@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cpu.h"
 #include "common/fault.h"
 #include "common/flags.h"
 #include "common/metrics.h"
@@ -162,6 +163,10 @@ int PrintHelp() {
       "  --arena=BOOL         Recycle autograd tape memory through "
       "per-step arenas (default on; results are identical either "
       "way).\n"
+      "  --cpu-isa=NAME       Compute-primitive ISA tier: auto, scalar, "
+      "avx2, avx512 (default auto = strongest the CPU supports; beats the "
+      "CAUSER_CPU_ISA env var; unavailable tiers fall back; results are "
+      "bit-identical across tiers — docs/KERNELS.md).\n"
       "  --metrics-out=FILE   Enable metrics and write a JSON registry "
       "snapshot on exit.\n"
       "  --trace-out=FILE     Enable tracing and write Chrome "
@@ -543,6 +548,17 @@ int main(int argc, char** argv) {
   // --arena=false falls back to per-op heap allocation for the autograd
   // tape — the A/B knob behind BENCH_kernels.json's steps/sec comparison.
   causer::tensor::SetArenaEnabled(flags.GetBool("arena", true));
+  // --cpu-isa pins the compute-primitive tier (precedence: this flag >
+  // CAUSER_CPU_ISA > cpuid); installed before any kernel runs so the
+  // one-time dispatch resolution sees it.
+  std::string cpu_isa = flags.GetString("cpu-isa");
+  if (!cpu_isa.empty() && !causer::cpu::SetIsaOverride(cpu_isa)) {
+    std::fprintf(stderr,
+                 "unknown --cpu-isa '%s' (expected auto, scalar, avx2 or "
+                 "avx512)\n",
+                 cpu_isa.c_str());
+    return 2;
+  }
   // Fault injection (testing only): CAUSER_FAULT env var, then the flag.
   causer::fault::ArmFromEnvironment();
   std::string fault_spec = flags.GetString("fault-inject");

@@ -8,6 +8,11 @@
 #   3. The flag tokens printed by `causer_cli --help` exactly match the
 #      README flag table between the causer-cli-flags markers. The help
 #      text (PrintHelp in tools/causer_cli.cc) is the source of truth.
+#   4. The ISA variants registered in the compute-primitive layer (one
+#      src/tensor/primitives/primitives_<isa>.cc translation unit each)
+#      exactly match the tier rows of the docs/KERNELS.md ISA table
+#      between the kernels-isa-table markers. The source tree is the
+#      source of truth: adding or dropping a variant must update the docs.
 #
 # Usage: tools/check_docs.sh [path/to/causer_cli]
 #   Default binary location: build/tools/causer_cli
@@ -70,8 +75,24 @@ elif ! diff <(printf '%s\n' "$help_flags") <(printf '%s\n' "$readme_flags") >/de
   errors=$((errors + 1))
 fi
 
+# --- 4. primitives variants vs docs/KERNELS.md ISA table ---------------
+registered_isas=$(git ls-files 'src/tensor/primitives/primitives_*.cc' |
+  sed -E 's|.*/primitives_([a-z0-9]+)\.cc|\1|' | sort -u)
+doc_isas=$(sed -n '/kernels-isa-table-begin/,/kernels-isa-table-end/p' docs/KERNELS.md |
+  grep -oE '^\| *`[a-z0-9]+`' | tr -d '|` ' | sort -u)
+
+if [ -z "$doc_isas" ]; then
+  echo "docs/KERNELS.md ISA table markers (kernels-isa-table-begin/end) not found" >&2
+  errors=$((errors + 1))
+elif ! diff <(printf '%s\n' "$registered_isas") <(printf '%s\n' "$doc_isas") >/dev/null; then
+  echo "primitives variants drifted from the docs/KERNELS.md ISA table:" >&2
+  echo "(< registered in src/tensor/primitives/, > documented)" >&2
+  diff <(printf '%s\n' "$registered_isas") <(printf '%s\n' "$doc_isas") >&2
+  errors=$((errors + 1))
+fi
+
 if [ "$errors" -ne 0 ]; then
   echo "check_docs: $errors problem(s) found" >&2
   exit 1
 fi
-echo "check_docs: OK (links resolve; docs/ indexed; --help matches README flag table)"
+echo "check_docs: OK (links resolve; docs/ indexed; --help matches README flag table; ISA table matches registered variants)"
