@@ -8,19 +8,27 @@
 //       thread, so the number is the microkernel itself, not parallelism),
 //       with a bitwise-equality check per shape and tier;
 //   (2) TopK: bounded-heap selection vs. a full argsort of the catalog;
-//   (3) end-to-end: GRU4Rec TrainEpoch steps/sec with the arena enabled vs.
+//   (3) fused top-k on the serving shape (32x64 states against a 4096x64
+//       item table, k=10): the fp32 MatMulTopK vs. the unfused
+//       materialize-then-TopK path (smoke gate: fused must not regress
+//       below unfused), and the int8 MatMulTopKQ per ISA tier with a
+//       cross-tier determinism check;
+//   (4) end-to-end: GRU4Rec TrainEpoch steps/sec with the arena enabled vs.
 //       disabled, asserting bit-identical epoch losses either way.
 //
 // Writes a BENCH_kernels.json report (path = argv[last], default
 // ./BENCH_kernels.json) including the resolved ISA selection and the
 // per-tier GFLOP/s rows the docs/KERNELS.md table is refreshed from.
 //
-// `--smoke` shrinks the timed work for CI and turns two checks into the
+// `--smoke` shrinks the timed work for CI and turns three checks into the
 // exit code: packed must not be slower than naive on the large transpose-B
-// shape, and the avx2 tier must beat scalar by kSimdGateMinSpeedup on the
-// same shape (skipped with a notice when the runner lacks AVX2).
+// shape, the avx2 tier must beat scalar by kSimdGateMinSpeedup on the
+// same shape (skipped with a notice when the runner lacks AVX2), and the
+// fused fp32 MatMulTopK must not regress below the unfused
+// materialize-then-TopK path on the serving shape.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <numeric>
@@ -34,6 +42,7 @@
 #include "eval/metrics.h"
 #include "tensor/arena.h"
 #include "tensor/kernels.h"
+#include "tensor/quant.h"
 
 namespace {
 
@@ -380,6 +389,122 @@ int main(int argc, char** argv) {
     }
   }
 
+  // -- Fused top-k on the serving shape: fp32 vs unfused, int8 per tier ----
+  constexpr int kTopKN = 32, kTopKM = 64, kTopKP = 4096, kTopKK = 10;
+  double fused_vs_unfused = 0.0;
+  std::vector<std::string> quant_rows;
+  {
+    Rng rng(11);
+    auto a = RandomBuffer(static_cast<size_t>(kTopKN) * kTopKM, rng);
+    auto b = RandomBuffer(static_cast<size_t>(kTopKP) * kTopKM, rng);
+    tensor::QuantizedMatrix qa, qb;
+    ok = ok && tensor::QuantizeRows(a.data(), kTopKN, kTopKM, &qa) &&
+         tensor::QuantizeRows(b.data(), kTopKP, kTopKM, &qb);
+    const int iters = smoke ? 20 : 200;
+    const int repeats = smoke ? 3 : 5;
+    std::vector<tensor::kernels::TopKEntry> fused(
+        static_cast<size_t>(kTopKN) * kTopKK);
+    std::vector<tensor::kernels::TopKEntry> quant(fused.size());
+    long long sink = 0;
+
+    // Unfused reference on the auto-selected tier: materialize the [B, V]
+    // score matrix, then bounded-heap TopK per row. The fused kernel must
+    // never lose to it — this is the regression assertion guarding the
+    // MatMulTopK tile loop (hoisted tile pointers and all).
+    std::vector<float> score_matrix(static_cast<size_t>(kTopKN) * kTopKP);
+    std::vector<float> row_scores(kTopKP);
+    double best_unfused = 1e30, best_fused_auto = 1e30;
+    for (int r = 0; r < repeats; ++r) {
+      Stopwatch sw;
+      for (int i = 0; i < iters; ++i) {
+        std::fill(score_matrix.begin(), score_matrix.end(), 0.0f);
+        tensor::kernels::MatMulAdd(a.data(), b.data(), score_matrix.data(),
+                                   kTopKN, kTopKM, kTopKP, false, true);
+        for (int row = 0; row < kTopKN; ++row) {
+          const float* src = score_matrix.data() +
+                             static_cast<size_t>(row) * kTopKP;
+          row_scores.assign(src, src + kTopKP);
+          sink += eval::TopK(row_scores, kTopKK)[0];
+        }
+      }
+      best_unfused = std::min(best_unfused, sw.ElapsedSeconds());
+    }
+    for (int r = 0; r < repeats; ++r) {
+      Stopwatch sw;
+      for (int i = 0; i < iters; ++i) {
+        tensor::kernels::MatMulTopK(a.data(), b.data(), kTopKN, kTopKM,
+                                    kTopKP, kTopKK, fused.data());
+        sink += fused[0].index;
+      }
+      best_fused_auto = std::min(best_fused_auto, sw.ElapsedSeconds());
+    }
+    fused_vs_unfused = best_unfused / best_fused_auto;
+
+    // Per-tier rows: fp32 fused vs int8 fused, plus the cross-tier
+    // determinism check (int32 accumulation is exact, so every tier must
+    // reproduce the scalar tier's entries bit-for-bit).
+    std::vector<tensor::kernels::TopKEntry> quant_scalar(quant.size());
+    cpu::SetIsaOverride("scalar");
+    tensor::kernels::MatMulTopKQ(qa.data.data(), qa.scales.data(),
+                                 qb.data.data(), qb.scales.data(), kTopKN,
+                                 kTopKM, kTopKP, kTopKK, quant_scalar.data());
+    std::printf(
+        "\nFused top-k (n=%d, d=%d, catalog %d, k=%d, us per call):\n",
+        kTopKN, kTopKM, kTopKP, kTopKK);
+    std::printf("%-8s %12s %12s %9s %6s\n", "isa", "fp32 us", "int8 us",
+                "speedup", "exact");
+    for (cpu::Isa isa : cpu::CompiledIsas()) {
+      if (!cpu::IsaSupported(isa)) continue;
+      cpu::SetIsaOverride(cpu::IsaName(isa));
+      tensor::kernels::MatMulTopKQ(qa.data.data(), qa.scales.data(),
+                                   qb.data.data(), qb.scales.data(), kTopKN,
+                                   kTopKM, kTopKP, kTopKK, quant.data());
+      bool tier_exact = true;
+      for (size_t e = 0; e < quant.size(); ++e) {
+        tier_exact = tier_exact &&
+                     quant[e].index == quant_scalar[e].index &&
+                     std::memcmp(&quant[e].score, &quant_scalar[e].score,
+                                 sizeof(float)) == 0;
+      }
+      ok = ok && tier_exact;
+      double best_fused = 1e30, best_quant = 1e30;
+      for (int r = 0; r < repeats; ++r) {
+        Stopwatch sw;
+        for (int i = 0; i < iters; ++i) {
+          tensor::kernels::MatMulTopK(a.data(), b.data(), kTopKN, kTopKM,
+                                      kTopKP, kTopKK, fused.data());
+          sink += fused[0].index;
+        }
+        best_fused = std::min(best_fused, sw.ElapsedSeconds());
+      }
+      for (int r = 0; r < repeats; ++r) {
+        Stopwatch sw;
+        for (int i = 0; i < iters; ++i) {
+          tensor::kernels::MatMulTopKQ(qa.data.data(), qa.scales.data(),
+                                       qb.data.data(), qb.scales.data(),
+                                       kTopKN, kTopKM, kTopKP, kTopKK,
+                                       quant.data());
+          sink += quant[0].index;
+        }
+        best_quant = std::min(best_quant, sw.ElapsedSeconds());
+      }
+      std::printf("%-8s %12.1f %12.1f %8.2fx %6s\n", cpu::IsaName(isa),
+                  best_fused / iters * 1e6, best_quant / iters * 1e6,
+                  best_fused / best_quant, tier_exact ? "yes" : "NO");
+      bench::JsonObject row;
+      row.Set("isa", std::string(cpu::IsaName(isa)))
+          .Set("fp32_us_per_call", best_fused / iters * 1e6)
+          .Set("int8_us_per_call", best_quant / iters * 1e6)
+          .Set("int8_speedup", best_fused / best_quant)
+          .Set("matches_scalar_tier", tier_exact);
+      quant_rows.push_back(row.Str());
+    }
+    cpu::SetIsaOverride("auto");
+    if (sink == -1) std::printf("unreachable\n");
+    std::printf("  fp32 fused vs unfused (auto tier): %.2fx\n",
+                fused_vs_unfused);
+  }
+
   std::printf("\nTrainEpoch (GRU4Rec, batch_size 1, single thread):\n");
   TrainResult train = RunTraining(smoke);
   ok = ok && train.losses_bit_identical;
@@ -413,6 +538,14 @@ int main(int argc, char** argv) {
       .SetRaw("cpu_isa", isa_info.Str())
       .SetRaw("gemm", bench::JsonArray(gemm_rows))
       .SetRaw("topk", bench::JsonArray(topk_rows));
+  bench::JsonObject topk_fused_row;
+  topk_fused_row.Set("n", kTopKN)
+      .Set("m", kTopKM)
+      .Set("catalog", kTopKP)
+      .Set("k", kTopKK)
+      .Set("fp32_fused_vs_unfused_speedup", fused_vs_unfused)
+      .SetRaw("quant_variants", bench::JsonArray(quant_rows));
+  report.SetRaw("topk_fused", topk_fused_row.Str());
   bench::JsonObject train_row;
   train_row.Set("workload",
                 std::string("TinySpec scaled to 200 users / 120 items, "
@@ -441,6 +574,13 @@ int main(int argc, char** argv) {
                  "FATAL: packed kernel slower than naive on %s "
                  "(%.2fx)\n",
                  kSmokeGateLabel, gate_speedup);
+    return 1;
+  }
+  if (smoke && fused_vs_unfused < 1.0) {
+    std::fprintf(stderr,
+                 "FATAL: fused MatMulTopK slower than materialize+TopK on "
+                 "the serving shape (%.2fx)\n",
+                 fused_vs_unfused);
     return 1;
   }
   if (smoke) {

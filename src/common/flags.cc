@@ -1,5 +1,6 @@
 #include "common/flags.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace causer {
@@ -40,7 +41,14 @@ int Flags::GetInt(const std::string& name, int fallback) const {
   if (it == values_.end() || it->second.empty()) return fallback;
   char* end = nullptr;
   long v = std::strtol(it->second.c_str(), &end, 10);
-  return (end != nullptr && *end == '\0') ? static_cast<int>(v) : fallback;
+  if (end == nullptr || end == it->second.c_str() || *end != '\0') {
+    // Trailing garbage ("--rerank-k=2kf") must not silently become the
+    // fallback: the caller asked for a number and didn't get one.
+    std::fprintf(stderr, "malformed integer for --%s: '%s'\n", name.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(v);
 }
 
 double Flags::GetDouble(const std::string& name, double fallback) const {
@@ -48,7 +56,12 @@ double Flags::GetDouble(const std::string& name, double fallback) const {
   if (it == values_.end() || it->second.empty()) return fallback;
   char* end = nullptr;
   double v = std::strtod(it->second.c_str(), &end);
-  return (end != nullptr && *end == '\0') ? v : fallback;
+  if (end == nullptr || end == it->second.c_str() || *end != '\0') {
+    std::fprintf(stderr, "malformed number for --%s: '%s'\n", name.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return v;
 }
 
 bool Flags::GetBool(const std::string& name, bool fallback) const {

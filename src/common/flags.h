@@ -24,10 +24,14 @@ class Flags {
   std::string GetString(const std::string& name,
                         const std::string& fallback = "") const;
 
-  /// Integer value of --name, or `fallback` when absent or unparsable.
+  /// Integer value of --name, or `fallback` when the flag is absent or has
+  /// an empty value. A present-but-malformed value (trailing garbage,
+  /// non-numeric) is a usage error: prints to stderr and exits 2 — it must
+  /// never silently become the fallback.
   int GetInt(const std::string& name, int fallback) const;
 
-  /// Double value of --name, or `fallback` when absent or unparsable.
+  /// Double value of --name; same absent/empty fallback and exit-2
+  /// malformed-value contract as GetInt.
   double GetDouble(const std::string& name, double fallback) const;
 
   /// Boolean: true for presence without value or value in

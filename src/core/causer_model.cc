@@ -161,7 +161,10 @@ std::string CauserModel::name() const {
   return n;
 }
 
-void CauserModel::OnParametersRestored() { caches_stale_ = true; }
+void CauserModel::OnParametersRestored() {
+  SequentialRecommender::OnParametersRestored();
+  caches_stale_ = true;
+}
 
 void CauserModel::RefreshCaches() {
   tensor::NoGradGuard guard;

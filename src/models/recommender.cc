@@ -132,6 +132,28 @@ const Tensor* SequentialRecommender::OutputItemTable() const {
   return nullptr;
 }
 
+const tensor::QuantizedMatrix* SequentialRecommender::QuantizedItemTable() {
+  if (!quant_table_built_) {
+    quant_table_built_ = true;
+    const Tensor* table = OutputItemTable();
+    if (table != nullptr && table->rows() > 0) {
+      auto q = std::make_unique<tensor::QuantizedMatrix>();
+      if (tensor::QuantizeRows(table->data().data(), table->rows(),
+                               table->cols(), q.get())) {
+        quant_table_ = std::move(q);
+      }
+      // On failure (non-finite weights) quant_table_ stays null: the
+      // serving engine keeps scoring in fp32 and counts the fallback.
+    }
+  }
+  return quant_table_.get();
+}
+
+void SequentialRecommender::InvalidateQuantizedItemTable() {
+  quant_table_.reset();
+  quant_table_built_ = false;
+}
+
 RepresentationModel::RepresentationModel(const ModelConfig& config)
     : SequentialRecommender(config) {
   out_items_ = std::make_unique<nn::Embedding>(config.num_items,

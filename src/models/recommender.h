@@ -16,6 +16,7 @@
 #include "nn/embedding.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
+#include "tensor/quant.h"
 
 namespace causer::models {
 
@@ -107,7 +108,9 @@ class SequentialRecommender : public nn::Module {
 
   /// Hook invoked by Fit() after restoring the best parameter snapshot;
   /// models with derived caches (Causer's item-level W) invalidate them.
-  virtual void OnParametersRestored() {}
+  /// The base drops the cached quantized item table — overrides should
+  /// call it (or InvalidateQuantizedItemTable) on top of their own work.
+  virtual void OnParametersRestored() { InvalidateQuantizedItemTable(); }
 
   /// Appends the model's training-resume state to `out`: everything beyond
   /// the parameters that the next epoch depends on. The base class covers
@@ -162,6 +165,21 @@ class SequentialRecommender : public nn::Module {
   /// form. Base: nullptr.
   virtual const nn::Tensor* OutputItemTable() const;
 
+  /// Symmetric per-row int8 quantization of OutputItemTable() for the
+  /// serving engine's `--quantize=int8` path (tensor/quant.h), built with
+  /// one absmax calibration pass on first call and cached on the model so
+  /// every engine over the same model shares it. Returns nullptr when the
+  /// model has no single-GEMM form or the table holds non-finite values
+  /// (the engine then stays on fp32). The cache snapshots the weights at
+  /// build time and training never consults it; after any parameter
+  /// change (Fit's best-snapshot restore, checkpoint load), the next
+  /// OnParametersRestored() — or an explicit InvalidateQuantizedItemTable()
+  /// — drops it so the next call recalibrates.
+  const tensor::QuantizedMatrix* QuantizedItemTable();
+
+  /// Drops the cached quantized table (see QuantizedItemTable()).
+  void InvalidateQuantizedItemTable();
+
   const ModelConfig& config() const { return config_; }
 
  protected:
@@ -171,6 +189,12 @@ class SequentialRecommender : public nn::Module {
 
   ModelConfig config_;
   Rng rng_;
+
+ private:
+  /// Lazily built by QuantizedItemTable(); null and not-yet-built states
+  /// are distinguished so a failed quantization is not retried per batch.
+  std::unique_ptr<tensor::QuantizedMatrix> quant_table_;
+  bool quant_table_built_ = false;
 };
 
 /// Base for models that reduce a history to a single representation vector

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <unordered_map>
 #include <utility>
 
@@ -10,6 +11,8 @@
 #include "common/trace.h"
 #include "eval/metrics.h"
 #include "tensor/kernels.h"
+#include "tensor/primitives/primitives.h"
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 
 namespace causer::serve {
@@ -25,10 +28,24 @@ ServingEngine::ServingEngine(models::SequentialRecommender& model,
         // A negative capacity must not silently mean unbounded: the store
         // receives the clamped value, and 0 is the documented "no cap".
         c.max_sessions = std::max(0, c.max_sessions);
+        // A re-rank narrower than the response would drop results.
+        c.rerank_k = std::max(std::max(1, c.top_k), c.rerank_k);
         return c;
       }()),
       store_(model, config_.max_sessions),
-      dispatcher_([this] { DispatcherLoop(); }) {}
+      dispatcher_([this] { DispatcherLoop(); }) {
+  if (config_.quantize_int8) {
+    // Calibrate (or fetch the model's cached) quantized table up front so
+    // the first batch doesn't pay the absmax pass, and so an unquantizable
+    // model is reported once at startup instead of per batch.
+    qtable_ = model_.QuantizedItemTable();
+    if (qtable_ == nullptr) {
+      CAUSER_LOG(Warning)
+          << "int8 scoring requested but " << model_.name()
+          << " has no quantizable item table; serving fp32";
+    }
+  }
+}
 
 ServingEngine::~ServingEngine() { Stop(); }
 
@@ -133,6 +150,64 @@ void ServingEngine::DispatcherLoop() {
   }
 }
 
+bool ServingEngine::ScoreRowsQuantized(
+    const float* reps, int rows, int dim, int vocab,
+    const tensor::Tensor* table, const std::vector<int>& gemm_rows,
+    std::vector<Response>& unique_responses) {
+  std::vector<std::int8_t> qreps(static_cast<size_t>(rows) * dim);
+  std::vector<float> rep_scales(rows);
+  if (!tensor::QuantizeRows(reps, rows, dim, qreps.data(),
+                            rep_scales.data())) {
+    return false;
+  }
+  const int k = config_.top_k;
+  const int kq = std::min(vocab, config_.rerank_k);
+  std::vector<tensor::kernels::TopKEntry> cands(static_cast<size_t>(rows) *
+                                                kq);
+  tensor::kernels::MatMulTopKQ(qreps.data(), rep_scales.data(),
+                               qtable_->data.data(), qtable_->scales.data(),
+                               rows, dim, vocab, kq, cands.data());
+  // Exact fp32 re-rank: ops.dot is the same zero-seeded ascending-k chain
+  // MatMulTopK scores with, so every returned score carries the fp32
+  // path's bits; with rerank_k >= vocab every item is a candidate and the
+  // whole response is provably identical to the fp32 branch.
+  const tensor::primitives::Ops& ops = tensor::primitives::Active();
+  const float* tbl = table->data().data();
+  std::vector<tensor::kernels::TopKEntry> rerank;
+  rerank.reserve(kq);
+  size_t rescored = 0;
+  for (int r = 0; r < rows; ++r) {
+    const float* rep = reps + static_cast<size_t>(r) * dim;
+    const tensor::kernels::TopKEntry* crow =
+        cands.data() + static_cast<size_t>(r) * kq;
+    rerank.clear();
+    for (int j = 0; j < kq && crow[j].index >= 0; ++j) {
+      rerank.push_back(
+          {crow[j].index,
+           ops.dot(dim, rep, tbl + static_cast<size_t>(crow[j].index) * dim)});
+    }
+    rescored += rerank.size();
+    // eval::TopK's total order, same as the kernels' selection heaps.
+    std::sort(rerank.begin(), rerank.end(),
+              [](const tensor::kernels::TopKEntry& x,
+                 const tensor::kernels::TopKEntry& y) {
+                if (x.score != y.score) return x.score > y.score;
+                return x.index < y.index;
+              });
+    Response& response = unique_responses[gemm_rows[r]];
+    const int take = std::min(k, static_cast<int>(rerank.size()));
+    for (int j = 0; j < take; ++j) {
+      response.items.push_back(rerank[j].index);
+      response.scores.push_back(rerank[j].score);
+    }
+  }
+  if (metrics::Enabled()) {
+    ServeMetrics().quant_batches.Add();
+    ServeMetrics().quant_rerank.Add(static_cast<double>(rescored));
+  }
+  return true;
+}
+
 void ServingEngine::ProcessBatch(const std::vector<Pending*>& batch) {
   const bool measure = metrics::Enabled();
   trace::TraceSpan batch_span("serve.batch");
@@ -201,23 +276,33 @@ void ServingEngine::ProcessBatch(const std::vector<Pending*>& batch) {
     } else {
       for (int u = 0; u < num_unique; ++u) fallback.push_back(u);
     }
+    bool quantized = false;
     if (!gemm_rows.empty()) {
       const int rows = static_cast<int>(gemm_rows.size());
       const int dim = table->cols();
       const int vocab = table->rows();
-      std::vector<tensor::kernels::TopKEntry> entries(
-          static_cast<size_t>(rows) * k);
-      tensor::kernels::MatMulTopK(reps.data(), table->data().data(), rows,
-                                  dim, vocab, k, entries.data());
-      for (int r = 0; r < rows; ++r) {
-        Response& response = unique_responses[gemm_rows[r]];
-        const tensor::kernels::TopKEntry* row =
-            entries.data() + static_cast<size_t>(r) * k;
-        for (int j = 0; j < k && row[j].index >= 0; ++j) {
-          response.items.push_back(row[j].index);
-          response.scores.push_back(row[j].score);
+      if (qtable_ != nullptr) {
+        quantized = ScoreRowsQuantized(reps.data(), rows, dim, vocab, table,
+                                       gemm_rows, unique_responses);
+      }
+      if (!quantized) {
+        std::vector<tensor::kernels::TopKEntry> entries(
+            static_cast<size_t>(rows) * k);
+        tensor::kernels::MatMulTopK(reps.data(), table->data().data(), rows,
+                                    dim, vocab, k, entries.data());
+        for (int r = 0; r < rows; ++r) {
+          Response& response = unique_responses[gemm_rows[r]];
+          const tensor::kernels::TopKEntry* row =
+              entries.data() + static_cast<size_t>(r) * k;
+          for (int j = 0; j < k && row[j].index >= 0; ++j) {
+            response.items.push_back(row[j].index);
+            response.scores.push_back(row[j].score);
+          }
         }
       }
+    }
+    if (measure && config_.quantize_int8 && !quantized) {
+      ServeMetrics().quant_fallbacks.Add();
     }
     for (int u : fallback) {
       const std::vector<float> scores =

@@ -25,6 +25,21 @@ struct ServingConfig {
   /// Session-store LRU capacity; 0 = unbounded (negative values are
   /// clamped to 0 by the constructor, like batch_max/top_k).
   int max_sessions = 0;
+  /// Score batches against the model's int8 per-row-quantized item table
+  /// (models::SequentialRecommender::QuantizedItemTable) with an exact
+  /// fp32 re-rank of the best `rerank_k` candidates, instead of the fp32
+  /// table. Returned scores are always fp32-exact; the top-k *set* can
+  /// differ from fp32 only when a true top-k item ranks below rerank_k
+  /// under quantized scoring (docs/KERNELS.md, "Quantized primitives").
+  /// Models without a single-GEMM form fall back to fp32 per-request
+  /// scoring as usual (counted by serve.quant.fallbacks_total).
+  bool quantize_int8 = false;
+  /// Candidates per request surviving the int8 pass into the fp32 re-rank
+  /// under quantize_int8. Clamped to at least top_k; values >= the catalog
+  /// size make the result provably identical to the fp32 path (every
+  /// candidate is re-scored exactly). The default covers any plausible
+  /// quantization-induced rank displacement with big margin.
+  int rerank_k = 2048;
 };
 
 /// One scoring request. Pointed-to data must stay alive until the call
@@ -105,10 +120,23 @@ class ServingEngine {
   /// Advances every request's session, then scores them (batched GEMM +
   /// fused top-k when available). Fills each Pending's response.
   void ProcessBatch(const std::vector<Pending*>& batch);
+  /// Int8 path of ProcessBatch's scoring phase: quantizes the packed
+  /// [rows, dim] reps per row, runs the quantized fused top-rerank_k
+  /// (kernels::MatMulTopKQ) against the cached table, then re-scores the
+  /// surviving candidates exactly in fp32 and fills the responses. Returns
+  /// false — responses untouched, caller runs the fp32 path — when the
+  /// activations cannot be quantized (non-finite values).
+  bool ScoreRowsQuantized(const float* reps, int rows, int dim, int vocab,
+                          const tensor::Tensor* table,
+                          const std::vector<int>& gemm_rows,
+                          std::vector<Response>& unique_responses);
 
   models::SequentialRecommender& model_;
   const ServingConfig config_;
   SessionStore store_;
+  /// Model-owned quantized item table; non-null only under quantize_int8
+  /// with a quantizable model. Read-only during serving.
+  const tensor::QuantizedMatrix* qtable_ = nullptr;
 
   std::mutex mu_;
   std::mutex batch_mu_;  // serializes ProcessBatch (dispatcher vs ScoreBatch)

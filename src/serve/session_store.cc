@@ -39,6 +39,16 @@ ServeMetricsT& ServeMetrics() {
                             "(batched GEMM + fused top-k, or per-request "
                             "fallback).",
                             metrics::ExponentialBuckets(1e-6, 10.0, 8)),
+      metrics::GetCounter("serve.quant.batches_total", "batches",
+                          "Micro-batches scored through the int8 quantized "
+                          "GEMM + fp32 re-rank path."),
+      metrics::GetCounter("serve.quant.rerank_candidates_total", "candidates",
+                          "Int8 top-k candidates re-scored exactly in fp32 "
+                          "before the final selection."),
+      metrics::GetCounter("serve.quant.fallbacks_total", "batches",
+                          "Micro-batches that requested int8 scoring but ran "
+                          "fp32 (no quantized table, or non-finite "
+                          "activations)."),
   };
   return m;
 }

@@ -26,6 +26,9 @@ struct ServeMetricsT {
   metrics::Histogram& request_seconds;  ///< serve.request_seconds
   metrics::Histogram& advance_seconds;  ///< serve.advance_seconds
   metrics::Histogram& score_seconds;    ///< serve.score_seconds
+  metrics::Counter& quant_batches;      ///< serve.quant.batches_total
+  metrics::Counter& quant_rerank;       ///< serve.quant.rerank_candidates_total
+  metrics::Counter& quant_fallbacks;    ///< serve.quant.fallbacks_total
 };
 
 /// The shared serving instrument group.

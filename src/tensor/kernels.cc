@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/metrics.h"
@@ -256,25 +258,141 @@ void TopKRows(const float* a, const float* b, int row_begin, int row_end,
   for (int i = row_begin; i < row_end; ++i) {
     const float* ai = a + static_cast<size_t>(i) * m;
     heap.clear();
+    // One running B-row pointer instead of a b + j*m recomputation per
+    // offer: the multiply is loop-invariant per tile and the stride per
+    // step is constant.
+    const float* bj = b;
     for (int jt = 0; jt < p; jt += kTopKTile) {
       const int jend = jt + kTopKTile < p ? jt + kTopKTile : p;
       int j = jt;
-      for (; j + 8 <= jend; j += 8) {
+      for (; j + 8 <= jend; j += 8, bj += 8 * static_cast<size_t>(m)) {
         // Eight ascending-k accumulator chains from zero — per column the
         // exact rounding sequence of MatMulAddNaive on a zeroed output.
         float scores[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-        ops.dot8(m, ai, b + static_cast<size_t>(j) * m, /*stride=*/m,
-                 scores);
+        ops.dot8(m, ai, bj, /*stride=*/m, scores);
         for (int l = 0; l < 8; ++l) offer(j + l, scores[l]);
       }
-      for (; j < jend; ++j) {
-        offer(j, ops.dot(m, ai, b + static_cast<size_t>(j) * m));
+      for (; j < jend; ++j, bj += m) {
+        offer(j, ops.dot(m, ai, bj));
       }
     }
     std::sort(heap.begin(), heap.end(), BetterEntry);
     TopKEntry* orow = out + static_cast<size_t>(i) * k;
     for (int r = 0; r < k; ++r) {
       orow[r] = r < static_cast<int>(heap.size()) ? heap[r] : TopKEntry{};
+    }
+  }
+}
+
+/// Int8 counterpart of TopKRows: same column tiling and the same
+/// (score, index) total order — but each tile's scores come from one
+/// gemm_panel_s8 call (exact int32 dots of the quantized codes), and the
+/// dequantize + threshold scan runs inside ops.dequant_filter, which
+/// hands back only the surviving tile positions. The filter's score
+/// expression acc * (a_scale * b_scale) is bit-identical on every tier,
+/// so the quantized scores — while approximations of the fp32 ones — are
+/// identical on every ISA tier and thread count.
+void TopKRowsQ(const std::int8_t* a, const float* a_scales,
+               const std::int8_t* b, const float* b_scales, int row_begin,
+               int row_end, int m, int p, int k, TopKEntry* out) {
+  const primitives::Ops& ops = primitives::Active();
+  const int rows = row_end - row_begin;
+  const int tile = kTopKTile < p ? kTopKTile : p;
+  std::vector<std::int32_t> acc(tile);
+  std::vector<std::int32_t> idx(tile);
+  // The tile loop is OUTER and the row loop inner — the opposite of
+  // TopKRows. The int8 panel is memory-bound, not compute-bound: with
+  // rows outer, every row re-streams the whole code table; with tiles
+  // outer, one tile of codes (kTopKTile * m bytes, cache-resident) is
+  // scored against every row in the shard before moving on, so the shard
+  // reads the table once. Selection state is therefore kept per row.
+  //
+  // Selection also differs from TopKRows' heap: the serving path asks
+  // for rerank_k candidates (64-2048), and at that k the per-insert heap
+  // rebalancing dominates the kernel. Instead, every filter survivor
+  // appends unconditionally (no per-element compare at all), and an
+  // nth_element compaction at tile boundaries re-tightens the filter
+  // threshold once the buffer crosses cap. The filter only ever drops
+  // scores strictly below an exact kth-best-so-far — a discard in
+  // BetterEntry's total order regardless of index — and everything else
+  // stays buffered until a compaction judges it, so the selection is
+  // identical to the heap's.
+  const std::size_t cap = 4 * static_cast<std::size_t>(k);
+  // Per-row buffers live in one flat slab: between the compaction checks
+  // at tile boundaries a buffer holds at most cap-1 entries plus one
+  // tile's survivors, so slot size cap+tile is a hard bound and the call
+  // makes one allocation instead of one per row.
+  const std::size_t slot = cap + static_cast<std::size_t>(tile);
+  std::vector<TopKEntry> slab(slot * static_cast<std::size_t>(rows));
+  std::vector<int> len(rows, 0);
+  std::vector<float> thr(rows, -std::numeric_limits<float>::infinity());
+  auto compact = [&](int r) {
+    TopKEntry* buf = slab.data() + slot * static_cast<std::size_t>(r);
+    std::nth_element(buf, buf + (k - 1), buf + len[r], BetterEntry);
+    thr[r] = buf[k - 1].score;
+    len[r] = k;
+  };
+  std::vector<float> scores(tile);
+  std::vector<float> scratch(tile);
+  const std::int8_t* bt = b;
+  for (int jt = 0; jt < p;
+       jt += kTopKTile, bt += static_cast<size_t>(kTopKTile) * m) {
+    const int tp = jt + kTopKTile < p ? kTopKTile : p - jt;
+    const float* bs = b_scales + jt;
+    for (int r = 0; r < rows; ++r) {
+      const int i = row_begin + r;
+      const std::int8_t* ai = a + static_cast<size_t>(i) * m;
+      const float ascale = a_scales[i];
+      ops.gemm_panel_s8(m, tp, ai, bt, /*stride=*/m, acc.data());
+      TopKEntry* buf = slab.data() + slot * static_cast<std::size_t>(r);
+      int n_buf = len[r];
+      if (jt == 0 && k < tp) {
+        // Prime the threshold from a prefix of the first tile: with thr
+        // still at -inf the filter would pass the whole tile into the
+        // buffer. The kth-largest of a prefix can only be <= the
+        // kth-largest of anything containing it, so it is a valid (if
+        // slightly loose) threshold and the >= filter keeps a superset
+        // of the true top k — priming changes nothing about which
+        // candidates are exact-best. A 4k prefix keeps the nth_element
+        // small while leaving the threshold tight enough.
+        const int prime = static_cast<int>(cap) < tp ? static_cast<int>(cap)
+                                                     : tp;
+        for (int l = 0; l < prime; ++l) {
+          scores[l] = static_cast<float>(acc[l]) * (ascale * bs[l]);
+        }
+        std::copy(scores.begin(), scores.begin() + prime, scratch.begin());
+        std::nth_element(scratch.begin(), scratch.begin() + (k - 1),
+                         scratch.begin() + prime, std::greater<float>());
+        thr[r] = scratch[k - 1];
+        for (int l = 0; l < prime; ++l) {
+          if (scores[l] >= thr[r]) buf[n_buf++] = TopKEntry{l, scores[l]};
+        }
+        const int cnt =
+            ops.dequant_filter(tp - prime, acc.data() + prime, bs + prime,
+                               ascale, thr[r], idx.data(), scores.data());
+        for (int t = 0; t < cnt; ++t) {
+          buf[n_buf++] = TopKEntry{prime + idx[t], scores[t]};
+        }
+      } else {
+        const int cnt = ops.dequant_filter(tp, acc.data(), bs, ascale, thr[r],
+                                           idx.data(), scores.data());
+        for (int t = 0; t < cnt; ++t) {
+          buf[n_buf++] = TopKEntry{jt + idx[t], scores[t]};
+        }
+      }
+      len[r] = n_buf;
+      if (static_cast<std::size_t>(n_buf) >= cap) compact(r);
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    TopKEntry* buf = slab.data() + slot * static_cast<std::size_t>(r);
+    // Shrink to the k best before sorting so the sort never touches the
+    // beaten tail the buffer may still hold.
+    if (len[r] > k) compact(r);
+    std::sort(buf, buf + len[r], BetterEntry);
+    TopKEntry* orow = out + static_cast<size_t>(row_begin + r) * k;
+    for (int rr = 0; rr < k; ++rr) {
+      orow[rr] = rr < len[r] ? buf[rr] : TopKEntry{};
     }
   }
 }
@@ -293,6 +411,19 @@ void MatMulTopK(const float* a, const float* b, int n, int m, int p, int k,
     });
   } else {
     TopKRows(a, b, 0, n, m, p, k, out);
+  }
+}
+
+void MatMulTopKQ(const std::int8_t* a, const float* a_scales,
+                 const std::int8_t* b, const float* b_scales, int n, int m,
+                 int p, int k, TopKEntry* out) {
+  if (n <= 0 || k <= 0) return;
+  if (ShouldParallelize(n, m, p)) {
+    DefaultPool().ParallelFor(0, n, [&](int row_begin, int row_end) {
+      TopKRowsQ(a, a_scales, b, b_scales, row_begin, row_end, m, p, k, out);
+    });
+  } else {
+    TopKRowsQ(a, a_scales, b, b_scales, 0, n, m, p, k, out);
   }
 }
 

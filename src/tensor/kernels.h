@@ -1,6 +1,8 @@
 #ifndef CAUSER_TENSOR_KERNELS_H_
 #define CAUSER_TENSOR_KERNELS_H_
 
+#include <cstdint>
+
 namespace causer::tensor::kernels {
 
 /// One selected candidate of a fused score-and-select row: the candidate's
@@ -67,6 +69,25 @@ void MatMulAdd(const float* a, const float* b, float* c, int n, int m, int p,
 /// row keep {index = -1, score = 0}.
 void MatMulTopK(const float* a, const float* b, int n, int m, int p, int k,
                 TopKEntry* out);
+
+/// Quantized sibling of MatMulTopK for the int8 scoring path: A and B are
+/// symmetric per-row int8 quantizations (codes in [-127, 127] with fp32
+/// row scales — tensor/quant.h), and each candidate's score is the exact
+/// int32 dot of the codes dequantized once:
+///   score(i, j) = (float)sum_k a[i*m+k]*b[j*m+k] * (a_scales[i] * b_scales[j])
+/// Tiling, the bounded per-row heap, the (score desc, index asc) selection
+/// order, and the k > p tail behavior match MatMulTopK exactly.
+///
+/// Exactness: the int32 accumulation is exact, and the two fp32 multiplies
+/// happen in a fixed order in baseline-compiled code — so the output is
+/// bit-identical across ISA tiers and thread counts. The scores themselves
+/// are *quantized approximations* of the fp32 inner products; callers that
+/// need fp32-exact scores re-rank the returned candidates with ops.dot
+/// (see serve::ServingEngine and docs/KERNELS.md "Quantized primitives").
+/// Requires m <= 65536 so |sum| stays inside int32.
+void MatMulTopKQ(const std::int8_t* a, const float* a_scales,
+                 const std::int8_t* b, const float* b_scales, int n, int m,
+                 int p, int k, TopKEntry* out);
 
 }  // namespace causer::tensor::kernels
 

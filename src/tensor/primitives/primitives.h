@@ -2,6 +2,7 @@
 #define CAUSER_TENSOR_PRIMITIVES_PRIMITIVES_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/cpu.h"
 
@@ -37,8 +38,15 @@
 /// Two documented exceptions: `reduce_max` is value-exact (`==`) but may
 /// return the other sign of zero when +0 and -0 tie for the maximum, and
 /// `exp_apply` stays scalar libm in every variant (there is no
-/// bit-compatible vector exp; it exists here so the future int8 path can
-/// swap in a tolerance-gated one behind the same dispatch point).
+/// bit-compatible vector exp; it exists here so a tolerance-gated path
+/// can swap one in behind the same dispatch point).
+///
+/// The int8 members (`dot8_s8`, `gemm_panel_s8`) sit outside the fp32
+/// contract in the best way: int32 accumulation is exact, so they are
+/// bit-identical across tiers by arithmetic even though the vector
+/// variants reassociate freely. The *scores* built from them are
+/// quantized — that approximation and its fp32 re-rank guarantee are
+/// documented in docs/KERNELS.md "Quantized primitives".
 ///
 /// The contract is enforced by tests/primitives_test.cc (every compiled
 /// variant vs. scalar, GEMM/Adam/TopK, threads 1/2/8) and documented for
@@ -122,6 +130,52 @@ struct Ops {
   /// x[i] = exp(x[i]) via scalar std::exp in every variant — see the
   /// contract note above.
   void (*exp_apply)(std::size_t n, float* x);
+
+  // ---- Int8 primitives (quantized scoring path) ------------------------
+  //
+  // These accumulate in int32, where addition is exact and associative —
+  // so unlike the fp32 primitives above, variants are free to widen,
+  // reassociate, and horizontally reduce, and every tier still returns
+  // identical integers by arithmetic rather than by lockstep ordering.
+  // The caller keeps the reduction inside int32: |sum| <= 127*127*m, so
+  // any m <= 65536 is safe with a wide margin (catalog dims here are far
+  // smaller). Scale math and the accuracy contract of the scores built
+  // from these live in docs/KERNELS.md "Quantized primitives".
+
+  /// Eight interleaved int8 dot products against eight consecutive rows
+  /// of a row-major int8 matrix: for lane l in 0..7,
+  ///   io[l] += sum_k (int32)a[k] * (int32)b[l*stride + k]
+  /// with io[l] seeding lane l's accumulator (pass zeros for a
+  /// from-scratch dot). The int8 counterpart of dot8; the AVX variants
+  /// use the abs/sign trick (a*b == |a| * sign-adjusted b) so vpmaddubsw
+  /// pair-sums apply, which cannot saturate with codes clamped to
+  /// [-127, 127] (pair sums <= 2*127^2 = 32258 < 32767).
+  void (*dot8_s8)(int m, const std::int8_t* a, const std::int8_t* b,
+                  std::size_t stride, std::int32_t* io);
+
+  /// p from-scratch int8 dots of one activation row against p consecutive
+  /// rows of a row-major int8 matrix:
+  ///   out[j] = sum_k (int32)a[k] * (int32)b[j*stride + k],  j in [0,p)
+  /// — the tile body of kernels::MatMulTopKQ.
+  void (*gemm_panel_s8)(int m, int p, const std::int8_t* a,
+                        const std::int8_t* b, std::size_t stride,
+                        std::int32_t* out);
+
+  /// Dequantizing threshold filter over a gemm_panel_s8 tile: writes to
+  /// out_idx (ascending) every position l in [0, n) whose score
+  ///   (float)acc[l] * (a_scale * b_scales[l])
+  /// compares >= threshold, writes the same positions' scores to
+  /// out_scores, and returns the count. Each lane's score is the same
+  /// two-rounding fp32 expression the scalar tier evaluates, so the
+  /// selected set and its score bits are identical on every tier; pass
+  /// threshold = -infinity to keep all n. This is the survivor scan of
+  /// kernels::MatMulTopKQ — vector tiers turn the per-element branch
+  /// into a compare mask (AVX-512 compress-stores both streams) and the
+  /// caller never touches positions that fail.
+  int (*dequant_filter)(int n, const std::int32_t* acc,
+                        const float* b_scales, float a_scale,
+                        float threshold, std::int32_t* out_idx,
+                        float* out_scores);
 };
 
 /// The dispatch point: the table for cpu::ActiveIsa(). First call

@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <immintrin.h>
 
 #include "tensor/primitives/variants.h"
@@ -311,6 +312,149 @@ void ExpApply(std::size_t n, float* x) {
   for (std::size_t i = 0; i < n; ++i) x[i] = std::exp(x[i]);
 }
 
+// ---------------------------------------------------------------------------
+// Int8 primitives. int32 accumulation is exact and associative, so unlike
+// the fp32 kernels above these may reassociate and horizontally reduce
+// freely — every tier returns the same integers by arithmetic
+// (primitives.h). Widening is vpmovsxbw + vpmaddwd: sign-extend both
+// operands to int16, multiply into pairwise-summed int32 lanes. With
+// codes clamped to [-127, 127] a pair sum is at most 2*127*127, so
+// vpmaddwd never saturates on this input (vpmaddubsw would — its int16
+// pair sums of u8*s8 products can exceed 32767, which is why the u8
+// flavor is not used here).
+
+inline std::int32_t HsumEpi32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+/// Row sums of four 8-lane int32 accumulators in one vector: a hadd tree
+/// beats four independent horizontal reductions (integer addition is
+/// associative, so any reduction order yields the same bits).
+inline __m128i Hsum4Epi32(__m256i a, __m256i b, __m256i c, __m256i d) {
+  const __m256i h = _mm256_hadd_epi32(_mm256_hadd_epi32(a, b),
+                                      _mm256_hadd_epi32(c, d));
+  return _mm_add_epi32(_mm256_castsi256_si128(h),
+                       _mm256_extracti128_si256(h, 1));
+}
+
+void Dot8S8(int m, const std::int8_t* a, const std::int8_t* b,
+            std::size_t stride, std::int32_t* io) {
+  // abs/sign + maddubs trick: a[i]*b[i] == |a[i]| * (b[i] sign-adjusted by
+  // a[i]), with |a| as the unsigned maddubs operand. Codes are clamped to
+  // [-127, 127], so each int16 pair sum is at most 2 * 127^2 = 32258 —
+  // maddubs cannot saturate, and the int32 result is exact. Eight row
+  // accumulators share each |a| chunk, so the per-row cost is one load,
+  // one sign, one maddubs, one widen-add.
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc[8];
+  for (int l = 0; l < 8; ++l) acc[l] = _mm256_setzero_si256();
+  int k = 0;
+  for (; k + 32 <= m; k += 32) {
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
+    const __m256i aabs = _mm256_abs_epi8(av);
+    for (int l = 0; l < 8; ++l) {
+      const __m256i bv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          b + static_cast<std::size_t>(l) * stride + k));
+      // sign(b, a) also zeroes lanes where a == 0, matching a*b == 0.
+      const __m256i prod16 =
+          _mm256_maddubs_epi16(aabs, _mm256_sign_epi8(bv, av));
+      acc[l] = _mm256_add_epi32(acc[l], _mm256_madd_epi16(prod16, ones));
+    }
+  }
+  std::int32_t sums[8];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(sums),
+                   Hsum4Epi32(acc[0], acc[1], acc[2], acc[3]));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(sums + 4),
+                   Hsum4Epi32(acc[4], acc[5], acc[6], acc[7]));
+  std::int32_t tail[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (; k < m; ++k) {
+    const std::int32_t ak = a[k];
+    for (int l = 0; l < 8; ++l) {
+      tail[l] += ak * b[static_cast<std::size_t>(l) * stride + k];
+    }
+  }
+  for (int l = 0; l < 8; ++l) io[l] += sums[l] + tail[l];
+}
+
+std::int32_t DotS8(int m, const std::int8_t* a, const std::int8_t* b) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc = _mm256_setzero_si256();
+  int k = 0;
+  for (; k + 32 <= m; k += 32) {
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + k));
+    const __m256i prod16 =
+        _mm256_maddubs_epi16(_mm256_abs_epi8(av), _mm256_sign_epi8(bv, av));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(prod16, ones));
+  }
+  std::int32_t sum = HsumEpi32(acc);
+  for (; k < m; ++k) {
+    sum += static_cast<std::int32_t>(a[k]) * static_cast<std::int32_t>(b[k]);
+  }
+  return sum;
+}
+
+void GemmPanelS8(int m, int p, const std::int8_t* a, const std::int8_t* b,
+                 std::size_t stride, std::int32_t* out) {
+  int j = 0;
+  for (; j + 8 <= p; j += 8) {
+    std::int32_t acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    Dot8S8(m, a, b + static_cast<std::size_t>(j) * stride, stride, acc);
+    for (int l = 0; l < 8; ++l) out[j + l] = acc[l];
+  }
+  for (; j < p; ++j) {
+    out[j] = DotS8(m, a, b + static_cast<std::size_t>(j) * stride);
+  }
+}
+
+// Dequantize + threshold in one pass: eight scores per compare mask, and
+// only passing lanes take the bit-scan path. The score expression keeps
+// the scalar tier's two-rounding order (a_scale * b_scales first, then
+// the product with the converted accumulator), so the mask and the
+// emitted score bits are exact.
+int DequantFilter(int n, const std::int32_t* acc, const float* b_scales,
+                  float a_scale, float threshold, std::int32_t* out_idx,
+                  float* out_scores) {
+  const __m256 as = _mm256_set1_ps(a_scale);
+  const __m256 thr = _mm256_set1_ps(threshold);
+  alignas(32) float lane[8];
+  int count = 0;
+  int l = 0;
+  for (; l + 8 <= n; l += 8) {
+    const __m256 score = _mm256_mul_ps(
+        _mm256_cvtepi32_ps(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + l))),
+        _mm256_mul_ps(as, _mm256_loadu_ps(b_scales + l)));
+    int mask = _mm256_movemask_ps(_mm256_cmp_ps(score, thr, _CMP_GE_OQ));
+    if (mask) {
+      _mm256_store_ps(lane, score);
+      do {
+        const int bit = __builtin_ctz(mask);
+        out_idx[count] = l + bit;
+        out_scores[count] = lane[bit];
+        ++count;
+        mask &= mask - 1;
+      } while (mask);
+    }
+  }
+  for (; l < n; ++l) {
+    const float score = static_cast<float>(acc[l]) * (a_scale * b_scales[l]);
+    if (score >= threshold) {
+      out_idx[count] = l;
+      out_scores[count] = score;
+      ++count;
+    }
+  }
+  return count;
+}
+
 }  // namespace
 
 const Ops kAvx2Ops = {
@@ -325,6 +469,9 @@ const Ops kAvx2Ops = {
     /*reduce_max=*/ReduceMax,
     /*clamp=*/Clamp,
     /*exp_apply=*/ExpApply,
+    /*dot8_s8=*/Dot8S8,
+    /*gemm_panel_s8=*/GemmPanelS8,
+    /*dequant_filter=*/DequantFilter,
 };
 
 }  // namespace causer::tensor::primitives

@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <immintrin.h>
 
 #include "tensor/primitives/variants.h"
@@ -327,6 +328,202 @@ void ExpApply(std::size_t n, float* x) {
   for (std::size_t i = 0; i < n; ++i) x[i] = std::exp(x[i]);
 }
 
+// ---------------------------------------------------------------------------
+// Int8 primitives. 256-bit copies of the AVX2 variants (internal linkage
+// per the comdat-folding rule — see variants.h): the 512-bit byte/word
+// widening ops (vpmovsxbw zmm, vpmaddwd zmm) live in AVX512BW, which this
+// TU deliberately does not require (-mavx512f only). int32 accumulation
+// is exact, so these return the same integers as every other tier by
+// arithmetic (primitives.h).
+
+inline std::int32_t HsumEpi32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+/// Row sums of four 8-lane int32 accumulators in one vector: a hadd tree
+/// beats four independent horizontal reductions (integer addition is
+/// associative, so any reduction order yields the same bits).
+inline __m128i Hsum4Epi32(__m256i a, __m256i b, __m256i c, __m256i d) {
+  const __m256i h = _mm256_hadd_epi32(_mm256_hadd_epi32(a, b),
+                                      _mm256_hadd_epi32(c, d));
+  return _mm_add_epi32(_mm256_castsi256_si128(h),
+                       _mm256_extracti128_si256(h, 1));
+}
+
+void Dot8S8(int m, const std::int8_t* a, const std::int8_t* b,
+            std::size_t stride, std::int32_t* io) {
+  // abs/sign + maddubs, same as the avx2 tier (256-bit: the byte/word ops
+  // would need AVX512BW at 512 bits). Codes clamped to [-127, 127] keep
+  // every int16 pair sum <= 2 * 127^2 = 32258, so maddubs cannot saturate.
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc[8];
+  for (int l = 0; l < 8; ++l) acc[l] = _mm256_setzero_si256();
+  int k = 0;
+  for (; k + 32 <= m; k += 32) {
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
+    const __m256i aabs = _mm256_abs_epi8(av);
+    for (int l = 0; l < 8; ++l) {
+      const __m256i bv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          b + static_cast<std::size_t>(l) * stride + k));
+      const __m256i prod16 =
+          _mm256_maddubs_epi16(aabs, _mm256_sign_epi8(bv, av));
+      acc[l] = _mm256_add_epi32(acc[l], _mm256_madd_epi16(prod16, ones));
+    }
+  }
+  std::int32_t sums[8];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(sums),
+                   Hsum4Epi32(acc[0], acc[1], acc[2], acc[3]));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(sums + 4),
+                   Hsum4Epi32(acc[4], acc[5], acc[6], acc[7]));
+  std::int32_t tail[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (; k < m; ++k) {
+    const std::int32_t ak = a[k];
+    for (int l = 0; l < 8; ++l) {
+      tail[l] += ak * b[static_cast<std::size_t>(l) * stride + k];
+    }
+  }
+  for (int l = 0; l < 8; ++l) io[l] += sums[l] + tail[l];
+}
+
+std::int32_t DotS8(int m, const std::int8_t* a, const std::int8_t* b) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc = _mm256_setzero_si256();
+  int k = 0;
+  for (; k + 32 <= m; k += 32) {
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + k));
+    const __m256i prod16 =
+        _mm256_maddubs_epi16(_mm256_abs_epi8(av), _mm256_sign_epi8(bv, av));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(prod16, ones));
+  }
+  std::int32_t sum = HsumEpi32(acc);
+  for (; k < m; ++k) {
+    sum += static_cast<std::int32_t>(a[k]) * static_cast<std::int32_t>(b[k]);
+  }
+  return sum;
+}
+
+// Full-width VNNI panel, selected at runtime when the CPU also has
+// AVX512VNNI (the TU itself still only requires -mavx512f; this function
+// carries its own target attribute). vpdpbusd wants an unsigned left
+// operand, so the *item* rows are biased by +128 and the shared
+// activation rides the signed side:
+//   dpbusd(b ^ 0x80, a) = sum (b+128)*a = sum a*b + 128 * sum a
+// The correction 128 * sum a depends only on the activation, so it is
+// one scalar computed per call and subtracted from every dot — the
+// panel's inner loop is one load + xor + dpbusd per 64 codes.
+// Everything stays in int32: |sum (b+128)*a| <= 255*127*m and the
+// correction <= 128*127*m both fit for any m <= 65536 (the documented
+// bound), so the corrected dots match every other tier bit-for-bit by
+// integer arithmetic.
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void GemmPanelS8Vnni(
+    int m, int p, const std::int8_t* a, const std::int8_t* b,
+    std::size_t stride, std::int32_t* out) {
+  const __m512i bias = _mm512_set1_epi8(static_cast<char>(0x80));
+  const int mb = m & ~63;
+  std::int32_t suma = 0;
+  for (int k = 0; k < mb; ++k) suma += a[k];
+  const std::int32_t corr = suma * 128;
+  int j = 0;
+  for (; j + 8 <= p; j += 8) {
+    const std::int8_t* bj = b + static_cast<std::size_t>(j) * stride;
+    __m512i dp[8];
+    for (int l = 0; l < 8; ++l) dp[l] = _mm512_setzero_si512();
+    for (int k = 0; k < mb; k += 64) {
+      const __m512i av = _mm512_loadu_si512(a + k);
+      for (int l = 0; l < 8; ++l) {
+        const __m512i bu = _mm512_xor_si512(
+            _mm512_loadu_si512(bj + static_cast<std::size_t>(l) * stride + k),
+            bias);
+        dp[l] = _mm512_dpbusd_epi32(dp[l], bu, av);
+      }
+    }
+    __m256i h[8];
+    for (int l = 0; l < 8; ++l) {
+      h[l] = _mm256_add_epi32(_mm512_castsi512_si256(dp[l]),
+                              _mm512_extracti64x4_epi64(dp[l], 1));
+    }
+    std::int32_t sums[8];
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(sums),
+                     Hsum4Epi32(h[0], h[1], h[2], h[3]));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(sums + 4),
+                     Hsum4Epi32(h[4], h[5], h[6], h[7]));
+    for (int l = 0; l < 8; ++l) {
+      std::int32_t s = sums[l] - corr;
+      const std::int8_t* bl = bj + static_cast<std::size_t>(l) * stride;
+      for (int k = mb; k < m; ++k) {
+        s += static_cast<std::int32_t>(a[k]) * static_cast<std::int32_t>(bl[k]);
+      }
+      out[j + l] = s;
+    }
+  }
+  for (; j < p; ++j) {
+    out[j] = DotS8(m, a, b + static_cast<std::size_t>(j) * stride);
+  }
+}
+
+void GemmPanelS8(int m, int p, const std::int8_t* a, const std::int8_t* b,
+                 std::size_t stride, std::int32_t* out) {
+  static const bool kHasVnni = __builtin_cpu_supports("avx512vnni") != 0;
+  if (kHasVnni) {
+    GemmPanelS8Vnni(m, p, a, b, stride, out);
+    return;
+  }
+  int j = 0;
+  for (; j + 8 <= p; j += 8) {
+    std::int32_t acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    Dot8S8(m, a, b + static_cast<std::size_t>(j) * stride, stride, acc);
+    for (int l = 0; l < 8; ++l) out[j + l] = acc[l];
+  }
+  for (; j < p; ++j) {
+    out[j] = DotS8(m, a, b + static_cast<std::size_t>(j) * stride);
+  }
+}
+
+// Full-width dequantize + threshold: sixteen scores per k-mask, AVX512F
+// only (cvtepi32_ps, mul_ps, cmp_ps_mask, and the two compress-stores
+// are all F). Survivors stream out branch-free: one compress-store for
+// the scores, one for the lane indices, and a popcount advances the
+// cursor. Same two-rounding score expression as the scalar tier, so the
+// mask and the emitted score bits are exact.
+int DequantFilter(int n, const std::int32_t* acc, const float* b_scales,
+                  float a_scale, float threshold, std::int32_t* out_idx,
+                  float* out_scores) {
+  const __m512 as = _mm512_set1_ps(a_scale);
+  const __m512 thr = _mm512_set1_ps(threshold);
+  const __m512i step = _mm512_set1_epi32(16);
+  __m512i lane = _mm512_set_epi32(15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3,
+                                  2, 1, 0);
+  int count = 0;
+  int l = 0;
+  for (; l + 16 <= n; l += 16) {
+    const __m512 score = _mm512_mul_ps(
+        _mm512_cvtepi32_ps(_mm512_loadu_si512(acc + l)),
+        _mm512_mul_ps(as, _mm512_loadu_ps(b_scales + l)));
+    const __mmask16 mask = _mm512_cmp_ps_mask(score, thr, _CMP_GE_OQ);
+    _mm512_mask_compressstoreu_ps(out_scores + count, mask, score);
+    _mm512_mask_compressstoreu_epi32(out_idx + count, mask, lane);
+    count += __builtin_popcount(mask);
+    lane = _mm512_add_epi32(lane, step);
+  }
+  for (; l < n; ++l) {
+    const float score = static_cast<float>(acc[l]) * (a_scale * b_scales[l]);
+    if (score >= threshold) {
+      out_idx[count] = l;
+      out_scores[count] = score;
+      ++count;
+    }
+  }
+  return count;
+}
+
 }  // namespace
 
 const Ops kAvx512Ops = {
@@ -341,6 +538,9 @@ const Ops kAvx512Ops = {
     /*reduce_max=*/ReduceMax,
     /*clamp=*/Clamp,
     /*exp_apply=*/ExpApply,
+    /*dot8_s8=*/Dot8S8,
+    /*gemm_panel_s8=*/GemmPanelS8,
+    /*dequant_filter=*/DequantFilter,
 };
 
 }  // namespace causer::tensor::primitives

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 #include "tensor/primitives/variants.h"
 
@@ -113,6 +114,52 @@ void ExpApply(std::size_t n, float* x) {
   for (std::size_t i = 0; i < n; ++i) x[i] = std::exp(x[i]);
 }
 
+// The int32 reference the vector s8 variants must match by arithmetic:
+// plain ascending-k sums of widened int8 products (exact, so the order
+// here is documentation, not a constraint on the other tiers).
+void Dot8S8(int m, const std::int8_t* a, const std::int8_t* b,
+            std::size_t stride, std::int32_t* io) {
+  for (int l = 0; l < 8; ++l) {
+    const std::int8_t* bl = b + static_cast<std::size_t>(l) * stride;
+    std::int32_t acc = io[l];
+    for (int k = 0; k < m; ++k) {
+      acc += static_cast<std::int32_t>(a[k]) * static_cast<std::int32_t>(bl[k]);
+    }
+    io[l] = acc;
+  }
+}
+
+void GemmPanelS8(int m, int p, const std::int8_t* a, const std::int8_t* b,
+                 std::size_t stride, std::int32_t* out) {
+  for (int j = 0; j < p; ++j) {
+    const std::int8_t* bj = b + static_cast<std::size_t>(j) * stride;
+    std::int32_t acc = 0;
+    for (int k = 0; k < m; ++k) {
+      acc += static_cast<std::int32_t>(a[k]) * static_cast<std::int32_t>(bj[k]);
+    }
+    out[j] = acc;
+  }
+}
+
+// The fp32 score reference the vector filters must match bit-for-bit:
+// one rounding for a_scale * b_scales[l], one for the product with the
+// converted accumulator. Both roundings are round-to-nearest in every
+// tier, so >= threshold selects the same set everywhere.
+int DequantFilter(int n, const std::int32_t* acc, const float* b_scales,
+                  float a_scale, float threshold, std::int32_t* out_idx,
+                  float* out_scores) {
+  int count = 0;
+  for (int l = 0; l < n; ++l) {
+    const float score = static_cast<float>(acc[l]) * (a_scale * b_scales[l]);
+    if (score >= threshold) {
+      out_idx[count] = l;
+      out_scores[count] = score;
+      ++count;
+    }
+  }
+  return count;
+}
+
 }  // namespace
 
 const Ops kScalarOps = {
@@ -127,6 +174,9 @@ const Ops kScalarOps = {
     /*reduce_max=*/ReduceMax,
     /*clamp=*/Clamp,
     /*exp_apply=*/ExpApply,
+    /*dot8_s8=*/Dot8S8,
+    /*gemm_panel_s8=*/GemmPanelS8,
+    /*dequant_filter=*/DequantFilter,
 };
 
 }  // namespace causer::tensor::primitives

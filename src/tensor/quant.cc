@@ -1,0 +1,59 @@
+#include "tensor/quant.h"
+
+#include <cmath>
+
+namespace causer::tensor {
+
+// Compiled at the project baseline (no ISA variants): quantization runs
+// once per table / once per request batch, far off the per-score hot
+// path, and keeping a single rounding implementation means the codes —
+// and therefore every downstream int32 dot — are identical on every
+// machine and thread count.
+bool QuantizeRows(const float* src, int rows, int cols, std::int8_t* data,
+                  float* scales) {
+  for (int r = 0; r < rows; ++r) {
+    const float* row = src + static_cast<std::size_t>(r) * cols;
+    float absmax = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      if (!std::isfinite(row[c])) return false;
+      const float a = std::fabs(row[c]);
+      if (a > absmax) absmax = a;
+    }
+    std::int8_t* qrow = data + static_cast<std::size_t>(r) * cols;
+    const float scale = absmax / 127.0f;
+    const float inv = 1.0f / scale;
+    // absmax == 0 gives scale 0; a subnormal absmax can give a scale whose
+    // reciprocal overflows. Either way the row carries no usable signal at
+    // int8 precision: store it as exact zeros.
+    if (!(scale > 0.0f) || !std::isfinite(inv)) {
+      scales[r] = 0.0f;
+      for (int c = 0; c < cols; ++c) qrow[c] = 0;
+      continue;
+    }
+    scales[r] = scale;
+    for (int c = 0; c < cols; ++c) {
+      long q = std::lrintf(row[c] * inv);
+      if (q > 127) q = 127;
+      if (q < -127) q = -127;
+      qrow[c] = static_cast<std::int8_t>(q);
+    }
+  }
+  return true;
+}
+
+bool QuantizeRows(const float* src, int rows, int cols, QuantizedMatrix* out) {
+  out->rows = rows;
+  out->cols = cols;
+  out->data.assign(static_cast<std::size_t>(rows) * cols, 0);
+  out->scales.assign(static_cast<std::size_t>(rows), 0.0f);
+  if (!QuantizeRows(src, rows, cols, out->data.data(), out->scales.data())) {
+    out->rows = 0;
+    out->cols = 0;
+    out->data.clear();
+    out->scales.clear();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace causer::tensor

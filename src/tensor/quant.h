@@ -1,0 +1,48 @@
+#ifndef CAUSER_TENSOR_QUANT_H_
+#define CAUSER_TENSOR_QUANT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace causer::tensor {
+
+/// A row-major fp32 matrix quantized to symmetric per-row int8: value
+/// `(r, c)` dequantizes as `data[r * cols + c] * scales[r]`. Codes stay in
+/// `[-127, 127]` (never -128, so negation and widening products are always
+/// representable) and a row's scale is its absmax / 127, so the row's
+/// extreme value round-trips to ±absmax exactly. Built once per model by
+/// `QuantizeRows`; see docs/KERNELS.md "Quantized primitives" for the
+/// accuracy contract of the scoring path that consumes it.
+struct QuantizedMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<std::int8_t> data;  ///< row-major [rows, cols] codes
+  std::vector<float> scales;      ///< per-row dequantization scales
+
+  /// Resident bytes of the quantized form (codes + scales). Against the
+  /// fp32 original's `rows * cols * 4` this is the ~4x table-memory
+  /// reduction the serving path banks on: `4c / (c + 4)` for c columns.
+  std::size_t MemoryBytes() const {
+    return data.size() * sizeof(std::int8_t) + scales.size() * sizeof(float);
+  }
+};
+
+/// Symmetric per-row absmax quantization of a row-major [rows, cols] fp32
+/// matrix into caller-provided buffers (`data`: rows*cols codes, `scales`:
+/// rows floats). One pass per row: scale = absmax / 127, code =
+/// round-to-nearest-even of value / scale, clamped to [-127, 127]. An
+/// all-zero row (or one whose absmax is too small for a finite reciprocal
+/// scale) gets scale 0 and all-zero codes. Returns false without finishing
+/// if any input is non-finite (±inf / NaN) — callers must treat that as
+/// "keep using fp32", never as a partially quantized table.
+bool QuantizeRows(const float* src, int rows, int cols, std::int8_t* data,
+                  float* scales);
+
+/// Convenience overload: sizes and fills `out`. On failure returns false
+/// and leaves `out` empty.
+bool QuantizeRows(const float* src, int rows, int cols, QuantizedMatrix* out);
+
+}  // namespace causer::tensor
+
+#endif  // CAUSER_TENSOR_QUANT_H_

@@ -49,10 +49,23 @@ TEST(FlagsTest, LaterOverridesEarlier) {
   EXPECT_EQ(f.GetInt("n", 0), 2);
 }
 
-TEST(FlagsTest, MalformedNumbersFallBack) {
-  Flags f = ParseList({"--n=abc", "--x=1.2.3"});
-  EXPECT_EQ(f.GetInt("n", 7), 7);
-  EXPECT_DOUBLE_EQ(f.GetDouble("x", 0.5), 0.5);
+TEST(FlagsTest, MalformedNumbersAreUsageErrors) {
+  // A present-but-garbled numeric value must exit 2, never silently take
+  // the fallback ("--rerank-k=2kf" meant 2048, not the default).
+  Flags f = ParseList({"--n=abc", "--k=2kf", "--x=1.2.3"});
+  EXPECT_EXIT(f.GetInt("n", 7), testing::ExitedWithCode(2),
+              "malformed integer for --n");
+  EXPECT_EXIT(f.GetInt("k", 7), testing::ExitedWithCode(2),
+              "malformed integer for --k");
+  EXPECT_EXIT(f.GetDouble("x", 0.5), testing::ExitedWithCode(2),
+              "malformed number for --x");
+}
+
+TEST(FlagsTest, AbsentOrEmptyNumbersStillFallBack) {
+  Flags f = ParseList({"--present-empty"});
+  EXPECT_EQ(f.GetInt("missing", 7), 7);
+  EXPECT_EQ(f.GetInt("present-empty", 9), 9);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 0.5), 0.5);
 }
 
 TEST(FlagsTest, FlagFollowedByFlagHasEmptyValue) {

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <limits>
 #include <vector>
@@ -281,6 +282,91 @@ TEST_F(PrimitivesTest, DispatchedMatMulTopKMatchesScalarPerIsaAndThreads) {
                               sizeof(float)),
                   0)
             << cpu::IsaName(isa) << " threads=" << threads << " entry " << i;
+      }
+    }
+  }
+}
+
+std::vector<std::int8_t> RandomCodes(size_t size, Rng& rng) {
+  std::vector<std::int8_t> out(size);
+  for (auto& v : out) {
+    v = static_cast<std::int8_t>(
+        static_cast<int>(rng.Uniform(-127.9, 127.9)));
+  }
+  return out;
+}
+
+// The int8 members sit outside the fp32 contract, but int32 accumulation is
+// exact, so every variant must still agree bit-for-bit with scalar — seeded
+// dot8_s8 and from-scratch gemm_panel_s8 alike.
+TEST_F(PrimitivesTest, Int8PrimitivesMatchScalarExactly) {
+  const Ops* scalar = ForIsa(cpu::Isa::kScalar);
+  Rng rng(20260810);
+  for (const Ops* ops : RunnableVariants()) {
+    if (ops->isa == cpu::Isa::kScalar) continue;
+    for (int m : {1, 7, 8, 31, 32, 33, 64, 65, 130}) {
+      for (size_t stride : {static_cast<size_t>(m), static_cast<size_t>(m) + 5}) {
+        auto a = RandomCodes(static_cast<size_t>(m), rng);
+        auto b = RandomCodes(stride * 8, rng);
+        std::vector<std::int32_t> io_ref(8), io_simd(8);
+        for (int l = 0; l < 8; ++l) {
+          io_ref[l] = static_cast<std::int32_t>(rng.Uniform(-1000.0, 1000.0));
+          io_simd[l] = io_ref[l];
+        }
+        scalar->dot8_s8(m, a.data(), b.data(), stride, io_ref.data());
+        ops->dot8_s8(m, a.data(), b.data(), stride, io_simd.data());
+        EXPECT_EQ(io_ref, io_simd)
+            << ops->name << " dot8_s8 m=" << m << " stride=" << stride;
+      }
+      for (int p : {1, 7, 8, 9, 17, 130}) {
+        auto a = RandomCodes(static_cast<size_t>(m), rng);
+        auto b = RandomCodes(static_cast<size_t>(m) * p, rng);
+        std::vector<std::int32_t> out_ref(p), out_simd(p);
+        scalar->gemm_panel_s8(m, p, a.data(), b.data(),
+                              static_cast<size_t>(m), out_ref.data());
+        ops->gemm_panel_s8(m, p, a.data(), b.data(), static_cast<size_t>(m),
+                           out_simd.data());
+        EXPECT_EQ(out_ref, out_simd)
+            << ops->name << " gemm_panel_s8 m=" << m << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST_F(PrimitivesTest, DequantFilterMatchesScalarExactly) {
+  const Ops* scalar = ForIsa(cpu::Isa::kScalar);
+  Rng rng(20260811);
+  for (const Ops* ops : RunnableVariants()) {
+    if (ops->isa == cpu::Isa::kScalar) continue;
+    for (int n : {1, 7, 15, 16, 17, 64, 257}) {
+      std::vector<std::int32_t> acc(n);
+      std::vector<float> b_scales(n);
+      for (int l = 0; l < n; ++l) {
+        acc[l] = static_cast<std::int32_t>(rng.Uniform(-500000.0, 500000.0));
+        b_scales[l] = static_cast<float>(rng.Uniform(0.001, 0.1));
+      }
+      const float a_scale = 0.017f;
+      // Thresholds spanning keep-all, keep-some, and keep-none, plus one
+      // planted exact-tie score to pin down the >= boundary.
+      const float mid =
+          static_cast<float>(acc[n / 2]) * (a_scale * b_scales[n / 2]);
+      for (float threshold :
+           {-std::numeric_limits<float>::infinity(), mid, 0.0f, 1e30f}) {
+        std::vector<std::int32_t> idx_ref(n, -7), idx_simd(n, -7);
+        std::vector<float> sc_ref(n, -7.0f), sc_simd(n, -7.0f);
+        const int cnt_ref =
+            scalar->dequant_filter(n, acc.data(), b_scales.data(), a_scale,
+                                   threshold, idx_ref.data(), sc_ref.data());
+        const int cnt_simd =
+            ops->dequant_filter(n, acc.data(), b_scales.data(), a_scale,
+                                threshold, idx_simd.data(), sc_simd.data());
+        ASSERT_EQ(cnt_ref, cnt_simd)
+            << ops->name << " dequant_filter n=" << n << " thr=" << threshold;
+        for (int t = 0; t < cnt_ref; ++t) {
+          EXPECT_EQ(idx_ref[t], idx_simd[t]) << ops->name << " n=" << n;
+          EXPECT_EQ(std::memcmp(&sc_ref[t], &sc_simd[t], sizeof(float)), 0)
+              << ops->name << " n=" << n << " t=" << t;
+        }
       }
     }
   }

@@ -1,0 +1,190 @@
+// Int8 quantization suite: the symmetric per-row absmax round-trip property
+// (scale = absmax/127, extreme values hit ±127, everything else lands within
+// half a step), degenerate rows, non-finite rejection, and exact-entry
+// equality of the fused MatMulTopKQ kernel against a plain-code reference at
+// every runnable ISA tier and thread count. Quantized scores are
+// approximations of fp32, but they are *deterministic* approximations: int32
+// accumulation is exact, so these checks are equalities, not tolerances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/cpu.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/kernels.h"
+#include "tensor/quant.h"
+
+namespace causer::tensor {
+namespace {
+
+std::vector<float> RandomMatrix(int rows, int cols, Rng& rng) {
+  std::vector<float> out(static_cast<size_t>(rows) * cols);
+  for (auto& v : out) v = static_cast<float>(rng.Uniform(-3.0, 3.0));
+  return out;
+}
+
+class QuantTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    cpu::ResetIsaForTest();
+    SetDefaultThreads(1);
+  }
+};
+
+TEST_F(QuantTest, RoundTripWithinHalfStepAndAbsmaxExact) {
+  Rng rng(20260811);
+  const int rows = 17, cols = 33;
+  auto src = RandomMatrix(rows, cols, rng);
+  QuantizedMatrix q;
+  ASSERT_TRUE(QuantizeRows(src.data(), rows, cols, &q));
+  ASSERT_EQ(q.rows, rows);
+  ASSERT_EQ(q.cols, cols);
+  ASSERT_EQ(q.data.size(), src.size());
+  ASSERT_EQ(q.scales.size(), static_cast<size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    const float* row = src.data() + static_cast<size_t>(r) * cols;
+    float absmax = 0.0f;
+    for (int c = 0; c < cols; ++c) absmax = std::max(absmax, std::fabs(row[c]));
+    // Calibration is exactly absmax / 127 — same fp32 expression, so bitwise.
+    EXPECT_EQ(q.scales[r], absmax / 127.0f) << "row " << r;
+    for (int c = 0; c < cols; ++c) {
+      const std::int8_t code = q.data[static_cast<size_t>(r) * cols + c];
+      EXPECT_GE(code, -127) << "row " << r << " col " << c;
+      EXPECT_LE(code, 127) << "row " << r << " col " << c;
+      const float dequant = static_cast<float>(code) * q.scales[r];
+      // Round-to-nearest leaves at most half a quantization step of error
+      // (tiny slack for the fp32 multiply in the reconstruction itself).
+      EXPECT_LE(std::fabs(dequant - row[c]), 0.5f * q.scales[r] * 1.001f)
+          << "row " << r << " col " << c;
+      if (std::fabs(row[c]) == absmax && absmax > 0.0f) {
+        // The row's extreme value must occupy the full code range.
+        EXPECT_EQ(std::abs(static_cast<int>(code)), 127)
+            << "row " << r << " col " << c;
+      }
+    }
+  }
+  // Codes + one float scale per row vs four bytes per element.
+  EXPECT_EQ(q.MemoryBytes(),
+            src.size() * sizeof(std::int8_t) + rows * sizeof(float));
+}
+
+TEST_F(QuantTest, ZeroRowGetsZeroScaleAndZeroCodes) {
+  const int rows = 3, cols = 8;
+  std::vector<float> src(static_cast<size_t>(rows) * cols, 0.0f);
+  src[0 * cols + 2] = 1.5f;   // row 0: normal
+  src[2 * cols + 5] = -2.0f;  // row 2: normal; row 1 stays all-zero
+  QuantizedMatrix q;
+  ASSERT_TRUE(QuantizeRows(src.data(), rows, cols, &q));
+  EXPECT_GT(q.scales[0], 0.0f);
+  EXPECT_EQ(q.scales[1], 0.0f);
+  EXPECT_GT(q.scales[2], 0.0f);
+  for (int c = 0; c < cols; ++c) {
+    EXPECT_EQ(q.data[1 * cols + c], 0) << "col " << c;
+  }
+}
+
+TEST_F(QuantTest, NonFiniteInputIsRejectedByBothOverloads) {
+  const int rows = 2, cols = 4;
+  for (float poison : {std::numeric_limits<float>::infinity(),
+                       -std::numeric_limits<float>::infinity(),
+                       std::numeric_limits<float>::quiet_NaN()}) {
+    std::vector<float> src(static_cast<size_t>(rows) * cols, 0.25f);
+    src[5] = poison;
+    std::vector<std::int8_t> data(src.size());
+    std::vector<float> scales(rows);
+    EXPECT_FALSE(QuantizeRows(src.data(), rows, cols, data.data(),
+                              scales.data()));
+    QuantizedMatrix q;
+    q.rows = 99;  // stale state the failed call must clear
+    q.data.assign(7, 1);
+    EXPECT_FALSE(QuantizeRows(src.data(), rows, cols, &q));
+    EXPECT_EQ(q.rows, 0);
+    EXPECT_TRUE(q.data.empty());
+    EXPECT_TRUE(q.scales.empty());
+  }
+}
+
+// Plain-code reference for MatMulTopKQ: int32 dots, the kernel's exact
+// dequantization expression, and its (score desc, index asc) tie-break.
+std::vector<kernels::TopKEntry> ReferenceTopKQ(
+    const std::int8_t* a, const float* a_scales, const std::int8_t* b,
+    const float* b_scales, int n, int m, int p, int k) {
+  std::vector<kernels::TopKEntry> out(static_cast<size_t>(n) * k);
+  for (int i = 0; i < n; ++i) {
+    std::vector<kernels::TopKEntry> all(p);
+    for (int j = 0; j < p; ++j) {
+      std::int32_t acc = 0;
+      for (int c = 0; c < m; ++c) {
+        acc += static_cast<std::int32_t>(a[static_cast<size_t>(i) * m + c]) *
+               static_cast<std::int32_t>(b[static_cast<size_t>(j) * m + c]);
+      }
+      all[j].index = j;
+      all[j].score = static_cast<float>(acc) * (a_scales[i] * b_scales[j]);
+    }
+    std::sort(all.begin(), all.end(),
+              [](const kernels::TopKEntry& x, const kernels::TopKEntry& y) {
+                if (x.score != y.score) return x.score > y.score;
+                return x.index < y.index;
+              });
+    for (int l = 0; l < k; ++l) {
+      out[static_cast<size_t>(i) * k + l] =
+          l < p ? all[l] : kernels::TopKEntry{};
+    }
+  }
+  return out;
+}
+
+TEST_F(QuantTest, MatMulTopKQMatchesReferenceAcrossIsasAndThreads) {
+  Rng rng(20260812);
+  for (cpu::Isa isa : cpu::CompiledIsas()) {
+    if (!cpu::IsaSupported(isa)) continue;
+    ASSERT_TRUE(cpu::SetIsaOverride(cpu::IsaName(isa)));
+    for (int threads : {1, 8}) {
+      SetDefaultThreads(threads);
+      for (int m : {8, 33}) {
+        // p = 600 crosses the 512-wide tile boundary; k > p pads with
+        // sentinel entries.
+        for (int p : {10, 600}) {
+          for (int k : {1, 10, p + 3}) {
+            const int n = 5;
+            auto af = RandomMatrix(n, m, rng);
+            auto bf = RandomMatrix(p, m, rng);
+            QuantizedMatrix qa, qb;
+            ASSERT_TRUE(QuantizeRows(af.data(), n, m, &qa));
+            ASSERT_TRUE(QuantizeRows(bf.data(), p, m, &qb));
+            auto expected =
+                ReferenceTopKQ(qa.data.data(), qa.scales.data(),
+                               qb.data.data(), qb.scales.data(), n, m, p, k);
+            std::vector<kernels::TopKEntry> actual(
+                static_cast<size_t>(n) * k);
+            kernels::MatMulTopKQ(qa.data.data(), qa.scales.data(),
+                                 qb.data.data(), qb.scales.data(), n, m, p, k,
+                                 actual.data());
+            for (size_t e = 0; e < expected.size(); ++e) {
+              ASSERT_EQ(expected[e].index, actual[e].index)
+                  << cpu::IsaName(isa) << " threads=" << threads
+                  << " m=" << m << " p=" << p << " k=" << k << " entry " << e;
+              ASSERT_EQ(std::memcmp(&expected[e].score, &actual[e].score,
+                                    sizeof(float)),
+                        0)
+                  << cpu::IsaName(isa) << " threads=" << threads
+                  << " m=" << m << " p=" << p << " k=" << k << " entry " << e;
+            }
+          }
+        }
+      }
+    }
+    cpu::ResetIsaForTest();
+    SetDefaultThreads(1);
+  }
+}
+
+}  // namespace
+}  // namespace causer::tensor

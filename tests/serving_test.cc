@@ -8,16 +8,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/cpu.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/trainer.h"
 #include "data/generator.h"
 #include "data/split.h"
+#include "eval/evaluator.h"
 #include "eval/metrics.h"
 #include "models/gru4rec.h"
 #include "serve/engine.h"
@@ -352,6 +355,141 @@ TEST(ServingEngineTest, RequestSecondsObservedOnBothPaths) {
   metrics::SetEnabled(false);
   EXPECT_EQ(observed, 5u);
   EXPECT_EQ(observed, counted);
+}
+
+/// A trained tiny GRU4Rec (the single-GEMM model the int8 path targets).
+/// Trained, not fresh: quantization error depends on the learned weight
+/// distribution, so the equality claims below must survive real weights.
+models::Gru4Rec& TrainedTinyGru() {
+  static models::Gru4Rec* model = [] {
+    models::ModelConfig config;
+    config.num_users = TinyData().num_users;
+    config.num_items = TinyData().num_items;
+    config.embedding_dim = 8;
+    config.hidden_dim = 8;
+    auto* m = new models::Gru4Rec(config);
+    models::Fit(*m, TinySplit(), {.max_epochs = 2, .patience = 1});
+    return m;
+  }();
+  return *model;
+}
+
+std::vector<Request> TestSplitRequests(int count) {
+  std::vector<Request> requests(count);
+  for (int u = 0; u < count; ++u) {
+    requests[u].user = TinySplit().test[u].user;
+    requests[u].bootstrap = &TinySplit().test[u].history;
+  }
+  return requests;
+}
+
+/// Restores automatic ISA selection (and 1 thread) when a test exits.
+struct IsaGuard {
+  ~IsaGuard() {
+    cpu::ResetIsaForTest();
+    SetDefaultThreads(1);
+  }
+};
+
+TEST(ServingQuantTest, Int8RerankMatchesFp32TopKAcrossThreadsAndIsas) {
+  IsaGuard guard;
+  models::Gru4Rec& model = TrainedTinyGru();
+  // The default rerank_k (2048) covers this tiny catalog entirely, so the
+  // int8+re-rank responses are provably identical to fp32 — items and
+  // score bits — whatever the quantization error.
+  ServingConfig fp32_config;
+  fp32_config.top_k = 5;
+  ServingConfig int8_config = fp32_config;
+  int8_config.quantize_int8 = true;
+  const std::vector<Request> requests = TestSplitRequests(8);
+  for (const char* isa : {"scalar", "avx2"}) {
+    if (!cpu::SetIsaOverride(isa)) continue;  // tier not compiled in
+    for (int threads : {1, 8}) {
+      SetDefaultThreads(threads);
+      ServingEngine fp32_engine(model, fp32_config);
+      ServingEngine int8_engine(model, int8_config);
+      const auto fp32 = fp32_engine.ScoreBatch(requests);
+      const auto int8 = int8_engine.ScoreBatch(requests);
+      ASSERT_EQ(fp32.size(), int8.size());
+      for (size_t r = 0; r < fp32.size(); ++r) {
+        const std::string label = std::string("isa ") + isa + " t" +
+                                  std::to_string(threads) + " req " +
+                                  std::to_string(r);
+        ASSERT_EQ(fp32[r].items, int8[r].items) << label;
+        ASSERT_EQ(fp32[r].scores.size(), int8[r].scores.size()) << label;
+        for (size_t j = 0; j < fp32[r].scores.size(); ++j) {
+          EXPECT_EQ(fp32[r].scores[j], int8[r].scores[j]) << label;
+        }
+      }
+    }
+    cpu::ResetIsaForTest();
+  }
+}
+
+TEST(ServingQuantTest, Int8ScoresAreFp32ExactEvenWithMinimalRerank) {
+  ThreadCountGuard guard;
+  models::Gru4Rec& model = TrainedTinyGru();
+  // rerank_k clamps down to top_k: the candidate *set* may now deviate
+  // from fp32, but every returned score must still carry the fp32 bits of
+  // that item's true inner product — the re-rank guarantee.
+  ServingConfig sc;
+  sc.top_k = 5;
+  sc.quantize_int8 = true;
+  sc.rerank_k = 1;  // clamped up to top_k by the engine
+  ServingEngine engine(model, sc);
+  const std::vector<Request> requests = TestSplitRequests(8);
+  const auto responses = engine.ScoreBatch(requests);
+  for (size_t r = 0; r < responses.size(); ++r) {
+    const auto& inst = TinySplit().test[r];
+    const auto scores = model.ScoreAll(inst.user, inst.history);
+    ASSERT_EQ(responses[r].items.size(), static_cast<size_t>(sc.top_k));
+    for (size_t j = 0; j < responses[r].items.size(); ++j) {
+      const int item = responses[r].items[j];
+      EXPECT_EQ(responses[r].scores[j], scores[item])
+          << "req " << r << " item " << item;
+    }
+  }
+}
+
+TEST(ServingQuantTest, Int8NdcgDeltaWithinTolerance) {
+  ThreadCountGuard guard;
+  models::Gru4Rec& model = TrainedTinyGru();
+  // The paper's eval protocol (NDCG@Z, Z = 5) through engine-backed
+  // scorers: the int8 path with the default --rerank-k must hold the
+  // accuracy gate |NDCG_int8 - NDCG_fp32| <= 1e-3 on the eval suite.
+  constexpr int kZ = 5;
+  auto engine_scorer = [](ServingEngine& engine, int catalog) {
+    return [&engine, catalog](const data::EvalInstance& inst) {
+      Request request;
+      request.user = inst.user;
+      request.bootstrap = &inst.history;
+      const Response response = engine.Handle(request);
+      // Only the returned top-k carries scores; everything else sinks far
+      // below. NDCG@Z with Z <= top_k only reads the first Z ranks, so
+      // this reproduces the engine's ranking exactly.
+      std::vector<float> scores(catalog, -1e30f);
+      for (size_t j = 0; j < response.items.size(); ++j) {
+        scores[response.items[j]] = response.scores[j];
+      }
+      return scores;
+    };
+  };
+  const int catalog = TinyData().num_items;
+  ServingConfig fp32_config;
+  fp32_config.top_k = kZ;
+  ServingConfig int8_config = fp32_config;
+  int8_config.quantize_int8 = true;
+  ServingEngine fp32_engine(model, fp32_config);
+  ServingEngine int8_engine(model, int8_config);
+  const auto fp32 = eval::Evaluate(engine_scorer(fp32_engine, catalog),
+                                   TinySplit().test, kZ);
+  const auto int8 = eval::Evaluate(engine_scorer(int8_engine, catalog),
+                                   TinySplit().test, kZ);
+  EXPECT_LE(std::fabs(int8.ndcg - fp32.ndcg), 1e-3)
+      << "int8 " << int8.ndcg << " fp32 " << fp32.ndcg;
+  // With the default rerank_k covering the catalog the delta is exactly 0.
+  EXPECT_DOUBLE_EQ(int8.ndcg, fp32.ndcg);
+  EXPECT_DOUBLE_EQ(int8.f1, fp32.f1);
 }
 
 }  // namespace

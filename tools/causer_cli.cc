@@ -20,6 +20,7 @@
 //   serve     --data=<dir> --model=<file> [--serve-replay=N]
 //             [--batch-max=N] [--batch-wait-us=N] [--max-sessions=N]
 //             [--serve-port=N] [--deadline-ms=N] [--queue-depth=N]
+//             [--quantize=MODE] [--rerank-k=N]
 //     Without --serve-port: replays the test split's requests through the
 //     online serving engine (incremental session states + micro-batched
 //     GEMM scoring) from --threads concurrent clients and reports p50/p99
@@ -142,6 +143,12 @@ int PrintHelp() {
       "(default 0 = no deadline).\n"
       "  --queue-depth=N      Admission cap across both priority lanes; "
       "arrivals beyond it are rejected with QUEUE_FULL (default 256).\n"
+      "  --quantize=MODE      Catalog scoring precision: none (fp32, the "
+      "default) or int8 (per-row-quantized item table + exact fp32 re-rank "
+      "of the top candidates; see docs/KERNELS.md).\n"
+      "  --rerank-k=N         With --quantize=int8: candidates per request "
+      "re-scored exactly in fp32 before the final top-k (default 2048; >= "
+      "the catalog size makes int8 results identical to fp32).\n"
       "\n"
       "model architecture flags (train, evaluate, explain — must match "
       "between training and loading):\n"
@@ -433,6 +440,15 @@ int CmdServe(const Flags& flags) {
   sc.batch_wait_us = flags.GetInt("batch-wait-us", 200);
   sc.top_k = flags.GetInt("top", 10);
   sc.max_sessions = flags.GetInt("max-sessions", 0);
+  const std::string quantize = flags.GetString("quantize", "none");
+  if (quantize == "int8") {
+    sc.quantize_int8 = true;
+  } else if (quantize != "none") {
+    std::fprintf(stderr, "unknown --quantize '%s' (expected none or int8)\n",
+                 quantize.c_str());
+    return 2;
+  }
+  sc.rerank_k = flags.GetInt("rerank-k", 2048);
   serve::ServingEngine engine(model, sc);
 
   if (flags.Has("serve-port")) {
