@@ -5,11 +5,16 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/fault.h"
 
 namespace causer::net {
 
@@ -101,14 +106,15 @@ void CloseSocket(int fd) {
 }
 
 bool SetRecvTimeout(int fd, double seconds) {
-  if (fd < 0 || seconds <= 0) return false;
-  timeval tv{};
+  if (fd < 0 || seconds < 0) return false;
+  timeval tv{};  // zero = clear the timeout (block forever again)
   tv.tv_sec = static_cast<time_t>(seconds);
   tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
   return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
 }
 
-bool ReadFull(int fd, void* buf, size_t n) {
+bool ReadFull(int fd, void* buf, size_t n, ReadError* error) {
+  if (error != nullptr) *error = ReadError::kNone;
   uint8_t* p = static_cast<uint8_t*>(buf);
   while (n > 0) {
     ssize_t got = ::recv(fd, p, n, 0);
@@ -118,7 +124,16 @@ bool ReadFull(int fd, void* buf, size_t n) {
       continue;
     }
     if (got < 0 && errno == EINTR) continue;
-    return false;  // EOF or error
+    if (error != nullptr) {
+      if (got == 0) {
+        *error = ReadError::kClosed;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        *error = ReadError::kTimeout;  // SO_RCVTIMEO expired
+      } else {
+        *error = ReadError::kError;
+      }
+    }
+    return false;
   }
   return true;
 }
@@ -138,16 +153,33 @@ bool WriteFull(int fd, const void* buf, size_t n) {
   return true;
 }
 
-bool ReadFrame(int fd, std::vector<uint8_t>* payload, uint32_t max_bytes) {
+bool ReadFrame(int fd, std::vector<uint8_t>* payload, uint32_t max_bytes,
+               ReadError* error) {
+  if (error != nullptr) *error = ReadError::kNone;
+  if (fault::ShouldFail("net.conn_reset")) {
+    // Simulate the peer resetting the connection right before our read.
+    ShutdownSocket(fd);
+    if (error != nullptr) *error = ReadError::kError;
+    return false;
+  }
   uint8_t header[4];
-  if (!ReadFull(fd, header, sizeof(header))) return false;
+  if (!ReadFull(fd, header, sizeof(header), error)) return false;
   const uint32_t len = static_cast<uint32_t>(header[0]) |
                        static_cast<uint32_t>(header[1]) << 8 |
                        static_cast<uint32_t>(header[2]) << 16 |
                        static_cast<uint32_t>(header[3]) << 24;
-  if (len > max_bytes) return false;
+  if (len > max_bytes) {
+    if (error != nullptr) *error = ReadError::kTooLarge;
+    return false;
+  }
+  if (fault::ShouldFail("net.slow_reader")) {
+    // Stall between header and payload: the window a slow-loris peer
+    // leaves a reader thread dangling in, and the one the server's read
+    // deadline must cover.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
   payload->resize(len);
-  return len == 0 || ReadFull(fd, payload->data(), len);
+  return len == 0 || ReadFull(fd, payload->data(), len, error);
 }
 
 bool WriteFrame(int fd, const uint8_t* payload, size_t len) {
@@ -155,6 +187,15 @@ bool WriteFrame(int fd, const uint8_t* payload, size_t len) {
                        static_cast<uint8_t>(len >> 8),
                        static_cast<uint8_t>(len >> 16),
                        static_cast<uint8_t>(len >> 24)};
+  if (fault::ShouldFail("net.torn_write")) {
+    // Emit the header plus a truncated payload, then report failure: the
+    // peer's decoder must reject the torn frame, and the writer must treat
+    // the connection as dead.
+    if (WriteFull(fd, header, sizeof(header)) && len > 1) {
+      WriteFull(fd, payload, len / 2);
+    }
+    return false;
+  }
   if (!WriteFull(fd, header, sizeof(header))) return false;
   return len == 0 || WriteFull(fd, payload, len);
 }
@@ -220,23 +261,38 @@ float Cursor::F32() {
 
 namespace {
 
-// Self-pipe shutdown plumbing: the handler only does async-signal-safe
-// work (a flag store and one write); waiters block on the pipe's read end.
+// Self-pipe shutdown/reload plumbing: the handlers only do
+// async-signal-safe work (a flag store and one write); waiters block on
+// the pipe's read end.
 std::atomic<bool> g_shutdown_requested{false};
+std::atomic<int> g_reload_requests{0};
 int g_shutdown_pipe[2] = {-1, -1};
 
-extern "C" void ShutdownSignalHandler(int /*signum*/) {
-  g_shutdown_requested.store(true, std::memory_order_relaxed);
+void WakeSignalPipe() {
   if (g_shutdown_pipe[1] >= 0) {
     const uint8_t byte = 1;
     [[maybe_unused]] ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
   }
 }
 
+extern "C" void ShutdownSignalHandler(int /*signum*/) {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+  WakeSignalPipe();
+}
+
+extern "C" void ReloadSignalHandler(int /*signum*/) {
+  g_reload_requests.fetch_add(1, std::memory_order_relaxed);
+  WakeSignalPipe();
+}
+
+bool EnsureSignalPipe() {
+  return g_shutdown_pipe[0] >= 0 || ::pipe(g_shutdown_pipe) == 0;
+}
+
 }  // namespace
 
 bool InstallShutdownHandler() {
-  if (g_shutdown_pipe[0] < 0 && ::pipe(g_shutdown_pipe) != 0) return false;
+  if (!EnsureSignalPipe()) return false;
   struct sigaction action{};
   action.sa_handler = ShutdownSignalHandler;
   sigemptyset(&action.sa_mask);
@@ -259,11 +315,56 @@ void WaitForShutdown() {
 }
 
 void TriggerShutdown() {
-  if (g_shutdown_pipe[0] < 0 && ::pipe(g_shutdown_pipe) != 0) {
+  if (!EnsureSignalPipe()) {
     g_shutdown_requested.store(true, std::memory_order_relaxed);
     return;
   }
   ShutdownSignalHandler(0);
+}
+
+bool InstallReloadHandler() {
+  if (!EnsureSignalPipe()) return false;
+  struct sigaction action{};
+  action.sa_handler = ReloadSignalHandler;
+  sigemptyset(&action.sa_mask);
+  return ::sigaction(SIGHUP, &action, nullptr) == 0;
+}
+
+void TriggerReload() {
+  if (!EnsureSignalPipe()) {
+    g_reload_requests.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ReloadSignalHandler(0);
+}
+
+SignalKind WaitForSignal(double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    // Shutdown wins over queued reloads: a draining process must not start
+    // loading a new model.
+    if (ShutdownRequested()) return SignalKind::kShutdown;
+    int pending = g_reload_requests.load(std::memory_order_relaxed);
+    while (pending > 0) {
+      if (g_reload_requests.compare_exchange_weak(
+              pending, pending - 1, std::memory_order_relaxed)) {
+        return SignalKind::kReload;
+      }
+    }
+    if (g_shutdown_pipe[0] < 0) return SignalKind::kNone;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return SignalKind::kNone;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pollfd pfd{g_shutdown_pipe[0], POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+    if (rc < 0 && errno != EINTR) return SignalKind::kNone;
+    if (rc > 0 && (pfd.revents & POLLIN) != 0) {
+      uint8_t byte;
+      [[maybe_unused]] ssize_t n = ::read(g_shutdown_pipe[0], &byte, 1);
+    }
+  }
 }
 
 }  // namespace causer::net

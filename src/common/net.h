@@ -36,24 +36,41 @@ void ShutdownSocket(int fd);
 void CloseSocket(int fd);
 
 /// SO_RCVTIMEO: blocking reads fail after `seconds` instead of hanging
-/// (the load generator's hung-connection detector). False on failure.
+/// (the load generator's hung-connection detector, the server's
+/// slow-loris guard). 0 clears the timeout. False on failure.
 bool SetRecvTimeout(int fd, double seconds);
 
 // ---- length-prefixed framing ------------------------------------------
 
+/// Why a read-side call returned false. `kTimeout` is only reported on
+/// sockets with SetRecvTimeout() applied; the server's slow-loris guard
+/// uses it to tell an idle/stalled peer apart from a clean disconnect.
+enum class ReadError : uint8_t {
+  kNone = 0,      // the call succeeded
+  kClosed,        // EOF before any/all bytes arrived
+  kTimeout,       // SO_RCVTIMEO expired mid-read
+  kError,         // other socket error
+  kTooLarge,      // frame declared a length above max_bytes
+};
+
 /// Reads exactly `n` bytes (retries EINTR and short reads). False on EOF
-/// or error.
-bool ReadFull(int fd, void* buf, size_t n);
+/// or error; `*error` (may be null) receives the cause.
+bool ReadFull(int fd, void* buf, size_t n, ReadError* error = nullptr);
 
 /// Writes exactly `n` bytes; uses MSG_NOSIGNAL so a closed peer yields an
 /// error instead of SIGPIPE. False on error.
 bool WriteFull(int fd, const void* buf, size_t n);
 
 /// Reads one frame into `*payload`. False on EOF, error, or a declared
-/// length above `max_bytes` (corruption / protocol-confusion guard).
-bool ReadFrame(int fd, std::vector<uint8_t>* payload, uint32_t max_bytes);
+/// length above `max_bytes` (corruption / protocol-confusion guard);
+/// `*error` (may be null) receives the cause. Fault points:
+/// `net.conn_reset` resets the socket before the read, `net.slow_reader`
+/// stalls between the length header and the payload.
+bool ReadFrame(int fd, std::vector<uint8_t>* payload, uint32_t max_bytes,
+               ReadError* error = nullptr);
 
-/// Writes one frame.
+/// Writes one frame. Fault point `net.torn_write` emits the header plus a
+/// truncated payload and reports failure — the peer sees a torn frame.
 bool WriteFrame(int fd, const uint8_t* payload, size_t len);
 
 // ---- little-endian scalar packing (the wire byte order) ---------------
@@ -93,6 +110,28 @@ void WaitForShutdown();
 
 /// Programmatic equivalent of the signal (tests, embedding).
 void TriggerShutdown();
+
+// ---- signal-driven reload (SIGHUP, same self-pipe) --------------------
+
+/// Installs a SIGHUP handler that records a reload request on the same
+/// self-pipe. Call after InstallShutdownHandler(). Idempotent; false if
+/// the pipe or handler could not be installed.
+bool InstallReloadHandler();
+
+/// Programmatic equivalent of SIGHUP (tests, wire-triggered reloads).
+void TriggerReload();
+
+enum class SignalKind : uint8_t {
+  kNone = 0,   // timeout expired with no signal
+  kShutdown,   // SIGINT/SIGTERM/TriggerShutdown
+  kReload,     // SIGHUP/TriggerReload
+};
+
+/// Blocks up to `timeout_seconds` for a shutdown or reload request.
+/// Consumes one pending reload per kReload return; kShutdown is sticky.
+/// Lets the serve loop interleave signal handling with periodic work
+/// (checkpoint-directory polling for `--reload-watch`).
+SignalKind WaitForSignal(double timeout_seconds);
 
 }  // namespace causer::net
 

@@ -1,5 +1,8 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "common/net.h"
@@ -8,6 +11,8 @@ namespace causer::serve {
 
 bool Client::Connect(const std::string& host, int port) {
   Close();
+  host_ = host;
+  port_ = port;
   fd_ = net::ConnectTcp(host, port);
   return fd_ >= 0;
 }
@@ -29,6 +34,54 @@ bool Client::Receive(wire::ResponseFrame* response) {
 bool Client::Call(const wire::RequestFrame& request,
                   wire::ResponseFrame* response) {
   return Send(request) && Receive(response);
+}
+
+bool Client::CallWithRetry(const wire::RequestFrame& request,
+                           wire::ResponseFrame* response,
+                           const RetryPolicy& policy) {
+  using Clock = std::chrono::steady_clock;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  const auto start = Clock::now();
+  const bool bounded = request.deadline_ms > 0;
+  const auto budget = std::chrono::milliseconds(request.deadline_ms);
+  auto remaining_ms = [&]() -> double {
+    if (!bounded) return 1e9;
+    const auto left = budget - (Clock::now() - start);
+    return std::chrono::duration<double, std::milli>(left).count();
+  };
+
+  int backoff_ms = std::max(1, policy.initial_backoff_ms);
+  for (int attempt = 1;; ++attempt) {
+    response->attempts = attempt;
+    bool decoded = false;
+    if (fd_ >= 0 || (port_ >= 0 && Connect(host_, port_))) {
+      // Cap the wait for the response to the remaining budget, so a torn
+      // or swallowed frame costs the budget, not forever.
+      if (bounded) {
+        net::SetRecvTimeout(fd_, std::max(remaining_ms(), 1.0) * 1e-3);
+      }
+      decoded = Call(request, response);
+      if (decoded && response->status != wire::Status::kQueueFull) {
+        if (bounded) net::SetRecvTimeout(fd_, 0);  // don't poison later Calls
+        return true;
+      }
+      if (!decoded) {
+        // Transport failure mid-exchange: the stream may hold a half
+        // frame or a response we never consumed. Reconnect rather than
+        // resync.
+        Close();
+      }
+    }
+    if (attempt >= max_attempts) return decoded;
+    // Capped exponential backoff with jitter in [backoff/2, backoff):
+    // full-window jitter decorrelates the retry herd a queue-full burst
+    // creates. Skip the retry when the backoff would overrun the budget —
+    // the caller gets the rejection rather than a deadline breach.
+    const double delay = rng_.Uniform(backoff_ms / 2.0, backoff_ms);
+    if (bounded && delay >= remaining_ms()) return decoded;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+    backoff_ms = std::min(policy.max_backoff_ms, backoff_ms * 2);
+  }
 }
 
 void Client::Close() {

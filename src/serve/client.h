@@ -3,22 +3,38 @@
 
 #include <string>
 
+#include "common/rng.h"
 #include "serve/protocol.h"
 
 namespace causer::serve {
+
+/// CallWithRetry knobs: capped exponential backoff with decorrelating
+/// jitter, bounded by the request's deadline budget.
+struct RetryPolicy {
+  /// Attempts in total (1 = no retry).
+  int max_attempts = 5;
+  /// Backoff before the second attempt; doubles per attempt.
+  int initial_backoff_ms = 2;
+  /// Backoff growth cap.
+  int max_backoff_ms = 64;
+};
 
 /// Minimal blocking client for the serving wire protocol (tests, benches
 /// and simple tools; the open-loop load generator drives the protocol
 /// directly for pipelining). One Client per thread — no internal locking.
 class Client {
  public:
-  Client() = default;
+  /// `jitter_seed` decorrelates backoff across clients (retry herds from
+  /// many clients hitting a full queue must not re-collide in lockstep).
+  explicit Client(uint64_t jitter_seed = 0x9E3779B97F4A7C15ull)
+      : rng_(jitter_seed) {}
   ~Client() { Close(); }
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects to host:port (numeric IPv4). False on failure.
+  /// Connects to host:port (numeric IPv4). False on failure. The address
+  /// is remembered so CallWithRetry can reconnect.
   bool Connect(const std::string& host, int port);
 
   /// Writes one request frame. False on a broken connection.
@@ -32,11 +48,28 @@ class Client {
   bool Call(const wire::RequestFrame& request,
             wire::ResponseFrame* response);
 
+  /// Call with retries: kQueueFull responses, connect failures and
+  /// transport errors (torn frames, resets) are retried with capped
+  /// exponential backoff + jitter, reconnecting as needed — safe because
+  /// scoring requests are idempotent. `request.deadline_ms` (when nonzero)
+  /// bounds the whole affair: attempts and backoffs stop when the budget
+  /// is spent, and each receive is capped to the remaining budget. True
+  /// when the final attempt yielded a decoded response — inspect
+  /// `response->status`, which may still be kQueueFull if every attempt
+  /// was rejected; false when it ended in a transport failure.
+  /// `response->attempts` receives the attempts made either way.
+  bool CallWithRetry(const wire::RequestFrame& request,
+                     wire::ResponseFrame* response,
+                     const RetryPolicy& policy = {});
+
   void Close();
   bool connected() const { return fd_ >= 0; }
 
  private:
   int fd_ = -1;
+  std::string host_;
+  int port_ = -1;
+  Rng rng_;
 };
 
 }  // namespace causer::serve

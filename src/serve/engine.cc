@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/log.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
@@ -17,10 +18,10 @@
 
 namespace causer::serve {
 
-ServingEngine::ServingEngine(models::SequentialRecommender& model,
-                             const ServingConfig& config)
-    : model_(model),
-      config_([&config] {
+ServingEngine::ServingEngine(
+    std::shared_ptr<models::SequentialRecommender> model,
+    const ServingConfig& config)
+    : config_([&config] {
         ServingConfig c = config;
         c.batch_max = std::max(1, c.batch_max);
         c.batch_wait_us = std::max(0, c.batch_wait_us);
@@ -32,22 +33,87 @@ ServingEngine::ServingEngine(models::SequentialRecommender& model,
         c.rerank_k = std::max(std::max(1, c.top_k), c.rerank_k);
         return c;
       }()),
-      store_(model, config_.max_sessions),
-      dispatcher_([this] { DispatcherLoop(); }) {
+      store_(config_.max_sessions) {
+  CAUSER_CHECK(model != nullptr);
+  served_.store(BuildServed(std::move(model), 1, "initial"),
+                std::memory_order_release);
+  if (metrics::Enabled()) ServeMetrics().active_version.Set(1.0);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+ServingEngine::ServingEngine(models::SequentialRecommender& model,
+                             const ServingConfig& config)
+    : ServingEngine(std::shared_ptr<models::SequentialRecommender>(
+                        &model, [](models::SequentialRecommender*) {}),
+                    config) {}
+
+ServingEngine::~ServingEngine() { Stop(); }
+
+std::shared_ptr<const ServingEngine::ServedModel> ServingEngine::BuildServed(
+    std::shared_ptr<models::SequentialRecommender> model, uint64_t version,
+    const std::string& source) {
+  auto served = std::make_shared<ServedModel>();
+  served->version = version;
+  served->model = std::move(model);
+  served->source = source;
   if (config_.quantize_int8) {
     // Calibrate (or fetch the model's cached) quantized table up front so
     // the first batch doesn't pay the absmax pass, and so an unquantizable
-    // model is reported once at startup instead of per batch.
-    qtable_ = model_.QuantizedItemTable();
-    if (qtable_ == nullptr) {
+    // model is reported once per version instead of per batch. On reload
+    // this runs on the reloader's thread while the old version keeps
+    // scoring.
+    served->qtable = served->model->QuantizedItemTable();
+    if (served->qtable == nullptr) {
       CAUSER_LOG(Warning)
-          << "int8 scoring requested but " << model_.name()
+          << "int8 scoring requested but " << served->model->name()
           << " has no quantizable item table; serving fp32";
     }
   }
+  return served;
 }
 
-ServingEngine::~ServingEngine() { Stop(); }
+uint64_t ServingEngine::Reload(
+    std::shared_ptr<models::SequentialRecommender> model,
+    const std::string& source) {
+  const bool measure = metrics::Enabled();
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  Stopwatch watch;
+  const auto current = served_.load(std::memory_order_acquire);
+  if (model == nullptr ||
+      model->config().num_items != current->model->config().num_items) {
+    // The catalog size is load-bearing: the server validates request item
+    // ids against it once at startup, and clients key cached expectations
+    // on it. A model of a different shape is a deployment error, not a
+    // reload.
+    CAUSER_LOG(Warning) << "model reload rejected (" << source << "): "
+                        << (model == nullptr ? "no model"
+                                             : "catalog size mismatch");
+    if (measure) ServeMetrics().reload_failures.Add();
+    return 0;
+  }
+  const auto next = BuildServed(std::move(model), current->version + 1,
+                                source);
+  // The swap itself: one atomic store. Batches already running keep the
+  // ServedModel they pinned; the next batch (and the session store's
+  // version stamps, via the version it passes to Acquire) sees the new
+  // one. Nothing on the score path blocks on reload_mu_.
+  served_.store(next, std::memory_order_release);
+  if (measure) {
+    ServeMetrics().reloads.Add();
+    ServeMetrics().active_version.Set(static_cast<double>(next->version));
+    ServeMetrics().reload_seconds.Observe(watch.ElapsedSeconds());
+  }
+  return next->version;
+}
+
+uint64_t ServingEngine::active_version() const {
+  return served_.load(std::memory_order_acquire)->version;
+}
+
+std::shared_ptr<const models::SequentialRecommender> ServingEngine::model()
+    const {
+  return served_.load(std::memory_order_acquire)->model;
+}
 
 void ServingEngine::Stop() {
   {
@@ -151,8 +217,8 @@ void ServingEngine::DispatcherLoop() {
 }
 
 bool ServingEngine::ScoreRowsQuantized(
-    const float* reps, int rows, int dim, int vocab,
-    const tensor::Tensor* table, const std::vector<int>& gemm_rows,
+    const ServedModel& served, const float* reps, int rows, int dim,
+    int vocab, const tensor::Tensor* table, const std::vector<int>& gemm_rows,
     std::vector<Response>& unique_responses) {
   std::vector<std::int8_t> qreps(static_cast<size_t>(rows) * dim);
   std::vector<float> rep_scales(rows);
@@ -165,8 +231,9 @@ bool ServingEngine::ScoreRowsQuantized(
   std::vector<tensor::kernels::TopKEntry> cands(static_cast<size_t>(rows) *
                                                 kq);
   tensor::kernels::MatMulTopKQ(qreps.data(), rep_scales.data(),
-                               qtable_->data.data(), qtable_->scales.data(),
-                               rows, dim, vocab, kq, cands.data());
+                               served.qtable->data.data(),
+                               served.qtable->scales.data(), rows, dim,
+                               vocab, kq, cands.data());
   // Exact fp32 re-rank: ops.dot is the same zero-seeded ascending-k chain
   // MatMulTopK scores with, so every returned score carries the fp32
   // path's bits; with rerank_k >= vocab every item is a candidate and the
@@ -218,6 +285,20 @@ void ServingEngine::ProcessBatch(const std::vector<Pending*>& batch) {
     ServeMetrics().batch_size.Observe(static_cast<double>(batch.size()));
   }
 
+  // Pin the current model version for the whole batch: one atomic load,
+  // no lock. A Reload publishing mid-batch swaps served_ under us, but
+  // this shared_ptr keeps our version (weights + quantized table) alive
+  // and every step below uses it — the batch is bit-exact for the version
+  // it started on.
+  const std::shared_ptr<const ServedModel> served =
+      served_.load(std::memory_order_acquire);
+  models::SequentialRecommender& model = *served->model;
+  if (fault::ShouldFail("serve.reload_mid_batch")) {
+    // Chaos harness: widen the pin-to-score window so a concurrent Reload
+    // reliably lands inside it; the assertions above must keep holding.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
   // Phase 1 — advance sessions in arrival order. Duplicate users in one
   // batch fold into a single session: each append lands in order and every
   // duplicate scores the final state (exactly what sequential per-request
@@ -233,9 +314,10 @@ void ServingEngine::ProcessBatch(const std::vector<Pending*>& batch) {
     trace::TraceSpan span("serve.advance");
     for (size_t i = 0; i < batch.size(); ++i) {
       const Request& request = *batch[i]->request;
-      states[i] = store_.Acquire(request.user, request.bootstrap);
+      states[i] = store_.Acquire(request.user, request.bootstrap,
+                                 served->model, served->version);
       if (request.append != nullptr) {
-        model_.AdvanceState(*states[i], *request.append);
+        model.AdvanceState(*states[i], *request.append);
       }
       auto [it, inserted] =
           seen.emplace(request.user, static_cast<int>(uniques.size()));
@@ -258,7 +340,7 @@ void ServingEngine::ProcessBatch(const std::vector<Pending*>& batch) {
     Stopwatch watch;
     trace::TraceSpan span("serve.score");
     span.AddArg("unique_users", static_cast<double>(num_unique));
-    const tensor::Tensor* table = model_.OutputItemTable();
+    const tensor::Tensor* table = model.OutputItemTable();
     std::vector<int> fallback;
     std::vector<int> gemm_rows;  // unique index of each packed rep row
     std::vector<float> reps;
@@ -267,7 +349,7 @@ void ServingEngine::ProcessBatch(const std::vector<Pending*>& batch) {
       reps.resize(static_cast<size_t>(num_unique) * dim);
       for (int u = 0; u < num_unique; ++u) {
         float* row = reps.data() + static_cast<size_t>(gemm_rows.size()) * dim;
-        if (model_.StateRep(*states[uniques[u]], row)) {
+        if (model.StateRep(*states[uniques[u]], row)) {
           gemm_rows.push_back(u);
         } else {
           fallback.push_back(u);
@@ -281,9 +363,10 @@ void ServingEngine::ProcessBatch(const std::vector<Pending*>& batch) {
       const int rows = static_cast<int>(gemm_rows.size());
       const int dim = table->cols();
       const int vocab = table->rows();
-      if (qtable_ != nullptr) {
-        quantized = ScoreRowsQuantized(reps.data(), rows, dim, vocab, table,
-                                       gemm_rows, unique_responses);
+      if (served->qtable != nullptr) {
+        quantized = ScoreRowsQuantized(*served, reps.data(), rows, dim,
+                                       vocab, table, gemm_rows,
+                                       unique_responses);
       }
       if (!quantized) {
         std::vector<tensor::kernels::TopKEntry> entries(
@@ -306,7 +389,7 @@ void ServingEngine::ProcessBatch(const std::vector<Pending*>& batch) {
     }
     for (int u : fallback) {
       const std::vector<float> scores =
-          model_.ScoreFromState(*states[uniques[u]]);
+          model.ScoreFromState(*states[uniques[u]]);
       Response& response = unique_responses[u];
       for (int item : eval::TopK(scores, k)) {
         response.items.push_back(item);
@@ -320,6 +403,7 @@ void ServingEngine::ProcessBatch(const std::vector<Pending*>& batch) {
 
   for (size_t i = 0; i < batch.size(); ++i) {
     batch[i]->response = unique_responses[unique_of[i]];
+    batch[i]->response.model_version = served->version;
   }
 }
 

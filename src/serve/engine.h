@@ -1,9 +1,13 @@
 #ifndef CAUSER_SERVE_ENGINE_H_
 #define CAUSER_SERVE_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -71,6 +75,9 @@ struct Response {
   std::vector<int> items;
   std::vector<float> scores;
   ResponseStatus status = ResponseStatus::kOk;
+  /// The engine model version that scored this response (1 = the model the
+  /// engine was constructed with, bumped by each Reload). 0 on rejection.
+  uint64_t model_version = 0;
 };
 
 /// Online inference engine: a session store for O(1) incremental advances
@@ -79,8 +86,20 @@ struct Response {
 /// model exposes the single-inner-product form (StateRep/OutputItemTable),
 /// falling back to per-request ScoreFromState otherwise (Causer's grouped
 /// scoring). See docs/ARCHITECTURE.md for the request data flow.
+///
+/// The model is hot-swappable: Reload() publishes a new version through an
+/// atomic shared_ptr (epoch swap). Each batch pins the version live when
+/// it starts and scores with it to completion, so a reload never blocks
+/// the score path and an in-flight batch never sees weights change under
+/// it; session states built by older versions are lazily rebuilt from
+/// their request's bootstrap on next touch (docs/ROBUSTNESS.md, "Serving
+/// fault tolerance").
 class ServingEngine {
  public:
+  ServingEngine(std::shared_ptr<models::SequentialRecommender> model,
+                const ServingConfig& config);
+  /// Non-owning convenience overload: `model` must outlive the engine
+  /// (tests, benches, single-model embedders).
   ServingEngine(models::SequentialRecommender& model,
                 const ServingConfig& config);
   ~ServingEngine();
@@ -104,10 +123,28 @@ class ServingEngine {
   /// user are advanced in order and score the same final session state.
   std::vector<Response> ScoreBatch(const std::vector<Request>& requests);
 
+  /// Hot-swaps the served model: rebuilds the int8 quantized item table
+  /// when quantize_int8 is on (on this thread — scoring continues on the
+  /// old version meanwhile), then publishes the new version with one
+  /// atomic store. Batches in flight finish on the version they pinned;
+  /// later batches pick up the new one, and their stale session states
+  /// are rebuilt from bootstrap on touch. Returns the new active version,
+  /// or 0 — previous version keeps serving — when `model` is null or its
+  /// catalog size differs from the current one (the server's request
+  /// validation and every cached expectation key on it). Thread-safe;
+  /// concurrent reloads are serialized.
+  uint64_t Reload(std::shared_ptr<models::SequentialRecommender> model,
+                  const std::string& source = "reload");
+
+  /// The version currently serving (1 = construction model).
+  uint64_t active_version() const;
+
   SessionStore& store() { return store_; }
   const ServingConfig& config() const { return config_; }
-  /// The served model (e.g. for catalog-size request validation).
-  const models::SequentialRecommender& model() const { return model_; }
+  /// The served model (e.g. for catalog-size request validation). The
+  /// returned pointer stays valid across reloads — hold it, not a
+  /// reference into it.
+  std::shared_ptr<const models::SequentialRecommender> model() const;
 
  private:
   struct Pending {
@@ -116,27 +153,46 @@ class ServingEngine {
     bool done = false;
   };
 
+  /// One published model version plus its serving-side derived state.
+  /// Immutable after publish; batches pin it with one atomic shared_ptr
+  /// load and keep it for the whole batch.
+  struct ServedModel {
+    uint64_t version = 1;
+    std::shared_ptr<models::SequentialRecommender> model;
+    /// Model-owned quantized item table; non-null only under quantize_int8
+    /// with a quantizable model. Valid while `model` lives — the pin above
+    /// covers it.
+    const tensor::QuantizedMatrix* qtable = nullptr;
+    std::string source;
+  };
+
+  /// Builds a ServedModel (quantized-table calibration included).
+  std::shared_ptr<const ServedModel> BuildServed(
+      std::shared_ptr<models::SequentialRecommender> model, uint64_t version,
+      const std::string& source);
+
   void DispatcherLoop();
   /// Advances every request's session, then scores them (batched GEMM +
   /// fused top-k when available). Fills each Pending's response.
   void ProcessBatch(const std::vector<Pending*>& batch);
   /// Int8 path of ProcessBatch's scoring phase: quantizes the packed
   /// [rows, dim] reps per row, runs the quantized fused top-rerank_k
-  /// (kernels::MatMulTopKQ) against the cached table, then re-scores the
+  /// (kernels::MatMulTopKQ) against `served`'s table, then re-scores the
   /// surviving candidates exactly in fp32 and fills the responses. Returns
   /// false — responses untouched, caller runs the fp32 path — when the
   /// activations cannot be quantized (non-finite values).
-  bool ScoreRowsQuantized(const float* reps, int rows, int dim, int vocab,
+  bool ScoreRowsQuantized(const ServedModel& served, const float* reps,
+                          int rows, int dim, int vocab,
                           const tensor::Tensor* table,
                           const std::vector<int>& gemm_rows,
                           std::vector<Response>& unique_responses);
 
-  models::SequentialRecommender& model_;
   const ServingConfig config_;
   SessionStore store_;
-  /// Model-owned quantized item table; non-null only under quantize_int8
-  /// with a quantizable model. Read-only during serving.
-  const tensor::QuantizedMatrix* qtable_ = nullptr;
+  /// The epoch-swapped current version: readers (batches) do one atomic
+  /// load and never lock; Reload publishes with one atomic store.
+  std::atomic<std::shared_ptr<const ServedModel>> served_;
+  std::mutex reload_mu_;  // serializes writers (Reload)
 
   std::mutex mu_;
   std::mutex batch_mu_;  // serializes ProcessBatch (dispatcher vs ScoreBatch)

@@ -1,0 +1,46 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "nn/serialization.h"
+
+namespace causer::serve {
+
+ModelRegistry::ModelRegistry(Factory factory)
+    : factory_(std::move(factory)) {}
+
+std::shared_ptr<const ModelVersion> ModelRegistry::Current() const {
+  return current_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const ModelVersion> ModelRegistry::Publish(
+    std::shared_ptr<models::SequentialRecommender> model,
+    std::string source) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  auto entry = std::make_shared<ModelVersion>();
+  entry->version = next_version_++;
+  entry->model = std::move(model);
+  entry->source = std::move(source);
+  current_.store(entry, std::memory_order_release);
+  return entry;
+}
+
+std::shared_ptr<const ModelVersion> ModelRegistry::LoadAndPublish(
+    const std::string& path) {
+  if (!factory_) return nullptr;
+  std::unique_ptr<models::SequentialRecommender> model = factory_();
+  if (model == nullptr) return nullptr;
+  // A training checkpoint validates magic, CRCs and the architecture guard
+  // before mutating the model, so trying it first is safe on any file; a
+  // bare parameter dump is the fallback.
+  models::FitResumeState resume;  // discarded — serving needs weights only
+  if (!core::LoadTrainingCheckpoint(*model, &resume, path) &&
+      !nn::LoadParameters(*model, path)) {
+    return nullptr;
+  }
+  model->OnParametersRestored();
+  return Publish(std::move(model), path);
+}
+
+}  // namespace causer::serve

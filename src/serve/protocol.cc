@@ -10,7 +10,8 @@ void EncodeRequest(const RequestFrame& frame, std::vector<uint8_t>* out) {
   out->clear();
   net::PutU8(out, kVersion);
   net::PutU8(out, static_cast<uint8_t>(frame.priority));
-  net::PutU16(out, 0);  // reserved
+  net::PutU8(out, static_cast<uint8_t>(frame.op));
+  net::PutU8(out, 0);  // reserved
   net::PutU32(out, frame.request_id);
   net::PutU32(out, static_cast<uint32_t>(frame.user));
   net::PutU32(out, frame.deadline_ms);
@@ -31,7 +32,10 @@ bool DecodeRequest(const std::vector<uint8_t>& payload, RequestFrame* out) {
   const uint8_t priority = cursor.U8();
   if (priority > static_cast<uint8_t>(Priority::kHigh)) return false;
   out->priority = static_cast<Priority>(priority);
-  cursor.U16();  // reserved
+  const uint8_t op = cursor.U8();
+  if (op > static_cast<uint8_t>(Op::kReload)) return false;
+  out->op = static_cast<Op>(op);
+  cursor.U8();  // reserved
   out->request_id = cursor.U32();
   out->user = static_cast<int32_t>(cursor.U32());
   out->deadline_ms = cursor.U32();
@@ -62,6 +66,7 @@ void EncodeResponse(const ResponseFrame& frame, std::vector<uint8_t>* out) {
   net::PutU8(out, static_cast<uint8_t>(frame.status));
   net::PutU16(out, static_cast<uint16_t>(frame.items.size()));
   net::PutU32(out, frame.request_id);
+  net::PutU32(out, frame.model_version);
   for (size_t i = 0; i < frame.items.size(); ++i) {
     net::PutU32(out, static_cast<uint32_t>(frame.items[i]));
     net::PutF32(out, i < frame.scores.size() ? frame.scores[i] : 0.0f);
@@ -73,10 +78,11 @@ bool DecodeResponse(const std::vector<uint8_t>& payload,
   net::Cursor cursor{payload.data(), payload.size()};
   if (cursor.U8() != kVersion) return false;
   const uint8_t status = cursor.U8();
-  if (status > static_cast<uint8_t>(Status::kBadRequest)) return false;
+  if (status > static_cast<uint8_t>(Status::kReloadFailed)) return false;
   out->status = static_cast<Status>(status);
   const uint16_t k = cursor.U16();
   out->request_id = cursor.U32();
+  out->model_version = cursor.U32();
   out->items.clear();
   out->scores.clear();
   out->items.reserve(k);
@@ -100,6 +106,8 @@ const char* StatusName(Status status) {
       return "shutting_down";
     case Status::kBadRequest:
       return "bad_request";
+    case Status::kReloadFailed:
+      return "reload_failed";
   }
   return "unknown";
 }

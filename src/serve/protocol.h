@@ -15,10 +15,12 @@ namespace causer::serve::wire {
 // Request payload (all integers little-endian):
 //   u8  version (= kVersion)
 //   u8  priority (Priority)
-//   u16 reserved (0)
+//   u8  op               Op: 0 = score, 1 = reload (control frame)
+//   u8  reserved (0)
 //   u32 request_id       echoed verbatim in the response
 //   u32 user             session key (any non-negative id; not bounded by
-//                        the model's training-time user count)
+//                        the model's training-time user count); 0 for
+//                        kReload
 //   u32 deadline_ms      relative deadline from server receipt; 0 = use
 //                        the server's default (--deadline-ms), which may
 //                        itself be 0 = none
@@ -34,9 +36,13 @@ namespace causer::serve::wire {
 //   u8  status (Status)
 //   u16 k                number of recommendations (0 unless kOk)
 //   u32 request_id
+//   u32 model_version    engine model version (low 32 bits) that produced
+//                        this response; for kReload acks, the version now
+//                        active. Lets clients cross-check bit-exactness
+//                        per served version across hot reloads.
 //   k x [u32 item, f32 score]   best first
 
-inline constexpr uint8_t kVersion = 1;
+inline constexpr uint8_t kVersion = 2;
 
 /// Upper bound on a frame payload; a declared length above this is a
 /// protocol error and closes the connection.
@@ -55,6 +61,10 @@ enum class Status : uint8_t {
   /// Malformed or out-of-range request (e.g. an item id outside the
   /// catalog). The connection stays open.
   kBadRequest = 4,
+  /// A kReload control frame was received but the reload did not take
+  /// (load failure, architecture mismatch, or no reload hook configured).
+  /// The previously active model keeps serving.
+  kReloadFailed = 5,
 };
 
 enum class Priority : uint8_t {
@@ -63,11 +73,21 @@ enum class Priority : uint8_t {
   kHigh = 1,
 };
 
+enum class Op : uint8_t {
+  /// Score the user's session (the normal request).
+  kScore = 0,
+  /// Control frame: ask the server to hot-reload its model (same effect
+  /// as SIGHUP). Acked with kOk + the new active model_version, or
+  /// kReloadFailed. append/bootstrap must be empty.
+  kReload = 1,
+};
+
 struct RequestFrame {
   uint32_t request_id = 0;
   int32_t user = 0;
   uint32_t deadline_ms = 0;
   Priority priority = Priority::kNormal;
+  Op op = Op::kScore;
   /// Item ids of the interaction appended before scoring; empty = none.
   std::vector<int32_t> append;
   /// Prior history replayed on session miss, oldest first.
@@ -77,8 +97,13 @@ struct RequestFrame {
 struct ResponseFrame {
   uint32_t request_id = 0;
   Status status = Status::kOk;
+  /// Low 32 bits of the engine model version that served this response.
+  uint32_t model_version = 0;
   std::vector<int32_t> items;
   std::vector<float> scores;
+  /// Client-side bookkeeping, not on the wire: attempts made by
+  /// Client::CallWithRetry to get this response (1 = first try).
+  int attempts = 0;
 };
 
 /// Serializes the payload (no length prefix) into `*out` (cleared first).

@@ -24,6 +24,7 @@ struct ServerMetricsT {
   metrics::Counter& rejected_shutdown;  ///< server.rejected_shutdown_total
   metrics::Counter& bad_requests;       ///< server.bad_requests_total
   metrics::Counter& protocol_errors;    ///< server.protocol_errors_total
+  metrics::Counter& idle_timeouts;      ///< server.conn_idle_timeout_total
   metrics::Gauge& open_connections;     ///< server.open_connections
   metrics::Gauge& queue_depth;          ///< server.queue_depth
   metrics::Histogram& queue_seconds;    ///< server.queue_seconds
@@ -54,6 +55,11 @@ ServerMetricsT& ServerMetrics() {
       metrics::GetCounter("server.protocol_errors_total", "errors",
                           "Connections dropped on undecodable frames or "
                           "oversized declared lengths."),
+      metrics::GetCounter("server.conn_idle_timeout_total", "connections",
+                          "Connections closed by the per-connection read "
+                          "deadline (slow-loris guard): the peer sent "
+                          "nothing, or stalled mid-frame, for "
+                          "--conn-idle-timeout-ms."),
       metrics::GetGauge("server.open_connections", "connections",
                         "Currently accepted TCP connections."),
       metrics::GetGauge("server.queue_depth", "requests",
@@ -83,9 +89,10 @@ Server::Server(ServingEngine& engine, const ServerConfig& config)
         c.workers = std::max(1, c.workers);
         c.deadline_ms = std::max(0, c.deadline_ms);
         c.backlog = std::max(1, c.backlog);
+        c.idle_timeout_ms = std::max(0, c.idle_timeout_ms);
         return c;
       }()),
-      num_items_(engine.model().config().num_items) {}
+      num_items_(engine.model()->config().num_items) {}
 
 Server::~Server() { Shutdown(); }
 
@@ -127,9 +134,17 @@ void Server::AcceptLoop() {
 }
 
 void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
+  if (config_.idle_timeout_ms > 0) {
+    // Slow-loris guard: without a receive deadline, a peer that stalls —
+    // idle between frames or, worse, mid-frame — pins this reader thread
+    // (and its connection slot) forever.
+    net::SetRecvTimeout(conn->fd, config_.idle_timeout_ms / 1000.0);
+  }
   std::vector<uint8_t> payload;
   wire::RequestFrame frame;
-  while (net::ReadFrame(conn->fd, &payload, wire::kMaxFrameBytes)) {
+  net::ReadError read_error = net::ReadError::kNone;
+  while (net::ReadFrame(conn->fd, &payload, wire::kMaxFrameBytes,
+                        &read_error)) {
     const bool measure = metrics::Enabled();
     if (measure) ServerMetrics().requests.Add();
     if (!wire::DecodeRequest(payload, &frame)) {
@@ -137,6 +152,19 @@ void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
       // trusted; drop the connection rather than answer garbage.
       if (measure) ServerMetrics().protocol_errors.Add();
       break;
+    }
+    if (frame.op == wire::Op::kReload) {
+      // Control frame: same effect as SIGHUP, acked inline from this
+      // reader thread (reloads are rare and never block the score path).
+      wire::ResponseFrame ack;
+      ack.request_id = frame.request_id;
+      const bool reloaded = config_.on_reload != nullptr &&
+                            frame.append.empty() && frame.bootstrap.empty() &&
+                            config_.on_reload();
+      ack.status = reloaded ? wire::Status::kOk : wire::Status::kReloadFailed;
+      ack.model_version = static_cast<uint32_t>(engine_.active_version());
+      WriteResponse(*conn, ack);
+      continue;
     }
     bool bad = frame.user < 0;
     for (int32_t item : frame.append) {
@@ -211,6 +239,13 @@ void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
       Reject(*conn, frame.request_id, rejection);
     }
   }
+  if (read_error == net::ReadError::kTimeout) {
+    // The read deadline expired: close the connection so the stalled peer
+    // cannot hold the slot. In-flight responses for it may still be
+    // written; their failed writes unwind harmlessly.
+    if (metrics::Enabled()) ServerMetrics().idle_timeouts.Add();
+    net::ShutdownSocket(conn->fd);
+  }
 }
 
 void Server::WorkerLoop() {
@@ -273,6 +308,9 @@ void Server::ProcessJob(Job& job) {
     Response scored = engine_.Handle(request);
     if (scored.status == ResponseStatus::kOk) {
       response.status = wire::Status::kOk;
+      // The version that actually scored this request — not the currently
+      // active one, which a concurrent reload may already have advanced.
+      response.model_version = static_cast<uint32_t>(scored.model_version);
       response.items.assign(scored.items.begin(), scored.items.end());
       response.scores = std::move(scored.scores);
     } else {
@@ -294,9 +332,14 @@ void Server::WriteResponse(Connection& conn,
   std::vector<uint8_t> payload;
   wire::EncodeResponse(frame, &payload);
   std::lock_guard<std::mutex> lock(conn.write_mu);
-  // A failed write means the peer is gone; its reader sees EOF and the
-  // connection unwinds there.
-  (void)net::WriteFrame(conn.fd, payload.data(), payload.size());
+  // A failed write means the peer is gone or the frame went out torn
+  // (net.torn_write). Either way the stream can no longer carry aligned
+  // frames: shut the socket down so the peer unwinds instead of waiting
+  // for the rest of a frame that will never come, and so our reader sees
+  // EOF and retires the connection.
+  if (!net::WriteFrame(conn.fd, payload.data(), payload.size())) {
+    net::ShutdownSocket(conn.fd);
+  }
 }
 
 void Server::Reject(Connection& conn, uint32_t request_id,

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,6 +36,18 @@ struct ServerConfig {
   int deadline_ms = 0;
   /// listen(2) backlog.
   int backlog = 128;
+  /// Per-connection read deadline (slow-loris guard): a connection whose
+  /// peer sends nothing — or stalls mid-frame — for this long is closed
+  /// and counted by server.conn_idle_timeout_total, instead of pinning a
+  /// reader thread forever. 0 = no deadline.
+  int idle_timeout_ms = 0;
+  /// Invoked on a kReload control frame (protocol.h). Returns whether the
+  /// reload took; the frame is acked with kOk + the new active version, or
+  /// kReloadFailed. Runs on the connection's reader thread and may be
+  /// called concurrently from several connections — the hook serializes
+  /// itself (ServingEngine::Reload already does). Null = reloads over the
+  /// wire are rejected.
+  std::function<bool()> on_reload;
 };
 
 /// Self-contained TCP front-end over a ServingEngine: a blocking accept

@@ -49,23 +49,53 @@ ServeMetricsT& ServeMetrics() {
                           "Micro-batches that requested int8 scoring but ran "
                           "fp32 (no quantized table, or non-finite "
                           "activations)."),
+      metrics::GetCounter("serve.reload.reloads_total", "reloads",
+                          "Hot model reloads published by the serving "
+                          "engine (version swaps)."),
+      metrics::GetCounter("serve.reload.failures_total", "failures",
+                          "Rejected reload attempts (load failure or "
+                          "architecture mismatch); the previous version "
+                          "kept serving."),
+      metrics::GetHistogram("serve.reload.seconds", "seconds",
+                            "Wall time of a reload publish: quantized-table "
+                            "rebuild + atomic swap (the score path is never "
+                            "blocked).",
+                            metrics::ExponentialBuckets(1e-6, 10.0, 8)),
+      metrics::GetGauge("serve.reload.active_version", "version",
+                        "Model version currently serving (monotonic, "
+                        "starts at 1)."),
+      metrics::GetCounter("serve.reload.stale_rebuilds_total", "sessions",
+                          "Cached session states discarded on touch because "
+                          "they were built by an older model version, then "
+                          "rebuilt by bootstrap replay."),
   };
   return m;
 }
 
-SessionStore::SessionStore(models::SequentialRecommender& model,
-                           int max_sessions)
-    : model_(model), max_sessions_(max_sessions) {}
+SessionStore::SessionStore(int max_sessions)
+    : max_sessions_(max_sessions) {}
 
 SessionStore::Handle SessionStore::Acquire(
-    int user, const std::vector<data::Step>* bootstrap) {
+    int user, const std::vector<data::Step>* bootstrap,
+    const std::shared_ptr<models::SequentialRecommender>& model,
+    uint64_t version) {
   const bool measure = metrics::Enabled();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(user);
   if (it != sessions_.end()) {
-    it->second.stamp = ++clock_;
-    if (measure) ServeMetrics().session_hits.Add();
-    return it->second.state;
+    if (it->second.version == version) {
+      it->second.stamp = ++clock_;
+      if (measure) ServeMetrics().session_hits.Add();
+      return it->second.state;
+    }
+    // Stale: built by a different model version. Never advance or serve it
+    // — drop the entry and fall through to the miss path, which rebuilds
+    // from the bootstrap replay under the current model. Any handle still
+    // pinning the old state keeps it alive, and that handle's batch pins
+    // the ServedModel it started on, so the state cannot outlive its
+    // weights.
+    sessions_.erase(it);
+    if (measure) ServeMetrics().stale_rebuilds.Add();
   }
   // Linear LRU scan: the store holds ~max_sessions entries and evictions
   // are rare next to scoring work, so an index structure would buy nothing
@@ -91,18 +121,20 @@ SessionStore::Handle SessionStore::Acquire(
     if (measure) ServeMetrics().evictions.Add();
   }
   Entry entry;
-  entry.state = model_.NewSessionState(user);
+  entry.state = model->NewSessionState(user);
+  entry.model = model;
+  entry.version = version;
   entry.stamp = ++clock_;
   if (bootstrap != nullptr) {
     // Replay the prior history into the fresh state. Only the most recent
     // max_history steps can influence scoring (ScoreAll truncates), so the
     // replay starts at that suffix: O(max_history) however long the
     // history is.
-    const size_t cap = static_cast<size_t>(model_.config().max_history);
+    const size_t cap = static_cast<size_t>(model->config().max_history);
     const size_t start =
         bootstrap->size() > cap ? bootstrap->size() - cap : 0;
     for (size_t i = start; i < bootstrap->size(); ++i) {
-      model_.AdvanceState(*entry.state, (*bootstrap)[i]);
+      model->AdvanceState(*entry.state, (*bootstrap)[i]);
     }
   }
   auto [pos, inserted] = sessions_.emplace(user, std::move(entry));

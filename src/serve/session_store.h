@@ -29,6 +29,11 @@ struct ServeMetricsT {
   metrics::Counter& quant_batches;      ///< serve.quant.batches_total
   metrics::Counter& quant_rerank;       ///< serve.quant.rerank_candidates_total
   metrics::Counter& quant_fallbacks;    ///< serve.quant.fallbacks_total
+  metrics::Counter& reloads;            ///< serve.reload.reloads_total
+  metrics::Counter& reload_failures;    ///< serve.reload.failures_total
+  metrics::Histogram& reload_seconds;   ///< serve.reload.seconds
+  metrics::Gauge& active_version;       ///< serve.reload.active_version
+  metrics::Counter& stale_rebuilds;     ///< serve.reload.stale_rebuilds_total
 };
 
 /// The shared serving instrument group.
@@ -39,8 +44,12 @@ ServeMetricsT& ServeMetrics();
 /// O(T) history replay. Bounded by `max_sessions` with least-recently-used
 /// eviction; an evicted user is rebuilt from the request's bootstrap
 /// history on its next appearance, so eviction only costs time, never
-/// correctness. Thread-safe; states themselves are handed out under the
-/// engine's serialization (one dispatcher advances them).
+/// correctness. Entries are version-stamped with the model version that
+/// built them: a hot reload bumps the engine's version, and a stale entry
+/// is lazily rebuilt by bootstrap replay on its next touch — a state is
+/// never advanced or scored by a model other than the one that created it.
+/// Thread-safe; states themselves are handed out under the engine's
+/// serialization (one dispatcher advances them).
 class SessionStore {
  public:
   /// Shared ownership of a cached session. Holding a Handle pins the state:
@@ -51,13 +60,20 @@ class SessionStore {
   using Handle = std::shared_ptr<models::SessionState>;
 
   /// `max_sessions` == 0 means unbounded (the engine clamps negatives).
-  SessionStore(models::SequentialRecommender& model, int max_sessions);
+  explicit SessionStore(int max_sessions);
 
-  /// Returns the session for `user`, creating it on miss — replaying
-  /// `bootstrap` (may be null = start empty) into the fresh state. The
-  /// handle keeps the state alive across evictions; drop it when the
-  /// request's batch completes so the LRU cap can reclaim the entry.
-  Handle Acquire(int user, const std::vector<data::Step>* bootstrap);
+  /// Returns the session for `user` under `model`/`version`, creating it
+  /// on miss — replaying `bootstrap` (may be null = start empty) into the
+  /// fresh state. A cached entry stamped with a different version is
+  /// treated as a miss and rebuilt from `bootstrap` with the given model
+  /// (SessionStates are only valid with the model that created them). The
+  /// entry co-owns `model`, so a pinned pre-reload state can never outlive
+  /// its weights. The handle keeps the state alive across evictions; drop
+  /// it when the request's batch completes so the LRU cap can reclaim the
+  /// entry.
+  Handle Acquire(int user, const std::vector<data::Step>* bootstrap,
+                 const std::shared_ptr<models::SequentialRecommender>& model,
+                 uint64_t version);
 
   /// Drops a user's session (testing / explicit logout).
   void Evict(int user);
@@ -67,10 +83,13 @@ class SessionStore {
  private:
   struct Entry {
     std::shared_ptr<models::SessionState> state;
-    uint64_t stamp = 0;  // LRU clock value of the last Acquire
+    /// The model that created `state` — kept alive for as long as the
+    /// entry (or a pinned Handle) might still reference the state.
+    std::shared_ptr<models::SequentialRecommender> model;
+    uint64_t version = 0;  // engine model version that built the state
+    uint64_t stamp = 0;    // LRU clock value of the last Acquire
   };
 
-  models::SequentialRecommender& model_;
   const int max_sessions_;
 
   mutable std::mutex mu_;

@@ -311,6 +311,7 @@ TEST(ServerTest, ProtocolRoundTripAndMalformedPayloads) {
   request.user = 12345;
   request.deadline_ms = 250;
   request.priority = wire::Priority::kHigh;
+  request.op = wire::Op::kReload;
   request.append = {1, 2, 3};
   request.bootstrap = {{4}, {5, 6}};
   std::vector<uint8_t> payload;
@@ -321,20 +322,29 @@ TEST(ServerTest, ProtocolRoundTripAndMalformedPayloads) {
   EXPECT_EQ(decoded.user, request.user);
   EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
   EXPECT_EQ(decoded.priority, request.priority);
+  EXPECT_EQ(decoded.op, request.op);
   EXPECT_EQ(decoded.append, request.append);
   EXPECT_EQ(decoded.bootstrap, request.bootstrap);
 
   wire::ResponseFrame response;
   response.request_id = 42;
   response.status = wire::Status::kOk;
+  response.model_version = 7;
   response.items = {7, 8};
   response.scores = {0.5f, 0.25f};
   wire::EncodeResponse(response, &payload);
   wire::ResponseFrame round;
   ASSERT_TRUE(wire::DecodeResponse(payload, &round));
   EXPECT_EQ(round.request_id, response.request_id);
+  EXPECT_EQ(round.model_version, response.model_version);
   EXPECT_EQ(round.items, response.items);
   EXPECT_EQ(round.scores, response.scores);
+
+  // An out-of-range op byte must fail to decode.
+  std::vector<uint8_t> bad_op = payload;
+  wire::EncodeRequest(request, &bad_op);
+  bad_op[2] = 2;  // past Op::kReload
+  EXPECT_FALSE(wire::DecodeRequest(bad_op, &decoded));
 
   // Truncation, trailing garbage and a wrong version must all fail.
   wire::EncodeRequest(request, &payload);

@@ -20,13 +20,18 @@
 //   serve     --data=<dir> --model=<file> [--serve-replay=N]
 //             [--batch-max=N] [--batch-wait-us=N] [--max-sessions=N]
 //             [--serve-port=N] [--deadline-ms=N] [--queue-depth=N]
-//             [--quantize=MODE] [--rerank-k=N]
+//             [--quantize=MODE] [--rerank-k=N] [--reload-watch=DIR]
+//             [--reload-poll-ms=N] [--conn-idle-timeout-ms=N]
 //     Without --serve-port: replays the test split's requests through the
 //     online serving engine (incremental session states + micro-batched
 //     GEMM scoring) from --threads concurrent clients and reports p50/p99
 //     latency and QPS. With --serve-port (0 = ephemeral): binds the TCP
 //     front-end (src/serve/server.h, wire format in src/serve/protocol.h)
-//     and serves until SIGINT/SIGTERM, then drains gracefully.
+//     and serves until SIGINT/SIGTERM, then drains gracefully. SIGHUP (or
+//     a kReload control frame) hot-reloads the model with zero downtime —
+//     from the newest checkpoint in --reload-watch when set, else by
+//     re-reading --model; --reload-watch is also polled so new
+//     checkpoints are picked up without a signal.
 //
 // Model files carry only weights; the architecture flags at evaluate /
 // explain time must match those used at training time.
@@ -42,6 +47,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -65,6 +71,7 @@
 #include "eval/metrics.h"
 #include "nn/serialization.h"
 #include "serve/engine.h"
+#include "serve/model_registry.h"
 #include "serve/server.h"
 #include "tensor/arena.h"
 
@@ -149,6 +156,17 @@ int PrintHelp() {
       "  --rerank-k=N         With --quantize=int8: candidates per request "
       "re-scored exactly in fp32 before the final top-k (default 2048; >= "
       "the catalog size makes int8 results identical to fp32).\n"
+      "  --reload-watch=DIR   Hot-reload source: on SIGHUP / kReload, load "
+      "the newest training checkpoint in DIR (default: re-read --model); "
+      "the directory is also polled so new checkpoints are picked up "
+      "without a signal. Zero downtime: in-flight requests finish on the "
+      "version that admitted them.\n"
+      "  --reload-poll-ms=N   How often to poll --reload-watch for new "
+      "checkpoints (default 500).\n"
+      "  --conn-idle-timeout-ms=N\n"
+      "                       Per-connection read deadline (slow-loris "
+      "guard): close connections whose peer sends nothing, or stalls "
+      "mid-frame, for this long (default 30000; 0 = never).\n"
       "\n"
       "model architecture flags (train, evaluate, explain — must match "
       "between training and loading):\n"
@@ -425,15 +443,23 @@ int CmdServe(const Flags& flags) {
     std::fprintf(stderr, "test split is empty\n");
     return 1;
   }
-  core::CauserModel model(ConfigFromFlags(flags, dataset));
-  if (!nn::LoadParameters(model, model_path)) {
+  // The registry owns model loading: it accepts both plain weight files
+  // and PR 4 training checkpoints (--reload-watch directories hold the
+  // latter), validating before publishing so a bad file never replaces a
+  // serving model.
+  const core::CauserConfig model_config = ConfigFromFlags(flags, dataset);
+  serve::ModelRegistry registry([model_config] {
+    return std::make_unique<core::CauserModel>(model_config);
+  });
+  std::shared_ptr<const serve::ModelVersion> initial =
+      registry.LoadAndPublish(model_path);
+  if (initial == nullptr) {
     std::fprintf(stderr,
                  "failed to load %s (architecture flags must match "
                  "training)\n",
                  model_path.c_str());
     return 1;
   }
-  model.OnParametersRestored();
 
   serve::ServingConfig sc;
   sc.batch_max = flags.GetInt("batch-max", 32);
@@ -449,14 +475,61 @@ int CmdServe(const Flags& flags) {
     return 2;
   }
   sc.rerank_k = flags.GetInt("rerank-k", 2048);
-  serve::ServingEngine engine(model, sc);
+  serve::ServingEngine engine(initial->model, sc);
 
   if (flags.Has("serve-port")) {
+    const std::string watch_dir = flags.GetString("reload-watch");
+    const double poll_seconds =
+        std::max(50, flags.GetInt("reload-poll-ms", 500)) * 1e-3;
+
+    // One reload at a time, whatever triggered it (SIGHUP on the serve
+    // loop, kReload frames on reader threads, the watch-dir poll).
+    // `last_loaded` suppresses re-loading a checkpoint the poll already
+    // picked up; explicit triggers always reload.
+    std::mutex reload_mu;
+    std::string last_loaded = model_path;
+    auto reload_now = [&]() -> bool {
+      std::lock_guard<std::mutex> lock(reload_mu);
+      std::string path = model_path;
+      if (!watch_dir.empty()) {
+        std::vector<std::string> checkpoints = core::ListCheckpoints(watch_dir);
+        if (!checkpoints.empty()) path = checkpoints.back();
+      }
+      std::shared_ptr<const serve::ModelVersion> next =
+          registry.LoadAndPublish(path);
+      if (next == nullptr) {
+        std::fprintf(stderr, "reload failed: could not load %s\n",
+                     path.c_str());
+        return false;
+      }
+      const uint64_t version = engine.Reload(next->model, next->source);
+      if (version == 0) {
+        std::fprintf(stderr, "reload failed: engine rejected %s\n",
+                     path.c_str());
+        return false;
+      }
+      last_loaded = path;
+      // Parsed by the chaos CI job: keep the format.
+      std::printf("reloaded model version %llu from %s\n",
+                  static_cast<unsigned long long>(version), path.c_str());
+      std::fflush(stdout);
+      return true;
+    };
+    auto watch_has_news = [&]() -> bool {
+      if (watch_dir.empty()) return false;
+      std::vector<std::string> checkpoints = core::ListCheckpoints(watch_dir);
+      if (checkpoints.empty()) return false;
+      std::lock_guard<std::mutex> lock(reload_mu);
+      return checkpoints.back() != last_loaded;
+    };
+
     serve::ServerConfig server_config;
     server_config.port = flags.GetInt("serve-port", 0);
     server_config.deadline_ms = flags.GetInt("deadline-ms", 0);
     server_config.queue_depth = flags.GetInt("queue-depth", 256);
     server_config.workers = std::max(1, DefaultThreads());
+    server_config.idle_timeout_ms = flags.GetInt("conn-idle-timeout-ms", 30000);
+    server_config.on_reload = reload_now;
     serve::Server server(engine, server_config);
     if (!server.Start()) {
       std::fprintf(stderr, "failed to bind %s:%d\n",
@@ -464,13 +537,18 @@ int CmdServe(const Flags& flags) {
       return 1;
     }
     net::InstallShutdownHandler();
+    net::InstallReloadHandler();
     // Parsed by scripts (CI smoke, loadgen wrappers): keep the format.
     std::printf(
         "serving on %s:%d (workers %d, queue-depth %d, deadline %d ms)\n",
         server_config.host.c_str(), server.port(), server_config.workers,
         server_config.queue_depth, server_config.deadline_ms);
     std::fflush(stdout);
-    net::WaitForShutdown();
+    for (;;) {
+      const net::SignalKind kind = net::WaitForSignal(poll_seconds);
+      if (kind == net::SignalKind::kShutdown) break;
+      if (kind == net::SignalKind::kReload || watch_has_news()) reload_now();
+    }
     std::printf("shutdown requested, draining\n");
     std::fflush(stdout);
     server.Shutdown();

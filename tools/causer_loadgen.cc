@@ -11,28 +11,49 @@
 // exercises the cache-hit path), sampled in O(1) per draw via Hörmann's
 // rejection-inversion, so no per-id state is kept.
 //
+// The generator is fault-tolerant the way a real client fleet is: a
+// broken connection (reset, torn frame, server-injected fault) is
+// reconnected and every response-less request is resent; kQueueFull
+// responses are retried with per-request exponential backoff. Retries,
+// reconnects and resends are reported so chaos runs can see the recovery
+// machinery working.
+//
+// --check turns on the bit-exactness cross-check used by the chaos CI
+// job: every request carries a bootstrap history derived purely from its
+// user id and appends nothing, so the server's response is a pure
+// function of (user, model_version). The first response seen for each
+// such pair is recorded; every later response must match it byte for
+// byte (ranked items and fp32 score bits), across session eviction,
+// rebuilds and hot reloads. Requires --items=N for the catalog bound.
+//
 // Exit status is a gate for CI: nonzero when any protocol error occurred,
 // when no request succeeded, when achieved OK-throughput fell below
-// --min-qps, or when a connection was left hanging (a response never
-// arrived within --drain-wait-s after the last send).
+// --min-qps, when a connection was left hanging (a response never
+// arrived within --drain-wait-s after the last send), or when --check
+// saw any cross-check mismatch.
 //
 //   causer_loadgen --port=P [--host=127.0.0.1] [--qps=5000]
 //                  [--duration-s=5] [--connections=4] [--users=1000000]
 //                  [--items=0] [--zipf=1.1] [--deadline-ms=0]
 //                  [--high-pct=10] [--min-qps=0] [--drain-wait-s=5]
-//                  [--seed=1] [--smoke]
+//                  [--seed=1] [--smoke] [--check]
 //
 // --items=N (> 0) appends one sampled item per request, exercising the
 // incremental-advance path; item ids must fit the served model's catalog.
+// With --check it bounds the bootstrap item ids instead (no appends).
 // --smoke shrinks the defaults for a fast CI run (2s at 2000 qps).
 
+#include <poll.h>
+
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/flags.h"
@@ -44,6 +65,10 @@ namespace {
 
 using namespace causer;
 using Clock = std::chrono::steady_clock;
+
+constexpr int kNumStatuses = 6;
+/// Resend attempts per request beyond the first (queue-full backoff).
+constexpr int kMaxRetries = 6;
 
 /// Zipf(s) sampler over {0, ..., n-1} by Hörmann's rejection-inversion
 /// (as in "Rejection-inversion to generate variates from monotone
@@ -89,20 +114,70 @@ class ZipfSampler {
 
 /// Everything one connection accumulates; merged after the join.
 struct ConnStats {
-  long sent = 0;
-  long send_failures = 0;
+  long sent = 0;             // first sends (not resends)
+  long send_failures = 0;    // requests given up on (connection dead)
   long protocol_errors = 0;  // undecodable response payloads
   long hung = 0;             // responses that never arrived
-  long by_status[5] = {0, 0, 0, 0, 0};
+  long retries = 0;          // kQueueFull-triggered resends
+  long reconnects = 0;       // successful re-dials after a break
+  long resent = 0;           // frames resent (reconnect replay + retries)
+  long by_status[kNumStatuses] = {0, 0, 0, 0, 0, 0};
   std::vector<double> latencies;  // seconds, from scheduled due time
 };
+
+/// A request on the wire awaiting its response (or a resend slot).
+struct Pending {
+  std::vector<uint8_t> bytes;  // encoded payload, resent verbatim
+  Clock::time_point due;       // open-loop schedule slot (latency origin)
+  Clock::time_point resend_at{};  // when set, resend instead of waiting
+  int32_t user = 0;
+  int retries = 0;
+  bool resend_pending = false;
+};
+
+/// --check bookkeeping, shared across connections: the first kOk payload
+/// seen for each (user, model_version) pair is canon; every later one
+/// must match bit for bit.
+struct CheckTable {
+  std::mutex mu;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> canon;
+  long checked = 0;
+  long mismatches = 0;
+};
+
+/// items + fp32 score bits, the bit-exactness comparison unit.
+std::vector<uint8_t> ResponseSignature(const serve::wire::ResponseFrame& r) {
+  std::vector<uint8_t> sig;
+  sig.reserve(r.items.size() * 8);
+  for (size_t i = 0; i < r.items.size(); ++i) {
+    net::PutU32(&sig, static_cast<uint32_t>(r.items[i]));
+    net::PutF32(&sig, i < r.scores.size() ? r.scores[i] : 0.0f);
+  }
+  return sig;
+}
+
+/// The --check request body for a user: a short bootstrap derived purely
+/// from the user id (so rebuilds after eviction or reload replay the
+/// exact same history), no append.
+void FillCheckBootstrap(int32_t user, long catalog,
+                        serve::wire::RequestFrame* frame) {
+  const uint32_t u = static_cast<uint32_t>(user);
+  const int steps = 1 + static_cast<int>(u % 3);
+  frame->bootstrap.resize(steps);
+  for (int j = 0; j < steps; ++j) {
+    const uint32_t item =
+        ((u + 1u) * 2654435761u + static_cast<uint32_t>(j) * 40503u) %
+        static_cast<uint32_t>(catalog);
+    frame->bootstrap[j] = {static_cast<int32_t>(item)};
+  }
+}
 
 int Usage() {
   std::fprintf(stderr,
                "usage: causer_loadgen --port=P [--host=A] [--qps=N] "
                "[--duration-s=S] [--connections=N] [--users=N] [--items=N] "
                "[--zipf=S] [--deadline-ms=N] [--high-pct=N] [--min-qps=N] "
-               "[--drain-wait-s=S] [--seed=N] [--smoke]\n");
+               "[--drain-wait-s=S] [--seed=N] [--smoke] [--check]\n");
   return 2;
 }
 
@@ -114,6 +189,7 @@ int main(int argc, char** argv) {
   if (!flags.Has("port")) return Usage();
 
   const bool smoke = flags.GetBool("smoke", false);
+  const bool check = flags.GetBool("check", false);
   const std::string host = flags.GetString("host", "127.0.0.1");
   const int port = flags.GetInt("port", 0);
   const double qps = flags.GetDouble("qps", smoke ? 2000.0 : 5000.0);
@@ -133,6 +209,10 @@ int main(int argc, char** argv) {
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const long total =
       std::max<long>(1, std::lround(qps * std::max(0.1, duration_s)));
+  if (check && items <= 0) {
+    std::fprintf(stderr, "--check needs --items=N for the catalog bound\n");
+    return 2;
+  }
 
   std::vector<int> fds(connections, -1);
   for (int c = 0; c < connections; ++c) {
@@ -149,8 +229,9 @@ int main(int argc, char** argv) {
   std::printf(
       "offering %ld requests at %.0f qps over %d connection(s): "
       "%ld users / %ld items (zipf %.2f), %d%% high priority, "
-      "deadline %u ms\n",
-      total, qps, connections, users, items, zipf_s, high_pct, deadline_ms);
+      "deadline %u ms%s\n",
+      total, qps, connections, users, items, zipf_s, high_pct, deadline_ms,
+      check ? ", bit-exactness check on" : "");
   std::fflush(stdout);
 
   const Clock::time_point start = Clock::now() + std::chrono::milliseconds(20);
@@ -159,27 +240,157 @@ int main(int argc, char** argv) {
                        static_cast<long long>(i * 1e9 / qps));
   };
 
+  CheckTable check_table;
   std::vector<ConnStats> stats(connections);
-  std::vector<std::thread> senders, receivers;
-  // sent[c] counts frames connection c put on the wire; the receiver for c
-  // drains until it has one response per sent frame (or times out).
-  std::vector<std::atomic<long>> sent_on(connections);
-  std::vector<std::atomic<bool>> sender_done(connections);
-  for (int c = 0; c < connections; ++c) {
-    sent_on[c].store(0);
-    sender_done[c].store(false);
-  }
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
 
+  // One worker per connection, pipelining sends at their due times while
+  // draining whatever responses poll() says are ready — so a single
+  // thread owns its fd end to end and reconnect/resend needs no
+  // cross-thread coordination.
   for (int c = 0; c < connections; ++c) {
-    senders.emplace_back([&, c] {
+    workers.emplace_back([&, c] {
+      ConnStats& s = stats[c];
+      int fd = fds[c];
+      bool dead = false;
       Rng rng(seed * 7919 + static_cast<uint64_t>(c));
       ZipfSampler user_zipf(users, zipf_s);
       ZipfSampler item_zipf(std::max<long>(1, items), zipf_s);
+      std::unordered_map<uint32_t, Pending> outstanding;
       std::vector<uint8_t> payload;
+
+      // Re-dial after a break and replay every response-less request.
+      // False (and `dead`) only when the server is truly unreachable.
+      auto recover = [&]() -> bool {
+        for (int round = 0; round < 5 && !dead; ++round) {
+          net::CloseSocket(fd);
+          fd = -1;
+          for (int attempt = 0; attempt < 10 && fd < 0; ++attempt) {
+            fd = net::ConnectTcp(host, port);
+            if (fd < 0) {
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(2 * (attempt + 1)));
+            }
+          }
+          if (fd < 0) break;
+          net::SetRecvTimeout(fd, drain_wait_s);
+          ++s.reconnects;
+          bool replayed = true;
+          for (auto& [id, p] : outstanding) {
+            if (!net::WriteFrame(fd, p.bytes.data(), p.bytes.size())) {
+              replayed = false;  // broke again mid-replay; next round
+              break;
+            }
+            ++s.resent;
+            p.resend_pending = false;
+          }
+          if (replayed) return true;
+        }
+        dead = true;
+        return false;
+      };
+
+      auto handle_response = [&]() {
+        serve::wire::ResponseFrame response;
+        if (!serve::wire::DecodeResponse(payload, &response)) {
+          ++s.protocol_errors;
+          return;
+        }
+        auto it = outstanding.find(response.request_id);
+        if (it == outstanding.end()) return;  // duplicate after a replay
+        Pending& p = it->second;
+        if (response.status == serve::wire::Status::kQueueFull &&
+            p.retries < kMaxRetries) {
+          // Back off per request: 1, 2, 4, ... ms, decorrelated by the
+          // open-loop schedule itself (requests back off from when their
+          // rejection arrives, not in lockstep).
+          ++p.retries;
+          ++s.retries;
+          p.resend_at = Clock::now() +
+                        std::chrono::milliseconds(1 << (p.retries - 1));
+          p.resend_pending = true;
+          return;
+        }
+        const int status = static_cast<int>(response.status);
+        if (status >= 0 && status < kNumStatuses) ++s.by_status[status];
+        if (response.status == serve::wire::Status::kOk) {
+          s.latencies.push_back(
+              std::chrono::duration<double>(Clock::now() - p.due).count());
+          if (check) {
+            const uint64_t key =
+                (static_cast<uint64_t>(static_cast<uint32_t>(p.user)) << 32) |
+                response.model_version;
+            const std::vector<uint8_t> sig = ResponseSignature(response);
+            std::lock_guard<std::mutex> lock(check_table.mu);
+            ++check_table.checked;
+            auto canon_it = check_table.canon.find(key);
+            if (canon_it == check_table.canon.end()) {
+              check_table.canon.emplace(key, sig);
+            } else if (canon_it->second != sig) {
+              ++check_table.mismatches;
+              std::fprintf(stderr,
+                           "CHECK MISMATCH user %d model_version %u\n",
+                           p.user, response.model_version);
+            }
+          }
+        }
+        outstanding.erase(it);
+      };
+
+      // Fire any due queue-full resends; returns the earliest pending
+      // resend time (or `fallback` when none are pending).
+      auto flush_resends = [&](Clock::time_point fallback) -> Clock::time_point {
+        Clock::time_point next = fallback;
+        const Clock::time_point now = Clock::now();
+        for (auto& [id, p] : outstanding) {
+          if (!p.resend_pending) continue;
+          if (p.resend_at <= now) {
+            if (!net::WriteFrame(fd, p.bytes.data(), p.bytes.size())) {
+              if (!recover()) return fallback;
+              break;  // recover() replayed everything, flags cleared
+            }
+            ++s.resent;
+            p.resend_pending = false;
+          } else if (p.resend_at < next) {
+            next = p.resend_at;
+          }
+        }
+        return next;
+      };
+
+      // Drain responses (and fire resends) until `until`.
+      auto drain_until = [&](Clock::time_point until) {
+        while (!dead) {
+          const Clock::time_point wake = flush_resends(until);
+          const Clock::time_point now = Clock::now();
+          if (now >= until) return;
+          const auto wait = std::min(wake, until) - now;
+          const int timeout_ms = std::max(
+              1, static_cast<int>(
+                     std::chrono::duration_cast<std::chrono::milliseconds>(
+                         wait)
+                         .count()) +
+                     1);
+          struct pollfd pfd = {fd, POLLIN, 0};
+          const int ready = poll(&pfd, 1, timeout_ms);
+          if (ready <= 0) continue;  // timeout/EINTR: re-check the clock
+          if (!net::ReadFrame(fd, &payload, serve::wire::kMaxFrameBytes)) {
+            if (!recover()) return;
+            continue;
+          }
+          handle_response();
+        }
+      };
+
       // Connection c owns request indices i ≡ c (mod connections); the
-      // request_id encodes i so the receiver can recover the due time.
+      // request_id encodes i so due times survive out-of-order replies.
       for (long i = c; i < total; i += connections) {
-        std::this_thread::sleep_until(due(i));
+        if (!dead) drain_until(due(i));
+        if (dead) {
+          ++s.send_failures;  // never reached a live wire
+          continue;
+        }
         serve::wire::RequestFrame frame;
         frame.request_id = static_cast<uint32_t>(i);
         frame.user = static_cast<int32_t>(user_zipf.Sample(rng));
@@ -187,61 +398,41 @@ int main(int argc, char** argv) {
         frame.priority = (i % 100) < high_pct
                              ? serve::wire::Priority::kHigh
                              : serve::wire::Priority::kNormal;
-        if (items > 0) {
+        if (check) {
+          FillCheckBootstrap(frame.user, items, &frame);
+        } else if (items > 0) {
           frame.append.push_back(
               static_cast<int32_t>(item_zipf.Sample(rng)));
         }
-        serve::wire::EncodeRequest(frame, &payload);
-        if (!net::WriteFrame(fds[c], payload.data(), payload.size())) {
-          ++stats[c].send_failures;
-          break;
+        Pending pending;
+        pending.due = due(i);
+        pending.user = frame.user;
+        serve::wire::EncodeRequest(frame, &pending.bytes);
+        auto [it, inserted] =
+            outstanding.emplace(frame.request_id, std::move(pending));
+        ++s.sent;
+        if (!net::WriteFrame(fd, it->second.bytes.data(),
+                             it->second.bytes.size())) {
+          recover();  // replays the whole window, this frame included
         }
-        sent_on[c].fetch_add(1, std::memory_order_release);
       }
-      sender_done[c].store(true, std::memory_order_release);
-    });
-    receivers.emplace_back([&, c] {
-      ConnStats& s = stats[c];
-      std::vector<uint8_t> payload;
-      long received = 0;
-      for (;;) {
-        const long target = sent_on[c].load(std::memory_order_acquire);
-        if (received >= target &&
-            sender_done[c].load(std::memory_order_acquire)) {
-          break;
-        }
-        if (!net::ReadFrame(fds[c], &payload, serve::wire::kMaxFrameBytes)) {
-          const long owed = sent_on[c].load(std::memory_order_acquire);
-          if (received >= owed &&
-              !sender_done[c].load(std::memory_order_acquire)) {
-            // SO_RCVTIMEO fired while nothing was owed (slow offered
-            // rate); keep waiting for the sender.
-            std::this_thread::sleep_for(std::chrono::milliseconds(1));
-            continue;
-          }
-          // Timeout with responses outstanding, EOF or error: everything
-          // still owed on this connection counts as hung.
-          s.hung = owed - received;
-          break;
-        }
-        serve::wire::ResponseFrame response;
-        ++received;
-        if (!serve::wire::DecodeResponse(payload, &response)) {
-          ++s.protocol_errors;
-          continue;
-        }
-        const int status = static_cast<int>(response.status);
-        if (status >= 0 && status < 5) ++s.by_status[status];
-        const double latency =
-            std::chrono::duration<double>(Clock::now() -
-                                          due(response.request_id))
-                .count();
-        s.latencies.push_back(latency);
+
+      // Drain: everything still response-less after the grace window
+      // counts as hung (the CI gate for stuck connections).
+      const Clock::time_point drain_deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(drain_wait_s));
+      while (!dead && !outstanding.empty() &&
+             Clock::now() < drain_deadline) {
+        drain_until(std::min(drain_deadline,
+                             Clock::now() + std::chrono::milliseconds(50)));
       }
+      s.hung = static_cast<long>(outstanding.size());
+      net::CloseSocket(fd);
+      fds[c] = -1;
     });
   }
-  for (auto& t : senders) t.join();
-  for (auto& t : receivers) t.join();
+  for (auto& t : workers) t.join();
   const double wall =
       std::chrono::duration<double>(Clock::now() - start).count();
   for (int fd : fds) net::CloseSocket(fd);
@@ -249,11 +440,14 @@ int main(int argc, char** argv) {
   ConnStats all;
   for (int c = 0; c < connections; ++c) {
     const ConnStats& s = stats[c];
-    all.sent += sent_on[c].load();
+    all.sent += s.sent;
     all.send_failures += s.send_failures;
     all.protocol_errors += s.protocol_errors;
     all.hung += s.hung;
-    for (int k = 0; k < 5; ++k) all.by_status[k] += s.by_status[k];
+    all.retries += s.retries;
+    all.reconnects += s.reconnects;
+    all.resent += s.resent;
+    for (int k = 0; k < kNumStatuses; ++k) all.by_status[k] += s.by_status[k];
     all.latencies.insert(all.latencies.end(), s.latencies.begin(),
                          s.latencies.end());
   }
@@ -267,15 +461,25 @@ int main(int argc, char** argv) {
   const long ok = all.by_status[0];
   const double achieved = wall > 0 ? ok / wall : 0.0;
 
-  std::printf("sent %ld (%ld send failures), responses %zu: ", all.sent,
-              all.send_failures, all.latencies.size());
-  for (int k = 0; k < 5; ++k) {
+  long answered = 0;
+  for (int k = 0; k < kNumStatuses; ++k) answered += all.by_status[k];
+  std::printf("sent %ld (%ld send failures), responses %ld: ", all.sent,
+              all.send_failures, answered);
+  for (int k = 0; k < kNumStatuses; ++k) {
     std::printf("%s%s %ld", k > 0 ? "  " : "",
                 serve::wire::StatusName(static_cast<serve::wire::Status>(k)),
                 all.by_status[k]);
   }
   std::printf("\nprotocol errors %ld, hung %ld\n", all.protocol_errors,
               all.hung);
+  std::printf("retries %ld, reconnects %ld, resent %ld\n", all.retries,
+              all.reconnects, all.resent);
+  if (check) {
+    std::printf("check: %ld ok responses against %zu (user, version) keys, "
+                "%ld mismatches\n",
+                check_table.checked, check_table.canon.size(),
+                check_table.mismatches);
+  }
   std::printf("latency p50 %.3f ms  p99 %.3f ms  p99.9 %.3f ms\n",
               pct(0.50), pct(0.99), pct(0.999));
   std::printf("achieved %.0f ok-req/s over %.2f s (offered %.0f qps)\n",
@@ -297,6 +501,12 @@ int main(int argc, char** argv) {
   if (min_qps > 0 && achieved < min_qps) {
     std::fprintf(stderr, "FAIL: achieved %.0f qps < --min-qps=%.0f\n",
                  achieved, min_qps);
+    ++failures;
+  }
+  if (check && check_table.mismatches > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %ld bit-exactness mismatches across reloads\n",
+                 check_table.mismatches);
     ++failures;
   }
   return failures > 0 ? 1 : 0;
