@@ -18,6 +18,28 @@
 
 namespace causer::serve {
 
+namespace {
+
+/// Feeds one sharded scoring pass's per-shard wall times into the
+/// serve.shard.* instruments: a histogram observation per shard and the
+/// imbalance gauge (max/mean — 1.0 means the static row split kept every
+/// shard equally busy). Caller checks metrics::Enabled().
+void ObserveShardTimes(const double* seconds, int count) {
+  if (count <= 1) return;
+  double sum = 0.0;
+  double worst = 0.0;
+  for (int s = 0; s < count; ++s) {
+    ServeMetrics().shard_batch_seconds.Observe(seconds[s]);
+    sum += seconds[s];
+    worst = std::max(worst, seconds[s]);
+  }
+  if (sum > 0.0) {
+    ServeMetrics().shard_imbalance.Set(worst * count / sum);
+  }
+}
+
+}  // namespace
+
 ServingEngine::ServingEngine(
     std::shared_ptr<models::SequentialRecommender> model,
     const ServingConfig& config)
@@ -31,9 +53,11 @@ ServingEngine::ServingEngine(
         c.max_sessions = std::max(0, c.max_sessions);
         // A re-rank narrower than the response would drop results.
         c.rerank_k = std::max(std::max(1, c.top_k), c.rerank_k);
+        c.score_shards = std::max(1, c.score_shards);
+        c.session_shards = std::max(1, c.session_shards);
         return c;
       }()),
-      store_(config_.max_sessions) {
+      store_(config_.max_sessions, config_.session_shards) {
   CAUSER_CHECK(model != nullptr);
   served_.store(BuildServed(std::move(model), 1, "initial"),
                 std::memory_order_release);
@@ -226,14 +250,26 @@ bool ServingEngine::ScoreRowsQuantized(
                             rep_scales.data())) {
     return false;
   }
+  const bool measure = metrics::Enabled();
   const int k = config_.top_k;
   const int kq = std::min(vocab, config_.rerank_k);
   std::vector<tensor::kernels::TopKEntry> cands(static_cast<size_t>(rows) *
                                                 kq);
-  tensor::kernels::MatMulTopKQ(qreps.data(), rep_scales.data(),
-                               served.qtable->data.data(),
-                               served.qtable->scales.data(), rows, dim,
-                               vocab, kq, cands.data());
+  if (config_.score_shards > 1) {
+    std::vector<double> shard_seconds(
+        measure ? static_cast<size_t>(config_.score_shards) : 0);
+    const int used = tensor::kernels::MatMulTopKQSharded(
+        qreps.data(), rep_scales.data(), served.qtable->data.data(),
+        served.qtable->scales.data(), rows, dim, vocab, kq,
+        config_.score_shards, cands.data(),
+        measure ? shard_seconds.data() : nullptr);
+    if (measure) ObserveShardTimes(shard_seconds.data(), used);
+  } else {
+    tensor::kernels::MatMulTopKQ(qreps.data(), rep_scales.data(),
+                                 served.qtable->data.data(),
+                                 served.qtable->scales.data(), rows, dim,
+                                 vocab, kq, cands.data());
+  }
   // Exact fp32 re-rank: ops.dot is the same zero-seeded ascending-k chain
   // MatMulTopK scores with, so every returned score carries the fp32
   // path's bits; with rerank_k >= vocab every item is a candidate and the
@@ -268,7 +304,7 @@ bool ServingEngine::ScoreRowsQuantized(
       response.scores.push_back(rerank[j].score);
     }
   }
-  if (metrics::Enabled()) {
+  if (measure) {
     ServeMetrics().quant_batches.Add();
     ServeMetrics().quant_rerank.Add(static_cast<double>(rescored));
   }
@@ -371,8 +407,18 @@ void ServingEngine::ProcessBatch(const std::vector<Pending*>& batch) {
       if (!quantized) {
         std::vector<tensor::kernels::TopKEntry> entries(
             static_cast<size_t>(rows) * k);
-        tensor::kernels::MatMulTopK(reps.data(), table->data().data(), rows,
-                                    dim, vocab, k, entries.data());
+        if (config_.score_shards > 1) {
+          std::vector<double> shard_seconds(
+              measure ? static_cast<size_t>(config_.score_shards) : 0);
+          const int used = tensor::kernels::MatMulTopKSharded(
+              reps.data(), table->data().data(), rows, dim, vocab, k,
+              config_.score_shards, entries.data(),
+              measure ? shard_seconds.data() : nullptr);
+          if (measure) ObserveShardTimes(shard_seconds.data(), used);
+        } else {
+          tensor::kernels::MatMulTopK(reps.data(), table->data().data(),
+                                      rows, dim, vocab, k, entries.data());
+        }
         for (int r = 0; r < rows; ++r) {
           Response& response = unique_responses[gemm_rows[r]];
           const tensor::kernels::TopKEntry* row =

@@ -44,6 +44,21 @@ struct ServingConfig {
   /// candidate is re-scored exactly). The default covers any plausible
   /// quantization-induced rank displacement with big margin.
   int rerank_k = 2048;
+  /// Catalog shards for the scoring pass: > 1 splits the item table
+  /// row-wise and fans the fused GEMM + top-k out across the thread pool
+  /// (kernels::MatMulTopKSharded / the int8 sibling), merging the
+  /// per-shard k-heaps under the same total order — responses are
+  /// bit-identical to unsharded at every value. Useful when batches are
+  /// small: row-parallelism caps at the batch size, shard-parallelism at
+  /// min(score_shards, threads) even for a single request. Clamped to at
+  /// least 1; the kernel further clamps to the catalog size.
+  int score_shards = 1;
+  /// Hash partitions for the session store: > 1 gives each shard its own
+  /// mutex, intrusive LRU list, and slice of max_sessions, so concurrent
+  /// Acquire calls for different users stop serializing on one lock.
+  /// Clamped to at least 1 (and by the store to max_sessions when the
+  /// cache is bounded, so no shard gets a zero = unbounded cap).
+  int session_shards = 1;
 };
 
 /// One scoring request. Pointed-to data must stay alive until the call

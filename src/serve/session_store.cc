@@ -1,6 +1,6 @@
 #include "serve/session_store.h"
 
-#include <limits>
+#include <algorithm>
 #include <utility>
 
 #include "common/log.h"
@@ -68,24 +68,122 @@ ServeMetricsT& ServeMetrics() {
                           "Cached session states discarded on touch because "
                           "they were built by an older model version, then "
                           "rebuilt by bootstrap replay."),
+      metrics::GetHistogram("serve.shard.batch_seconds", "seconds",
+                            "Wall time of one catalog shard's fused "
+                            "GEMM + top-k task within a sharded scoring "
+                            "pass (--score-shards > 1).",
+                            metrics::ExponentialBuckets(1e-6, 10.0, 8)),
+      metrics::GetCounter("serve.shard.store_hits_total", "hits",
+                          "Session-store hits served by a hash-partitioned "
+                          "shard (stays 0 with --session-shards=1)."),
+      metrics::GetCounter("serve.shard.store_misses_total", "misses",
+                          "Session-store misses taken by a hash-partitioned "
+                          "shard (stays 0 with --session-shards=1)."),
+      metrics::GetGauge("serve.shard.imbalance", "ratio",
+                        "Max/mean shard wall time of the latest sharded "
+                        "scoring pass (1.0 = perfectly balanced)."),
   };
   return m;
 }
 
-SessionStore::SessionStore(int max_sessions)
-    : max_sessions_(max_sessions) {}
+namespace {
+
+/// SplitMix64 finalizer: users are often dense small integers, and `id % S`
+/// would map contiguous user ranges onto the same few shards under batched
+/// traffic. The mix spreads any id distribution uniformly.
+inline uint64_t MixUser(int user) {
+  uint64_t h = static_cast<uint64_t>(static_cast<uint32_t>(user));
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+SessionStore::SessionStore(int max_sessions, int shards) {
+  int count = std::max(1, shards);
+  if (max_sessions > 0) {
+    // Every shard of a bounded store must own at least one slot, or a
+    // zero-cap shard would silently mean "unbounded" for its users.
+    count = std::min(count, max_sessions);
+  }
+  shards_.reserve(count);
+  const int base = max_sessions > 0 ? max_sessions / count : 0;
+  const int remainder = max_sessions > 0 ? max_sessions % count : 0;
+  for (int s = 0; s < count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->cap = max_sessions > 0 ? base + (s < remainder ? 1 : 0) : 0;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+SessionStore::Shard& SessionStore::ShardOf(int user) {
+  return *shards_[MixUser(user) % shards_.size()];
+}
+
+void SessionStore::Unlink(Shard& shard, Entry* entry) {
+  if (entry->newer != nullptr) {
+    entry->newer->older = entry->older;
+  } else {
+    shard.mru = entry->older;
+  }
+  if (entry->older != nullptr) {
+    entry->older->newer = entry->newer;
+  } else {
+    shard.lru = entry->newer;
+  }
+  entry->newer = entry->older = nullptr;
+}
+
+void SessionStore::PushMru(Shard& shard, Entry* entry) {
+  entry->newer = nullptr;
+  entry->older = shard.mru;
+  if (shard.mru != nullptr) shard.mru->newer = entry;
+  shard.mru = entry;
+  if (shard.lru == nullptr) shard.lru = entry;
+}
+
+void SessionStore::EvictUnderCap(Shard& shard, bool measure) {
+  // O(1) per victim: the LRU end of the intrusive list *is* the oldest
+  // entry — no full-map stamp scan. Entries pinned by an in-flight batch
+  // (use_count > 1: the map holds one reference, handles the rest) are
+  // walked past, not evicted: dropping one's map entry mid-batch would
+  // fork the user's session, and its memory would survive anyway. With
+  // every entry pinned the shard transiently exceeds its cap by at most
+  // the batch size; the next unpinned Acquire shrinks it back.
+  while (shard.cap > 0 &&
+         static_cast<int>(shard.sessions.size()) >= shard.cap) {
+    Entry* victim = shard.lru;
+    while (victim != nullptr && victim->state.use_count() > 1) {
+      victim = victim->newer;  // pinned: skip toward the MRU end
+    }
+    if (victim == nullptr) break;  // everything pinned: overshoot
+    Unlink(shard, victim);
+    shard.sessions.erase(victim->user);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    if (measure) ServeMetrics().evictions.Add();
+  }
+}
 
 SessionStore::Handle SessionStore::Acquire(
     int user, const std::vector<data::Step>* bootstrap,
     const std::shared_ptr<models::SequentialRecommender>& model,
     uint64_t version) {
   const bool measure = metrics::Enabled();
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sessions_.find(user);
-  if (it != sessions_.end()) {
+  const bool sharded = shards_.size() > 1;
+  Shard& shard = ShardOf(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(user);
+  if (it != shard.sessions.end()) {
     if (it->second.version == version) {
-      it->second.stamp = ++clock_;
-      if (measure) ServeMetrics().session_hits.Add();
+      // Touch: move to the MRU end of this shard's recency list.
+      Unlink(shard, &it->second);
+      PushMru(shard, &it->second);
+      if (measure) {
+        ServeMetrics().session_hits.Add();
+        if (sharded) ServeMetrics().shard_store_hits.Add();
+      }
       return it->second.state;
     }
     // Stale: built by a different model version. Never advance or serve it
@@ -94,37 +192,17 @@ SessionStore::Handle SessionStore::Acquire(
     // pinning the old state keeps it alive, and that handle's batch pins
     // the ServedModel it started on, so the state cannot outlive its
     // weights.
-    sessions_.erase(it);
+    Unlink(shard, &it->second);
+    shard.sessions.erase(it);
+    size_.fetch_sub(1, std::memory_order_relaxed);
     if (measure) ServeMetrics().stale_rebuilds.Add();
   }
-  // Linear LRU scan: the store holds ~max_sessions entries and evictions
-  // are rare next to scoring work, so an index structure would buy nothing
-  // at this scale. Entries pinned by an in-flight batch (use_count > 1:
-  // handles only ever multiply under this mutex) are skipped — evicting
-  // one would not free memory anyway, and dropping its map entry
-  // mid-batch would fork the user's session. With every entry pinned the
-  // store transiently exceeds the cap by at most the batch size; the loop
-  // shrinks it back on the next Acquire that finds unpinned victims.
-  while (max_sessions_ > 0 &&
-         static_cast<int>(sessions_.size()) >= max_sessions_) {
-    auto victim = sessions_.end();
-    uint64_t oldest = std::numeric_limits<uint64_t>::max();
-    for (auto cand = sessions_.begin(); cand != sessions_.end(); ++cand) {
-      if (cand->second.state.use_count() > 1) continue;  // pinned
-      if (cand->second.stamp < oldest) {
-        oldest = cand->second.stamp;
-        victim = cand;
-      }
-    }
-    if (victim == sessions_.end()) break;  // everything pinned: overshoot
-    sessions_.erase(victim);
-    if (measure) ServeMetrics().evictions.Add();
-  }
+  EvictUnderCap(shard, measure);
   Entry entry;
   entry.state = model->NewSessionState(user);
   entry.model = model;
   entry.version = version;
-  entry.stamp = ++clock_;
+  entry.user = user;
   if (bootstrap != nullptr) {
     // Replay the prior history into the fresh state. Only the most recent
     // max_history steps can influence scoring (ScoreAll truncates), so the
@@ -137,26 +215,33 @@ SessionStore::Handle SessionStore::Acquire(
       model->AdvanceState(*entry.state, (*bootstrap)[i]);
     }
   }
-  auto [pos, inserted] = sessions_.emplace(user, std::move(entry));
+  auto [pos, inserted] = shard.sessions.emplace(user, std::move(entry));
   CAUSER_CHECK(inserted);
+  PushMru(shard, &pos->second);
+  const int total = size_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (measure) {
     ServeMetrics().session_misses.Add();
-    ServeMetrics().sessions.Set(static_cast<double>(sessions_.size()));
+    if (sharded) ServeMetrics().shard_store_misses.Add();
+    ServeMetrics().sessions.Set(static_cast<double>(total));
   }
   return pos->second.state;
 }
 
 void SessionStore::Evict(int user) {
-  std::lock_guard<std::mutex> lock(mu_);
-  sessions_.erase(user);
+  Shard& shard = ShardOf(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(user);
+  if (it == shard.sessions.end()) return;
+  Unlink(shard, &it->second);
+  shard.sessions.erase(it);
+  const int total = size_.fetch_sub(1, std::memory_order_relaxed) - 1;
   if (metrics::Enabled()) {
-    ServeMetrics().sessions.Set(static_cast<double>(sessions_.size()));
+    ServeMetrics().sessions.Set(static_cast<double>(total));
   }
 }
 
 int SessionStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int>(sessions_.size());
+  return size_.load(std::memory_order_relaxed);
 }
 
 }  // namespace causer::serve

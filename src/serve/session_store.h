@@ -1,6 +1,7 @@
 #ifndef CAUSER_SERVE_SESSION_STORE_H_
 #define CAUSER_SERVE_SESSION_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -34,6 +35,10 @@ struct ServeMetricsT {
   metrics::Histogram& reload_seconds;   ///< serve.reload.seconds
   metrics::Gauge& active_version;       ///< serve.reload.active_version
   metrics::Counter& stale_rebuilds;     ///< serve.reload.stale_rebuilds_total
+  metrics::Histogram& shard_batch_seconds;  ///< serve.shard.batch_seconds
+  metrics::Counter& shard_store_hits;    ///< serve.shard.store_hits_total
+  metrics::Counter& shard_store_misses;  ///< serve.shard.store_misses_total
+  metrics::Gauge& shard_imbalance;       ///< serve.shard.imbalance
 };
 
 /// The shared serving instrument group.
@@ -48,19 +53,33 @@ ServeMetricsT& ServeMetrics();
 /// built them: a hot reload bumps the engine's version, and a stale entry
 /// is lazily rebuilt by bootstrap replay on its next touch — a state is
 /// never advanced or scored by a model other than the one that created it.
+///
+/// The map is hash-partitioned into `shards` independent shards, each with
+/// its own mutex, intrusive LRU list, and slice of the capacity — so
+/// concurrent Acquire calls for different users stop serializing on one
+/// lock (the single-mutex store was the first wall on the way to
+/// million-user state; bench/bench_sharding.cc measures the difference).
+/// A user's shard is a pure function of the user id, so per-user ordering
+/// guarantees are untouched. Eviction is O(1) per victim: each shard keeps
+/// recency as a doubly-linked list threaded through its entries instead of
+/// scanning the whole map for the oldest stamp.
+///
 /// Thread-safe; states themselves are handed out under the engine's
 /// serialization (one dispatcher advances them).
 class SessionStore {
  public:
   /// Shared ownership of a cached session. Holding a Handle pins the state:
-  /// the LRU scan skips pinned entries, so a batch that acquires more
+  /// the LRU walk skips pinned entries, so a batch that acquires more
   /// distinct users than `max_sessions` cannot free a state an earlier
   /// request in the same batch still points at. Eviction then only drops
   /// the map entry; the state itself lives until its last Handle releases.
   using Handle = std::shared_ptr<models::SessionState>;
 
   /// `max_sessions` == 0 means unbounded (the engine clamps negatives).
-  explicit SessionStore(int max_sessions);
+  /// `shards` is clamped to [1, max(1, max_sessions)] so every shard owns
+  /// at least one slot of a bounded cache; the global cap is split across
+  /// shards (first `max_sessions % shards` shards hold the remainder).
+  explicit SessionStore(int max_sessions, int shards = 1);
 
   /// Returns the session for `user` under `model`/`version`, creating it
   /// on miss — replaying `bootstrap` (may be null = start empty) into the
@@ -70,7 +89,7 @@ class SessionStore {
   /// entry co-owns `model`, so a pinned pre-reload state can never outlive
   /// its weights. The handle keeps the state alive across evictions; drop
   /// it when the request's batch completes so the LRU cap can reclaim the
-  /// entry.
+  /// entry. Only the user's shard is locked.
   Handle Acquire(int user, const std::vector<data::Step>* bootstrap,
                  const std::shared_ptr<models::SequentialRecommender>& model,
                  uint64_t version);
@@ -78,7 +97,11 @@ class SessionStore {
   /// Drops a user's session (testing / explicit logout).
   void Evict(int user);
 
+  /// Cached sessions across all shards (atomic counter, no locks).
   int size() const;
+
+  /// The hash-partition count after clamping.
+  int shards() const { return static_cast<int>(shards_.size()); }
 
  private:
   struct Entry {
@@ -87,14 +110,35 @@ class SessionStore {
     /// entry (or a pinned Handle) might still reference the state.
     std::shared_ptr<models::SequentialRecommender> model;
     uint64_t version = 0;  // engine model version that built the state
-    uint64_t stamp = 0;    // LRU clock value of the last Acquire
+    int user = 0;          // map key, for list-driven erasure
+    /// Intrusive recency list: `newer` points toward the shard's MRU end,
+    /// `older` toward the LRU end. unordered_map nodes are address-stable,
+    /// so the links survive rehashing.
+    Entry* newer = nullptr;
+    Entry* older = nullptr;
   };
 
-  const int max_sessions_;
+  /// One hash partition: private lock, private map, private recency list,
+  /// private slice of the global capacity.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<int, Entry> sessions;
+    Entry* mru = nullptr;  ///< most recently used
+    Entry* lru = nullptr;  ///< least recently used (first eviction victim)
+    int cap = 0;           ///< 0 = unbounded
+  };
 
-  mutable std::mutex mu_;
-  std::unordered_map<int, Entry> sessions_;
-  uint64_t clock_ = 0;
+  Shard& ShardOf(int user);
+  /// Removes `entry` from `shard`'s recency list (list only, not the map).
+  static void Unlink(Shard& shard, Entry* entry);
+  /// Prepends `entry` at `shard`'s MRU end.
+  static void PushMru(Shard& shard, Entry* entry);
+  /// Evicts unpinned LRU entries until the shard is under its cap (or only
+  /// pinned entries remain). Caller holds the shard lock.
+  void EvictUnderCap(Shard& shard, bool measure);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int> size_{0};
 };
 
 }  // namespace causer::serve

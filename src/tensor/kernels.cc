@@ -7,7 +7,9 @@
 #include <limits>
 #include <vector>
 
+#include "common/log.h"
 #include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "tensor/primitives/primitives.h"
 
@@ -235,9 +237,12 @@ constexpr int kTopKTile = 512;
 /// the k best per row. Column-tiled: the j scan is still globally ascending
 /// per row, so heap updates see candidates in the same order a flat scan
 /// would (the selection result is order-independent anyway — the order on
-/// (score, index) is total).
+/// (score, index) is total). `index_base` offsets the emitted indices: a
+/// catalog shard passes its first global row so merged results carry
+/// catalog indices (ascending j within a shard stays ascending globally —
+/// shards are contiguous).
 void TopKRows(const float* a, const float* b, int row_begin, int row_end,
-              int m, int p, int k, TopKEntry* out) {
+              int m, int p, int k, TopKEntry* out, int index_base = 0) {
   const primitives::Ops& ops = primitives::Active();
   std::vector<TopKEntry> heap;
   heap.reserve(k);
@@ -245,7 +250,7 @@ void TopKRows(const float* a, const float* b, int row_begin, int row_end,
   // dots eight at a time changes nothing observable as long as candidates
   // are offered in ascending j — which the scores buffer preserves.
   auto offer = [&](int j, float score) {
-    const TopKEntry cand{j, score};
+    const TopKEntry cand{index_base + j, score};
     if (static_cast<int>(heap.size()) < k) {
       heap.push_back(cand);
       std::push_heap(heap.begin(), heap.end(), BetterEntry);
@@ -294,7 +299,8 @@ void TopKRows(const float* a, const float* b, int row_begin, int row_end,
 /// identical on every ISA tier and thread count.
 void TopKRowsQ(const std::int8_t* a, const float* a_scales,
                const std::int8_t* b, const float* b_scales, int row_begin,
-               int row_end, int m, int p, int k, TopKEntry* out) {
+               int row_end, int m, int p, int k, TopKEntry* out,
+               int index_base = 0) {
   const primitives::Ops& ops = primitives::Active();
   const int rows = row_end - row_begin;
   const int tile = kTopKTile < p ? kTopKTile : p;
@@ -365,19 +371,21 @@ void TopKRowsQ(const std::int8_t* a, const float* a_scales,
                          scratch.begin() + prime, std::greater<float>());
         thr[r] = scratch[k - 1];
         for (int l = 0; l < prime; ++l) {
-          if (scores[l] >= thr[r]) buf[n_buf++] = TopKEntry{l, scores[l]};
+          if (scores[l] >= thr[r]) {
+            buf[n_buf++] = TopKEntry{index_base + l, scores[l]};
+          }
         }
         const int cnt =
             ops.dequant_filter(tp - prime, acc.data() + prime, bs + prime,
                                ascale, thr[r], idx.data(), scores.data());
         for (int t = 0; t < cnt; ++t) {
-          buf[n_buf++] = TopKEntry{prime + idx[t], scores[t]};
+          buf[n_buf++] = TopKEntry{index_base + prime + idx[t], scores[t]};
         }
       } else {
         const int cnt = ops.dequant_filter(tp, acc.data(), bs, ascale, thr[r],
                                            idx.data(), scores.data());
         for (int t = 0; t < cnt; ++t) {
-          buf[n_buf++] = TopKEntry{jt + idx[t], scores[t]};
+          buf[n_buf++] = TopKEntry{index_base + jt + idx[t], scores[t]};
         }
       }
       len[r] = n_buf;
@@ -418,6 +426,10 @@ void MatMulTopKQ(const std::int8_t* a, const float* a_scales,
                  const std::int8_t* b, const float* b_scales, int n, int m,
                  int p, int k, TopKEntry* out) {
   if (n <= 0 || k <= 0) return;
+  // |sum of m products of codes in [-127, 127]| <= m * 127^2 must stay
+  // inside int32; past the documented bound the scores would wrap silently
+  // and the selection would be garbage that *looks* ranked.
+  CAUSER_CHECK(m <= 65536);
   if (ShouldParallelize(n, m, p)) {
     DefaultPool().ParallelFor(0, n, [&](int row_begin, int row_end) {
       TopKRowsQ(a, a_scales, b, b_scales, row_begin, row_end, m, p, k, out);
@@ -425,6 +437,110 @@ void MatMulTopKQ(const std::int8_t* a, const float* a_scales,
   } else {
     TopKRowsQ(a, a_scales, b, b_scales, 0, n, m, p, k, out);
   }
+}
+
+namespace {
+
+/// Static catalog partition shared by both sharded kernels: shard s of S
+/// covers B rows [p*s/S, p*(s+1)/S) — the thread pool's ParallelFor
+/// formula, so the split is deterministic in (p, S) alone.
+inline int ShardBegin(int p, int S, int s) {
+  return static_cast<int>(static_cast<int64_t>(p) * s / S);
+}
+
+/// Merges S per-row k-selections (each sorted best-first, -1-padded) into
+/// the global top k under BetterEntry's total order. A globally top-k
+/// column is top-k within its own shard, so the union of the per-shard
+/// selections contains the global answer and the merge is exact — same
+/// entries, same order, same bits as the unsharded kernel.
+void MergeShardTopK(const TopKEntry* local, int S, int n, int k,
+                    TopKEntry* out) {
+  std::vector<TopKEntry> cand;
+  cand.reserve(static_cast<size_t>(S) * k);
+  for (int i = 0; i < n; ++i) {
+    cand.clear();
+    for (int s = 0; s < S; ++s) {
+      const TopKEntry* row =
+          local + (static_cast<size_t>(s) * n + i) * k;
+      for (int r = 0; r < k && row[r].index >= 0; ++r) cand.push_back(row[r]);
+    }
+    std::sort(cand.begin(), cand.end(), BetterEntry);
+    TopKEntry* orow = out + static_cast<size_t>(i) * k;
+    for (int r = 0; r < k; ++r) {
+      orow[r] = r < static_cast<int>(cand.size()) ? cand[r] : TopKEntry{};
+    }
+  }
+}
+
+/// Shared driver: runs `shard_body(jb, je, local_out)` for every shard
+/// (fanning shards out over the pool — each task scores *all* n batch rows
+/// against its slice of the catalog, so parallelism no longer caps at n),
+/// times each shard when asked, then merges. The per-shard outputs live in
+/// one [S, n, k] slab.
+template <typename ShardBody>
+int RunSharded(int n, int p, int k, int shards, TopKEntry* out,
+               double* shard_seconds, const ShardBody& shard_body) {
+  int S = shards < 1 ? 1 : shards;
+  if (S > p) S = p;  // an empty shard scores nothing
+  if (S < 1) S = 1;  // p == 0: degenerate, one shard of nothing
+  std::vector<TopKEntry> local(static_cast<size_t>(S) * n * k);
+  auto run_shard = [&](int s) {
+    Stopwatch watch;
+    const int jb = ShardBegin(p, S, s);
+    const int je = ShardBegin(p, S, s + 1);
+    shard_body(jb, je,
+               local.data() + static_cast<size_t>(s) * n * k);
+    if (shard_seconds != nullptr) shard_seconds[s] = watch.ElapsedSeconds();
+  };
+  if (S > 1 && DefaultThreads() > 1 && !ThreadPool::InParallelRegion()) {
+    DefaultPool().ParallelFor(0, S, [&](int begin, int end) {
+      for (int s = begin; s < end; ++s) run_shard(s);
+    });
+  } else {
+    for (int s = 0; s < S; ++s) run_shard(s);
+  }
+  MergeShardTopK(local.data(), S, n, k, out);
+  return S;
+}
+
+}  // namespace
+
+int MatMulTopKSharded(const float* a, const float* b, int n, int m, int p,
+                      int k, int shards, TopKEntry* out,
+                      double* shard_seconds) {
+  if (n <= 0 || k <= 0) return 0;
+  if (shards <= 1 || p <= 1) {
+    Stopwatch watch;
+    MatMulTopK(a, b, n, m, p, k, out);
+    if (shard_seconds != nullptr) shard_seconds[0] = watch.ElapsedSeconds();
+    return 1;
+  }
+  return RunSharded(n, p, k, shards, out, shard_seconds,
+                    [&](int jb, int je, TopKEntry* local) {
+                      TopKRows(a, b + static_cast<size_t>(jb) * m, 0, n, m,
+                               je - jb, k, local, /*index_base=*/jb);
+                    });
+}
+
+int MatMulTopKQSharded(const std::int8_t* a, const float* a_scales,
+                       const std::int8_t* b, const float* b_scales, int n,
+                       int m, int p, int k, int shards, TopKEntry* out,
+                       double* shard_seconds) {
+  if (n <= 0 || k <= 0) return 0;
+  CAUSER_CHECK(m <= 65536);
+  if (shards <= 1 || p <= 1) {
+    Stopwatch watch;
+    MatMulTopKQ(a, a_scales, b, b_scales, n, m, p, k, out);
+    if (shard_seconds != nullptr) shard_seconds[0] = watch.ElapsedSeconds();
+    return 1;
+  }
+  return RunSharded(n, p, k, shards, out, shard_seconds,
+                    [&](int jb, int je, TopKEntry* local) {
+                      TopKRowsQ(a, a_scales,
+                                b + static_cast<size_t>(jb) * m,
+                                b_scales + jb, 0, n, m, je - jb, k, local,
+                                /*index_base=*/jb);
+                    });
 }
 
 }  // namespace causer::tensor::kernels

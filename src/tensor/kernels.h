@@ -84,10 +84,47 @@ void MatMulTopK(const float* a, const float* b, int n, int m, int p, int k,
 /// are *quantized approximations* of the fp32 inner products; callers that
 /// need fp32-exact scores re-rank the returned candidates with ops.dot
 /// (see serve::ServingEngine and docs/KERNELS.md "Quantized primitives").
-/// Requires m <= 65536 so |sum| stays inside int32.
+/// Requires m <= 65536 so |sum| stays inside int32 — enforced with a
+/// CAUSER_CHECK, not silent overflow.
 void MatMulTopKQ(const std::int8_t* a, const float* a_scales,
                  const std::int8_t* b, const float* b_scales, int n, int m,
                  int p, int k, TopKEntry* out);
+
+/// Catalog-sharded MatMulTopK for serving batches whose row count is
+/// smaller than the machine: partitions B's p rows into `shards` contiguous
+/// row ranges (the thread pool's static formula: shard s covers
+/// [p*s/S, p*(s+1)/S)), scores every A row against each shard with the
+/// fused tiled GEMM + bounded-heap selection above — shards fan out across
+/// the shared pool, so parallelism is min(S, threads) even when n = 1 —
+/// then merges the S per-row k-heaps under the same (score desc, index asc)
+/// total order.
+///
+/// Exactness: every dot product is the identical zero-seeded ascending-k
+/// chain whichever shard scans its column, and a global top-k item is by
+/// definition in the top-k of its own shard, so the merged selection is
+/// *provably bit-identical* to the unsharded kernel at every shard count,
+/// thread count, and ISA tier (tests/sharding_test.cc sweeps all three).
+///
+/// `shards` is clamped to [1, p]; 1 (or n/k <= 0 like the unsharded entry
+/// points) degenerates to MatMulTopK. Returns the effective shard count.
+/// When `shard_seconds` is non-null it must hold `shards` doubles; entries
+/// [0, returned) receive each shard's scoring wall time (the serving
+/// engine's serve.shard.* instruments — pass null to skip timing).
+int MatMulTopKSharded(const float* a, const float* b, int n, int m, int p,
+                      int k, int shards, TopKEntry* out,
+                      double* shard_seconds = nullptr);
+
+/// Quantized sibling of MatMulTopKSharded: shards MatMulTopKQ the same way
+/// (per-shard int8 tiles, threshold priming per shard, exact int32 dots)
+/// and merges with the same total order. Per-shard selection equals the
+/// quantized bounded heap over that shard, so the merge is bit-identical
+/// to unsharded MatMulTopKQ at every shard count, thread count, and ISA
+/// tier. Same m <= 65536 precondition, same return/timing contract as
+/// MatMulTopKSharded.
+int MatMulTopKQSharded(const std::int8_t* a, const float* a_scales,
+                       const std::int8_t* b, const float* b_scales, int n,
+                       int m, int p, int k, int shards, TopKEntry* out,
+                       double* shard_seconds = nullptr);
 
 }  // namespace causer::tensor::kernels
 

@@ -186,5 +186,30 @@ TEST_F(QuantTest, MatMulTopKQMatchesReferenceAcrossIsasAndThreads) {
   }
 }
 
+TEST_F(QuantTest, MatMulTopKQEnforcesDepthBoundInsteadOfOverflowing) {
+  // m = 65536 is the largest depth whose worst case (65536 * 127 * 127)
+  // still fits int32; one past it must die on the documented CAUSER_CHECK
+  // rather than silently wrap the accumulator.
+  const int m_ok = 65536;
+  std::vector<std::int8_t> a(static_cast<size_t>(m_ok) + 1, 1);
+  std::vector<std::int8_t> b(static_cast<size_t>(m_ok) + 1, 1);
+  const float a_scale = 1.0f;
+  const float b_scale = 1.0f;
+  kernels::TopKEntry out;
+  kernels::MatMulTopKQ(a.data(), &a_scale, b.data(), &b_scale, 1, m_ok, 1, 1,
+                       &out);
+  EXPECT_EQ(out.index, 0);
+  EXPECT_EQ(out.score, static_cast<float>(m_ok));  // exact: 2^16 in fp32
+  EXPECT_DEATH(kernels::MatMulTopKQ(a.data(), &a_scale, b.data(), &b_scale, 1,
+                                    m_ok + 1, 1, 1, &out),
+               "65536");
+  // The sharded entry point checks before fanning out, so the failure is
+  // one message on the calling thread, not a race of S aborts.
+  EXPECT_DEATH(
+      kernels::MatMulTopKQSharded(a.data(), &a_scale, b.data(), &b_scale, 1,
+                                  m_ok + 1, 1, 1, 2, &out),
+      "65536");
+}
+
 }  // namespace
 }  // namespace causer::tensor

@@ -1,0 +1,420 @@
+// Sharding equivalence suite. The kernel half proves the tentpole's
+// exactness claim as a property: MatMulTopKSharded / MatMulTopKQSharded are
+// bit-identical to their unsharded kernels at every shard count, thread
+// count, and compiled ISA tier — including duplicate scores straddling
+// shard boundaries (the (score desc, index asc) tie-break must survive the
+// merge) and the int8 threshold-priming path across multiple column tiles
+// per shard. The store half covers the hash-partitioned SessionStore: cap
+// splitting, per-shard intrusive LRU order, pinned-entry skips, version
+// stamps, and a concurrent Acquire/Evict/version-shift hammer that the CI
+// TSan job runs. The engine half checks the end-to-end wiring: sharded
+// config serves byte-identical responses, fp32 and int8.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cpu.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "models/gru4rec.h"
+#include "serve/engine.h"
+#include "serve/session_store.h"
+#include "tensor/kernels.h"
+#include "tensor/quant.h"
+
+namespace causer {
+namespace {
+
+using tensor::kernels::TopKEntry;
+
+/// Restores automatic ISA selection and a single thread on test exit.
+struct IsaThreadGuard {
+  ~IsaThreadGuard() {
+    cpu::ResetIsaForTest();
+    SetDefaultThreads(1);
+  }
+};
+
+/// A catalog engineered for merge-order trouble: only `distinct` unique
+/// rows cycled over p, so most scores appear many times and every shard
+/// boundary cuts through runs of exact ties. The tie-break (index asc)
+/// must come out of the merge untouched.
+std::vector<float> DuplicateHeavyMatrix(int rows, int cols, int distinct,
+                                        Rng& rng) {
+  std::vector<float> base(static_cast<size_t>(distinct) * cols);
+  for (auto& v : base) v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+  std::vector<float> out(static_cast<size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(out.data() + static_cast<size_t>(r) * cols,
+                base.data() + static_cast<size_t>(r % distinct) * cols,
+                sizeof(float) * cols);
+  }
+  return out;
+}
+
+std::vector<float> RandomMatrix(int rows, int cols, Rng& rng) {
+  std::vector<float> out(static_cast<size_t>(rows) * cols);
+  for (auto& v : out) v = static_cast<float>(rng.Uniform(-3.0, 3.0));
+  return out;
+}
+
+void ExpectBitIdentical(const std::vector<TopKEntry>& expected,
+                        const std::vector<TopKEntry>& actual,
+                        const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t e = 0; e < expected.size(); ++e) {
+    ASSERT_EQ(expected[e].index, actual[e].index) << label << " entry " << e;
+    ASSERT_EQ(std::memcmp(&expected[e].score, &actual[e].score,
+                          sizeof(float)),
+              0)
+        << label << " entry " << e << " score " << expected[e].score
+        << " vs " << actual[e].score;
+  }
+}
+
+TEST(ShardedTopKTest, Fp32BitIdenticalAcrossShardsThreadsIsas) {
+  IsaThreadGuard guard;
+  Rng rng(20260815);
+  const int m = 16, p = 300;
+  auto b = DuplicateHeavyMatrix(p, m, /*distinct=*/7, rng);
+  for (cpu::Isa isa : cpu::CompiledIsas()) {
+    if (!cpu::IsaSupported(isa)) continue;
+    ASSERT_TRUE(cpu::SetIsaOverride(cpu::IsaName(isa)));
+    for (int threads : {1, 2, 8}) {
+      SetDefaultThreads(threads);
+      for (int n : {1, 4}) {  // n = 1 is the single-request serving shape
+        auto a = RandomMatrix(n, m, rng);
+        for (int k : {1, 5, 128}) {
+          std::vector<TopKEntry> expected(static_cast<size_t>(n) * k);
+          tensor::kernels::MatMulTopK(a.data(), b.data(), n, m, p, k,
+                                      expected.data());
+          for (int shards : {1, 2, 3, 8, 17}) {
+            // 17 shards of ~18 rows with k = 128 > shard width: shards
+            // return fewer than k candidates and the merge must repad.
+            std::vector<TopKEntry> actual(static_cast<size_t>(n) * k,
+                                          TopKEntry{7, -1.0f});
+            const int used = tensor::kernels::MatMulTopKSharded(
+                a.data(), b.data(), n, m, p, k, shards, actual.data());
+            EXPECT_EQ(used, shards);  // all counts here are within [1, p]
+            ExpectBitIdentical(expected, actual,
+                               std::string(cpu::IsaName(isa)) + " t" +
+                                   std::to_string(threads) + " n" +
+                                   std::to_string(n) + " k" +
+                                   std::to_string(k) + " S" +
+                                   std::to_string(shards));
+          }
+        }
+      }
+    }
+    cpu::ResetIsaForTest();
+    SetDefaultThreads(1);
+  }
+}
+
+TEST(ShardedTopKTest, Int8BitIdenticalIncludingThresholdPriming) {
+  IsaThreadGuard guard;
+  Rng rng(20260816);
+  const int m = 16;
+  // p = 1200 gives shards wider than one 512-column tile at small S, so
+  // the quantized path's tile-0 threshold priming runs *within* shards,
+  // not just in the unsharded reference.
+  for (int p : {300, 1200}) {
+    auto bf = DuplicateHeavyMatrix(p, m, /*distinct=*/7, rng);
+    tensor::QuantizedMatrix qb;
+    ASSERT_TRUE(tensor::QuantizeRows(bf.data(), p, m, &qb));
+    for (cpu::Isa isa : cpu::CompiledIsas()) {
+      if (!cpu::IsaSupported(isa)) continue;
+      ASSERT_TRUE(cpu::SetIsaOverride(cpu::IsaName(isa)));
+      for (int threads : {1, 2, 8}) {
+        SetDefaultThreads(threads);
+        for (int n : {1, 4}) {
+          auto af = RandomMatrix(n, m, rng);
+          tensor::QuantizedMatrix qa;
+          ASSERT_TRUE(tensor::QuantizeRows(af.data(), n, m, &qa));
+          for (int k : {1, 5, 128}) {
+            std::vector<TopKEntry> expected(static_cast<size_t>(n) * k);
+            tensor::kernels::MatMulTopKQ(qa.data.data(), qa.scales.data(),
+                                         qb.data.data(), qb.scales.data(), n,
+                                         m, p, k, expected.data());
+            for (int shards : {1, 2, 3, 8, 17}) {
+              std::vector<TopKEntry> actual(static_cast<size_t>(n) * k);
+              const int used = tensor::kernels::MatMulTopKQSharded(
+                  qa.data.data(), qa.scales.data(), qb.data.data(),
+                  qb.scales.data(), n, m, p, k, shards, actual.data());
+              EXPECT_EQ(used, shards);
+              ExpectBitIdentical(expected, actual,
+                                 std::string("int8 ") + cpu::IsaName(isa) +
+                                     " t" + std::to_string(threads) + " p" +
+                                     std::to_string(p) + " n" +
+                                     std::to_string(n) + " k" +
+                                     std::to_string(k) + " S" +
+                                     std::to_string(shards));
+            }
+          }
+        }
+      }
+      cpu::ResetIsaForTest();
+      SetDefaultThreads(1);
+    }
+  }
+}
+
+TEST(ShardedTopKTest, ClampsShardCountAndFillsPerShardTimings) {
+  IsaThreadGuard guard;
+  Rng rng(20260817);
+  const int n = 2, m = 8, p = 10, k = 3;
+  auto a = RandomMatrix(n, m, rng);
+  auto b = RandomMatrix(p, m, rng);
+  std::vector<TopKEntry> expected(static_cast<size_t>(n) * k);
+  tensor::kernels::MatMulTopK(a.data(), b.data(), n, m, p, k,
+                              expected.data());
+  // More shards than catalog rows: clamps to p, still exact; every
+  // reported slot carries a real (non-negative) wall time.
+  std::vector<TopKEntry> actual(static_cast<size_t>(n) * k);
+  std::vector<double> seconds(64, -1.0);
+  const int used = tensor::kernels::MatMulTopKSharded(
+      a.data(), b.data(), n, m, p, k, /*shards=*/64, actual.data(),
+      seconds.data());
+  EXPECT_EQ(used, p);
+  ExpectBitIdentical(expected, actual, "clamped to p");
+  for (int s = 0; s < used; ++s) {
+    EXPECT_GE(seconds[s], 0.0) << "shard " << s << " never timed";
+  }
+  EXPECT_EQ(seconds[used], -1.0);  // untouched past the effective count
+  // shards = 1 degenerates to the unsharded kernel but still times it.
+  seconds.assign(1, -1.0);
+  EXPECT_EQ(tensor::kernels::MatMulTopKSharded(a.data(), b.data(), n, m, p,
+                                               k, 1, actual.data(),
+                                               seconds.data()),
+            1);
+  ExpectBitIdentical(expected, actual, "degenerate S=1");
+  EXPECT_GE(seconds[0], 0.0);
+  // Empty problems report zero shards and touch nothing.
+  EXPECT_EQ(tensor::kernels::MatMulTopKSharded(a.data(), b.data(), 0, m, p,
+                                               k, 4, actual.data()),
+            0);
+}
+
+const data::Dataset& TinyData() {
+  static data::Dataset d = data::MakeDataset(data::TinySpec());
+  return d;
+}
+
+const data::Split& TinySplit() {
+  static data::Split s = data::LeaveLastOut(TinyData());
+  return s;
+}
+
+std::shared_ptr<models::Gru4Rec> TinyGru() {
+  models::ModelConfig config;
+  config.num_users = TinyData().num_users;
+  config.num_items = TinyData().num_items;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  return std::make_shared<models::Gru4Rec>(config);
+}
+
+TEST(ShardedSessionStoreTest, ShardCountClampsToCapacity) {
+  // A bounded store never hands a shard a zero (= unbounded) cap: the
+  // partition count clamps to max_sessions.
+  serve::SessionStore tight(2, 8);
+  EXPECT_EQ(tight.shards(), 2);
+  serve::SessionStore unbounded(0, 8);
+  EXPECT_EQ(unbounded.shards(), 8);
+  serve::SessionStore negative(5, -3);
+  EXPECT_EQ(negative.shards(), 1);
+  auto model = TinyGru();
+  for (int u = 0; u < 64; ++u) {
+    unbounded.Acquire(u, nullptr, model, 1);
+  }
+  EXPECT_EQ(unbounded.size(), 64);  // unbounded shards never evict
+}
+
+TEST(ShardedSessionStoreTest, GlobalCapHoldsAcrossShards) {
+  auto model = TinyGru();
+  serve::SessionStore store(8, 4);
+  ASSERT_EQ(store.shards(), 4);
+  for (int u = 0; u < 100; ++u) {
+    store.Acquire(u, nullptr, model, 1);
+    EXPECT_LE(store.size(), 8) << "after user " << u;
+  }
+  // 100 hashed users leave every 2-slot shard populated.
+  EXPECT_GT(store.size(), 0);
+}
+
+TEST(ShardedSessionStoreTest, IntrusiveLruEvictsOldestAndTouchRefreshes) {
+  auto model = TinyGru();
+  // One shard isolates the recency list itself from hash placement.
+  serve::SessionStore store(3, 1);
+  auto s1 = store.Acquire(1, nullptr, model, 1);
+  auto s2 = store.Acquire(2, nullptr, model, 1);
+  auto s3 = store.Acquire(3, nullptr, model, 1);
+  models::SessionState* p1 = s1.get();
+  models::SessionState* p2 = s2.get();
+  s1.reset();
+  s2.reset();
+  s3.reset();
+  // Touch user 1: it moves to the MRU end, so the next eviction must take
+  // user 2 (now the oldest), not 1.
+  EXPECT_EQ(store.Acquire(1, nullptr, model, 1).get(), p1);
+  store.Acquire(4, nullptr, model, 1);
+  EXPECT_EQ(store.size(), 3);
+  EXPECT_EQ(store.Acquire(1, nullptr, model, 1).get(), p1);  // survived
+  EXPECT_NE(store.Acquire(2, nullptr, model, 1).get(), p2);  // rebuilt
+}
+
+TEST(ShardedSessionStoreTest, PinnedEntriesAreSkippedNotEvicted) {
+  auto model = TinyGru();
+  serve::SessionStore store(1, 1);
+  auto pinned = store.Acquire(1, nullptr, model, 1);
+  // Over-cap acquires while user 1 is pinned: the store overshoots rather
+  // than freeing a state someone still holds (PR 6's ASan regression,
+  // now per shard).
+  auto also_pinned = store.Acquire(2, nullptr, model, 1);
+  EXPECT_EQ(store.size(), 2);
+  EXPECT_EQ(store.Acquire(1, nullptr, model, 1).get(), pinned.get());
+  pinned.reset();
+  also_pinned.reset();
+  // With the pins gone the next miss sweeps the shard back under its cap.
+  store.Acquire(3, nullptr, model, 1);
+  EXPECT_EQ(store.size(), 1);
+}
+
+TEST(ShardedSessionStoreTest, VersionMismatchRebuildsInPlace) {
+  auto model = TinyGru();
+  serve::SessionStore store(0, 4);
+  auto v1 = store.Acquire(7, nullptr, model, 1);
+  EXPECT_EQ(store.Acquire(7, nullptr, model, 1).get(), v1.get());
+  // A version bump (hot reload) must rebuild, never serve the stale state.
+  auto v2 = store.Acquire(7, nullptr, model, 2);
+  EXPECT_NE(v2.get(), v1.get());
+  EXPECT_EQ(store.size(), 1);
+  EXPECT_EQ(store.Acquire(7, nullptr, model, 2).get(), v2.get());
+}
+
+TEST(ShardedSessionStoreTest, ShardCountersTickOnlyWhenSharded) {
+  auto model = TinyGru();
+  metrics::SetEnabled(true);
+  auto& m = serve::ServeMetrics();
+  const double hits0 = m.shard_store_hits.Value();
+  const double misses0 = m.shard_store_misses.Value();
+  serve::SessionStore single(0, 1);
+  single.Acquire(1, nullptr, model, 1);
+  single.Acquire(1, nullptr, model, 1);
+  EXPECT_EQ(m.shard_store_hits.Value(), hits0);
+  EXPECT_EQ(m.shard_store_misses.Value(), misses0);
+  serve::SessionStore sharded(0, 4);
+  sharded.Acquire(1, nullptr, model, 1);
+  sharded.Acquire(1, nullptr, model, 1);
+  metrics::SetEnabled(false);
+  EXPECT_EQ(m.shard_store_hits.Value(), hits0 + 1);
+  EXPECT_EQ(m.shard_store_misses.Value(), misses0 + 1);
+}
+
+// The CI TSan job's target: concurrent Acquire (hits, misses, evictions),
+// explicit Evicts, and version shifts (the reload path's store-visible
+// effect) against one sharded store. Correctness here is "no data race, no
+// lost size accounting", which TSan + the final invariants check.
+TEST(ShardedSessionStoreTest, ConcurrentAcquireEvictReloadIsRaceFree) {
+  auto model = TinyGru();
+  serve::SessionStore store(32, 8);
+  std::atomic<uint64_t> version{1};
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int user = (t * 37 + i * 11) % 64;
+        auto handle = store.Acquire(
+            user, nullptr, model, version.load(std::memory_order_relaxed));
+        EXPECT_NE(handle, nullptr);
+        if (i % 13 == 0) store.Evict((user + 1) % 64);
+        if (t == 0 && i % 50 == 49) {
+          version.fetch_add(1, std::memory_order_relaxed);  // "reload"
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // All handles dropped: one sweep per shard restores the cap invariant.
+  for (int u = 0; u < 64; ++u) {
+    store.Acquire(u, nullptr, model,
+                  version.load(std::memory_order_relaxed));
+  }
+  EXPECT_LE(store.size(), 32 + store.shards());
+  EXPECT_GE(store.size(), 1);
+}
+
+std::vector<serve::Request> TestSplitRequests(int count) {
+  std::vector<serve::Request> requests(count);
+  for (int u = 0; u < count; ++u) {
+    requests[u].user = TinySplit().test[u].user;
+    requests[u].bootstrap = &TinySplit().test[u].history;
+  }
+  return requests;
+}
+
+TEST(ShardedEngineTest, ResponsesBitIdenticalToUnsharded) {
+  IsaThreadGuard guard;
+  auto model = TinyGru();
+  models::Fit(*model, TinySplit(), {.max_epochs = 2, .patience = 1});
+  const std::vector<serve::Request> requests = TestSplitRequests(8);
+  for (bool int8 : {false, true}) {
+    for (int threads : {1, 8}) {
+      SetDefaultThreads(threads);
+      serve::ServingConfig plain;
+      plain.top_k = 5;
+      plain.quantize_int8 = int8;
+      serve::ServingConfig sharded = plain;
+      sharded.score_shards = 7;
+      sharded.session_shards = 4;
+      sharded.max_sessions = 16;
+      serve::ServingEngine plain_engine(*model, plain);
+      serve::ServingEngine sharded_engine(*model, sharded);
+      const auto expected = plain_engine.ScoreBatch(requests);
+      const auto actual = sharded_engine.ScoreBatch(requests);
+      ASSERT_EQ(expected.size(), actual.size());
+      for (size_t r = 0; r < expected.size(); ++r) {
+        const std::string label = std::string(int8 ? "int8" : "fp32") +
+                                  " t" + std::to_string(threads) + " req " +
+                                  std::to_string(r);
+        ASSERT_EQ(expected[r].items, actual[r].items) << label;
+        ASSERT_EQ(expected[r].scores.size(), actual[r].scores.size())
+            << label;
+        for (size_t j = 0; j < expected[r].scores.size(); ++j) {
+          EXPECT_EQ(expected[r].scores[j], actual[r].scores[j]) << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedEngineTest, ConfigClampsAndFlagsReachTheStore) {
+  auto model = TinyGru();
+  serve::ServingConfig sc;
+  sc.top_k = 3;
+  sc.score_shards = -4;
+  sc.session_shards = 0;
+  serve::ServingEngine engine(*model, sc);
+  EXPECT_EQ(engine.config().score_shards, 1);
+  EXPECT_EQ(engine.config().session_shards, 1);
+  serve::ServingConfig wide;
+  wide.top_k = 3;
+  wide.session_shards = 6;
+  serve::ServingEngine wide_engine(*model, wide);
+  EXPECT_EQ(wide_engine.store().shards(), 6);
+}
+
+}  // namespace
+}  // namespace causer

@@ -22,6 +22,7 @@
 //             [--serve-port=N] [--deadline-ms=N] [--queue-depth=N]
 //             [--quantize=MODE] [--rerank-k=N] [--reload-watch=DIR]
 //             [--reload-poll-ms=N] [--conn-idle-timeout-ms=N]
+//             [--score-shards=N] [--session-shards=N]
 //     Without --serve-port: replays the test split's requests through the
 //     online serving engine (incremental session states + micro-batched
 //     GEMM scoring) from --threads concurrent clients and reports p50/p99
@@ -167,6 +168,13 @@ int PrintHelp() {
       "                       Per-connection read deadline (slow-loris "
       "guard): close connections whose peer sends nothing, or stalls "
       "mid-frame, for this long (default 30000; 0 = never).\n"
+      "  --score-shards=N     Split the item table into N row shards scored "
+      "in parallel on the thread pool and merged exactly — bit-identical "
+      "responses, parallel even for a single-request batch (default 1 = "
+      "unsharded).\n"
+      "  --session-shards=N   Hash-partition the session store into N "
+      "shards, each with its own lock, LRU list, and slice of "
+      "--max-sessions (default 1 = single shard).\n"
       "\n"
       "model architecture flags (train, evaluate, explain — must match "
       "between training and loading):\n"
@@ -475,6 +483,8 @@ int CmdServe(const Flags& flags) {
     return 2;
   }
   sc.rerank_k = flags.GetInt("rerank-k", 2048);
+  sc.score_shards = flags.GetInt("score-shards", 1);
+  sc.session_shards = flags.GetInt("session-shards", 1);
   serve::ServingEngine engine(initial->model, sc);
 
   if (flags.Has("serve-port")) {
